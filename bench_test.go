@@ -1,0 +1,267 @@
+package borg
+
+// testing.B entry points, one per paper artifact (DESIGN.md experiments
+// E1–E10). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmark bodies exercise the same code paths as cmd/borg-bench at
+// a small scale factor so the suite stays minutes, not hours; use the
+// CLI with -sf 1.0 for full laptop-scale tables.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"borg/internal/agnostic"
+	"borg/internal/bench"
+	"borg/internal/core"
+	"borg/internal/datagen"
+	"borg/internal/engine"
+	"borg/internal/factor"
+	"borg/internal/ifaq"
+	"borg/internal/ivm"
+	"borg/internal/ml"
+	"borg/internal/query"
+)
+
+const benchSF = 0.05
+
+// BenchmarkFig3StructureAgnostic is the materialize→export→import→
+// shuffle→SGD pipeline of Figure 3 (the PostgreSQL+TensorFlow column).
+func BenchmarkFig3StructureAgnostic(b *testing.B) {
+	d := datagen.Retailer(1, benchSF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := agnostic.RunLinReg(d.Join, agnostic.Config{
+			Cont: d.Cont, Cat: d.Cat, Response: d.Response,
+			Epochs: 1, Batch: 100, LR: 1e-7, Lambda: 1e-3, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3StructureAware is the LMFAO batch + moment-space gradient
+// descent of Figure 3 (the LMFAO column).
+func BenchmarkFig3StructureAware(b *testing.B) {
+	d := datagen.Retailer(1, benchSF)
+	jt, err := d.Join.BuildJoinTree(d.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := core.CovarianceBatch(d.Features(), d.Response)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := core.Compile(jt, specs, core.Optimized(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := plan.Eval()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigma, err := ml.AssembleSigma(d.Cont, d.Cat, d.Response, results)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ml.TrainLinRegGD(sigma, 1e-3, 20000, 1e-10)
+	}
+}
+
+// BenchmarkFig4Left compares the classical engine against LMFAO on the
+// covariance batch (Figure 4 left, batch C) for each dataset.
+func BenchmarkFig4Left(b *testing.B) {
+	for _, d := range datagen.All(1, benchSF) {
+		d := d
+		jt, err := d.Join.BuildJoinTree(d.Root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := core.CovarianceBatch(d.Features(), d.Response)
+		b.Run(d.Name+"/classical", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.MaterializeAndEval(d.Join, specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(d.Name+"/lmfao", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := core.Compile(jt, specs, core.Optimized(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := plan.Eval(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Right measures per-insert maintenance cost for the three
+// IVM strategies (Figure 4 right); throughput is the inverse.
+func BenchmarkFig4Right(b *testing.B) {
+	d := datagen.Retailer(1, benchSF)
+	var stream []ivm.Tuple
+	for _, name := range d.StreamOrder {
+		r := d.DB.Relation(name)
+		for i := 0; i < r.NumRows(); i++ {
+			stream = append(stream, ivm.Tuple{Rel: name, Values: r.Row(i)})
+		}
+	}
+	mks := []struct {
+		name string
+		mk   func() (ivm.Maintainer, error)
+	}{
+		{"F-IVM", func() (ivm.Maintainer, error) { return ivm.NewFIVM(d.Join, d.Root, d.Cont) }},
+		{"higher-order", func() (ivm.Maintainer, error) { return ivm.NewHigherOrder(d.Join, d.Root, d.Cont) }},
+		{"first-order", func() (ivm.Maintainer, error) { return ivm.NewFirstOrder(d.Join, d.Root, d.Cont) }},
+	}
+	for _, e := range mks {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			m, err := e.mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Insert(stream[i%len(stream)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Ablation prices the LMFAO optimizations cumulatively
+// (Figure 6) on the Retailer covariance batch.
+func BenchmarkFig6Ablation(b *testing.B) {
+	d := datagen.Retailer(1, benchSF)
+	jt, err := d.Join.BuildJoinTree(d.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := core.CovarianceBatch(d.Features(), d.Response)
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"baseline", core.Options{}},
+		{"specialization", core.Options{Specialize: true}},
+		{"sharing", core.Options{Specialize: true, Share: true}},
+		{"parallelization", core.Options{Specialize: true, Share: true, Workers: 2}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := core.Compile(jt, specs, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := plan.Eval(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompression builds the factorized Retailer join (experiment
+// E6): the interesting output is the value-count ratio, printed once.
+func BenchmarkCompression(b *testing.B) {
+	d := datagen.Retailer(1, benchSF)
+	jt, err := d.Join.BuildJoinTree(d.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vo := query.BuildVarOrder(jt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := factor.Build(d.Join, vo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.ValueCount() == 0 {
+			b.Fatal("empty factorization")
+		}
+	}
+}
+
+// BenchmarkIFAQStages prices each stage of the Section 5.3 pipeline
+// (Figure 11, experiment E8).
+func BenchmarkIFAQStages(b *testing.B) {
+	w := ifaq.Workload{
+		Features: []string{"c", "p"},
+		Response: "u",
+		Alpha:    0.002,
+		Iters:    10,
+		Join: ifaq.JoinSpec{
+			JoinRel:  "Q",
+			Base:     "S",
+			Children: []ifaq.ChildSpec{{Rel: "R", Key: "s"}, {Rel: "I", Key: "i"}},
+		},
+	}
+	db := NewDatabase()
+	s := db.AddRelation("S", Cat("i"), Cat("s"), Num("u"))
+	r := db.AddRelation("R", Cat("s"), Num("c"))
+	it := db.AddRelation("I", Cat("i"), Num("p"))
+	for k := 0; k < 30; k++ {
+		if err := r.Append(itoa(k), float64(k%7)); err != nil {
+			b.Fatal(err)
+		}
+		if err := it.Append(itoa(k), float64(k%5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k < 3000; k++ {
+		if err := s.Append(itoa(k%30), itoa((k*7)%30), float64(k%11)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env, err := w.BuildEnv(db.db.Relation("S"), db.db.Relation("R"), db.db.Relation("I"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, stage := range ifaq.Stages {
+		stage := stage
+		b.Run(stage.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(stage, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkFig5AggregateCounts regenerates the Figure 5 table (it is
+// pure synthesis; the benchmark guards against compile-time regressions
+// in batch size).
+func BenchmarkFig5AggregateCounts(b *testing.B) {
+	o := bench.Options{Out: io.Discard, Seed: 1, SF: benchSF, Workers: 2, Budget: time.Second}
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig5(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package borg is a Go library for structure-aware machine learning over
+// relational data, reproducing the systems line of "The Relational Data
+// Borg is Learning" (Olteanu, VLDB 2020): models are trained on batches
+// of group-by aggregates evaluated directly over the joins of a database
+// — the join result is never materialized.
+//
+// The facade covers the end-to-end flow of the paper's Figure 2 (bottom):
+//
+//	db := borg.NewDatabase()
+//	sales := db.AddRelation("Sales", borg.Cat("item"), borg.Num("units"))
+//	items := db.AddRelation("Items", borg.Cat("item"), borg.Num("price"))
+//	... append rows ...
+//	q, _ := db.Query("Sales", "Items")
+//	model, _ := q.LinearRegression(borg.Features{
+//	    Continuous:  []string{"price"},
+//	}, "units", 1e-3)
+//
+// Under the facade: internal/core is the LMFAO aggregate-batch engine,
+// internal/ring the covariance ring, internal/ivm the incremental
+// maintenance strategies, internal/factor the factorized representations,
+// and internal/ml the models. The experiment harness reproducing the
+// paper's evaluation lives in internal/bench and cmd/borg-bench.
+package borg
+
+import (
+	"fmt"
+
+	"borg/internal/core"
+	"borg/internal/datagen"
+	"borg/internal/query"
+	"borg/internal/relation"
+)
+
+// Field declares one attribute of a relation schema.
+type Field struct {
+	Name        string
+	Categorical bool
+}
+
+// Num declares a continuous (float64) attribute.
+func Num(name string) Field { return Field{Name: name} }
+
+// Cat declares a categorical (dictionary-encoded) attribute. Attributes
+// with equal names join across relations (natural-join semantics), so
+// join keys must be categorical.
+func Cat(name string) Field { return Field{Name: name, Categorical: true} }
+
+// Database is a set of relations with shared attribute dictionaries.
+type Database struct {
+	db *relation.Database
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{db: relation.NewDatabase()}
+}
+
+// AddRelation declares a relation. It panics on duplicate names, like the
+// underlying catalog.
+func (d *Database) AddRelation(name string, fields ...Field) *Relation {
+	attrs := make([]relation.Attribute, len(fields))
+	for i, f := range fields {
+		t := relation.Double
+		if f.Categorical {
+			t = relation.Category
+		}
+		attrs[i] = relation.Attribute{Name: f.Name, Type: t}
+	}
+	return &Relation{rel: d.db.NewRelation(name, attrs)}
+}
+
+// Relation is one table of a Database.
+type Relation struct {
+	rel *relation.Relation
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.rel.Name }
+
+// Rows returns the current cardinality.
+func (r *Relation) Rows() int { return r.rel.NumRows() }
+
+// Append adds one tuple. Continuous attributes take float64 (or int),
+// categorical attributes take string values, which are interned in the
+// shared dictionaries.
+func (r *Relation) Append(values ...any) error {
+	if len(values) != r.rel.NumAttrs() {
+		return fmt.Errorf("borg: %s has %d attributes, got %d values", r.rel.Name, r.rel.NumAttrs(), len(values))
+	}
+	row := make([]relation.Value, len(values))
+	for i, v := range values {
+		col := r.rel.Col(i)
+		switch x := v.(type) {
+		case float64:
+			if col.Type != relation.Double {
+				return fmt.Errorf("borg: attribute %s is categorical, got float", r.rel.Attrs()[i].Name)
+			}
+			row[i] = relation.FloatVal(x)
+		case int:
+			if col.Type != relation.Double {
+				return fmt.Errorf("borg: attribute %s is categorical, got int", r.rel.Attrs()[i].Name)
+			}
+			row[i] = relation.FloatVal(float64(x))
+		case string:
+			if col.Type != relation.Category {
+				return fmt.Errorf("borg: attribute %s is continuous, got string", r.rel.Attrs()[i].Name)
+			}
+			row[i] = relation.CatVal(col.Dict.Code(x))
+		default:
+			return fmt.Errorf("borg: unsupported value type %T for attribute %s", v, r.rel.Attrs()[i].Name)
+		}
+	}
+	r.rel.AppendRow(row...)
+	return nil
+}
+
+// Query is a natural join of relations — the feature-extraction query of
+// the paper — ready for structure-aware learning.
+type Query struct {
+	db   *Database
+	join *query.Join
+	// Root pins the join-tree root (fact relation); empty picks the
+	// largest relation.
+	Root string
+	// Workers bounds engine parallelism (default 2).
+	Workers int
+}
+
+// Query builds the natural join of the named relations (all relations
+// when none are named). It verifies acyclicity eagerly.
+func (d *Database) Query(names ...string) (*Query, error) {
+	var rels []*relation.Relation
+	if len(names) == 0 {
+		rels = d.db.Relations()
+	} else {
+		for _, n := range names {
+			r := d.db.Relation(n)
+			if r == nil {
+				return nil, fmt.Errorf("borg: unknown relation %s", n)
+			}
+			rels = append(rels, r)
+		}
+	}
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("borg: empty query")
+	}
+	j := query.NewJoin(rels...)
+	if !j.IsAcyclic() {
+		return nil, fmt.Errorf("borg: the join is cyclic; structure-aware evaluation requires an acyclic feature-extraction query")
+	}
+	return &Query{db: d, join: j, Workers: 2}, nil
+}
+
+// Features selects the model's features by attribute name.
+type Features struct {
+	Continuous  []string
+	Categorical []string
+}
+
+func (f Features) core() []core.Feature {
+	var out []core.Feature
+	for _, c := range f.Continuous {
+		out = append(out, core.Feature{Attr: c})
+	}
+	for _, g := range f.Categorical {
+		out = append(out, core.Feature{Attr: g, Categorical: true})
+	}
+	return out
+}
+
+func (q *Query) tree() (*query.JoinTree, error) {
+	return q.join.BuildJoinTree(q.Root)
+}
+
+func (q *Query) opts() core.Options {
+	w := q.Workers
+	if w <= 0 {
+		w = 1
+	}
+	return core.Optimized(w)
+}
+
+// Dataset wraps one of the built-in synthetic evaluation datasets with
+// its default feature lists.
+type Dataset struct {
+	*Query
+	Name     string
+	Feats    Features
+	Response string
+	GridAttr string
+	inner    *datagen.Dataset
+}
+
+// GenerateDataset builds a synthetic evaluation dataset ("retailer",
+// "favorita", "yelp", "tpcds") at the given seed and scale factor.
+func GenerateDataset(name string, seed uint64, sf float64) (*Dataset, error) {
+	d, err := datagen.ByName(name, seed, sf)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := &Database{db: d.DB}
+	q := &Query{db: wrapped, join: d.Join, Root: d.Root, Workers: 2}
+	return &Dataset{
+		Query:    q,
+		Name:     d.Name,
+		Feats:    Features{Continuous: d.Cont, Categorical: d.Cat},
+		Response: d.Response,
+		GridAttr: d.GridAttr,
+		inner:    d,
+	}, nil
+}
+
+// Database exposes the dataset's relations (for streaming replays and
+// CSV export).
+func (d *Dataset) Database() *Database { return d.Query.db }
+
+// Relation returns a relation of the database by name, or nil.
+func (d *Database) Relation(name string) *Relation {
+	r := d.db.Relation(name)
+	if r == nil {
+		return nil
+	}
+	return &Relation{rel: r}
+}

@@ -1,0 +1,305 @@
+package borg
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildToyDB creates a two-relation schema with a planted linear signal:
+// units = 3 - 0.5*price + cityEffect + noise-free.
+func buildToyDB(t *testing.T) (*Database, *Relation, *Relation) {
+	t.Helper()
+	db := NewDatabase()
+	sales := db.AddRelation("Sales", Cat("item"), Cat("city"), Num("units"))
+	items := db.AddRelation("Items", Cat("item"), Num("price"))
+	prices := map[string]float64{"patty": 6, "onion": 2, "bun": 2, "sausage": 4}
+	for name, p := range prices {
+		if err := items.Append(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cityEffect := map[string]float64{"zurich": 1, "oxford": -1}
+	i := 0
+	for item, p := range prices {
+		for city, eff := range cityEffect {
+			units := 3 - 0.5*p + eff
+			if err := sales.Append(item, city, units); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	return db, sales, items
+}
+
+func TestFacadeLinearRegression(t *testing.T) {
+	db, _, _ := buildToyDB(t)
+	q, err := db.Query("Sales", "Items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := q.LinearRegression(Features{
+		Continuous:  []string{"price"},
+		Categorical: []string{"city"},
+	}, "units", 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coef, err := m.Coefficient("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef+0.5) > 0.05 {
+		t.Fatalf("price coefficient = %v, want ≈ -0.5", coef)
+	}
+	zur, err := m.CategoryCoefficient(q, "city", "zurich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oxf, err := m.CategoryCoefficient(q, "city", "oxford")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((zur-oxf)-2) > 0.05 {
+		t.Fatalf("city effect difference = %v, want ≈ 2", zur-oxf)
+	}
+	rmse, err := m.TrainingRMSE(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.01 {
+		t.Fatalf("noise-free fit has RMSE %v", rmse)
+	}
+	// Retrain on a subset without data access.
+	m2, err := m.Retrain(Features{Continuous: []string{"price"}}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Coefficient("price"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Coefficient("ghost"); err == nil {
+		t.Fatal("unknown coefficient accepted")
+	}
+	if _, err := m.CategoryCoefficient(q, "city", "nowhere"); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestFacadeAppendErrors(t *testing.T) {
+	db := NewDatabase()
+	r := db.AddRelation("R", Cat("k"), Num("x"))
+	if err := r.Append("a"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := r.Append(1.0, 2.0); err == nil {
+		t.Fatal("float into categorical accepted")
+	}
+	if err := r.Append("a", "b"); err == nil {
+		t.Fatal("string into continuous accepted")
+	}
+	if err := r.Append("a", struct{}{}); err == nil {
+		t.Fatal("unsupported type accepted")
+	}
+	if err := r.Append("a", 2); err != nil {
+		t.Fatalf("int into continuous rejected: %v", err)
+	}
+	if r.Rows() != 1 || r.Name() != "R" {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestFacadeQueryErrors(t *testing.T) {
+	db := NewDatabase()
+	db.AddRelation("A", Cat("a"), Cat("b"))
+	db.AddRelation("B", Cat("b"), Cat("c"))
+	db.AddRelation("C", Cat("c"), Cat("a"))
+	if _, err := db.Query("A", "Ghost"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := db.Query(); err == nil {
+		// All three relations form a cyclic join.
+		t.Fatal("cyclic join accepted")
+	}
+	if _, err := NewDatabase().Query(); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestFacadeCovariance(t *testing.T) {
+	db, _, _ := buildToyDB(t)
+	q, err := db.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := q.Covariance(Features{Continuous: []string{"price"}}, "units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 8 {
+		t.Fatalf("Count = %v, want 8", c.Count())
+	}
+	mean, err := c.Mean("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-3.5) > 1e-9 {
+		t.Fatalf("mean price = %v, want 3.5", mean)
+	}
+	if _, err := c.Mean("ghost"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := c.SecondMoment("price", "price"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDecisionTree(t *testing.T) {
+	db, _, _ := buildToyDB(t)
+	q, err := db.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := q.DecisionTree(Features{
+		Continuous:  []string{"price"},
+		Categorical: []string{"city"},
+	}, "units", TreeOptions{MaxDepth: 3, MinRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() == 0 {
+		t.Fatal("no nodes evaluated")
+	}
+	rmse, err := tree.TrainingRMSE(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1.5 {
+		t.Fatalf("tree RMSE %v too high", rmse)
+	}
+	if tree.Depth() > 3 {
+		t.Fatalf("depth %d exceeds max", tree.Depth())
+	}
+}
+
+func TestFacadeKMeansAndChowLiu(t *testing.T) {
+	ds, err := GenerateDataset("retailer", 5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ds.KMeans([]string{"prize", "maxtemp"}, ds.GridAttr, 3, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Centers) != 3 || cl.Coreset == 0 {
+		t.Fatalf("clustering malformed: %+v", cl)
+	}
+	edges, err := ds.ChowLiu(ds.Feats.Categorical[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("Chow-Liu over 3 attributes has %d edges", len(edges))
+	}
+}
+
+func TestFacadeStreamingCovariance(t *testing.T) {
+	db, _, _ := buildToyDB(t)
+	q, err := db.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.StreamCovariance([]string{"units", "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("Items", "patty", 6.0); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 0 {
+		t.Fatal("count before any sale")
+	}
+	if err := st.Insert("Sales", "patty", "zurich", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 1 {
+		t.Fatalf("count = %v, want 1", st.Count())
+	}
+	mean, err := st.Mean("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 6 {
+		t.Fatalf("mean price = %v, want 6", mean)
+	}
+	m, err := st.SecondMoment("units", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 6 {
+		t.Fatalf("SUM(units*price) = %v, want 6", m)
+	}
+	if err := st.Insert("Ghost"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := st.Mean("ghost"); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	for _, name := range []string{"retailer", "favorita", "yelp", "tpcds"} {
+		ds, err := GenerateDataset(name, 1, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Database().Relation(ds.Root) == nil {
+			t.Fatalf("%s: root relation missing", name)
+		}
+		if len(ds.Feats.Continuous) == 0 || ds.Response == "" {
+			t.Fatalf("%s: metadata incomplete", name)
+		}
+	}
+	if _, err := GenerateDataset("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestDatasetEndToEnd(t *testing.T) {
+	ds, err := GenerateDataset("yelp", 3, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ds.LinearRegression(ds.Feats, ds.Response, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := m.TrainingRMSE(ds.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Yelp response (stars) has a planted dependence on user and
+	// business averages: the model must beat the trivial predictor.
+	cov, err := ds.Covariance(Features{}, ds.Response)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := math.Sqrt(cov.sigmaYtY() - cov.sigmaMeanY()*cov.sigmaMeanY())
+	if rmse > 0.9*std {
+		t.Fatalf("RMSE %v vs response std %v: no signal", rmse, std)
+	}
+}
+
+// Unexported helpers for the test above.
+func (c *Covariance) sigmaYtY() float64   { return c.sigma.YtY }
+func (c *Covariance) sigmaMeanY() float64 { return c.sigma.XtY[0] }
+
+func TestFieldHelpers(t *testing.T) {
+	if Num("x").Categorical || !Cat("g").Categorical {
+		t.Fatal("field helpers broken")
+	}
+	if !strings.HasPrefix(Cat("g").Name, "g") {
+		t.Fatal("name lost")
+	}
+}

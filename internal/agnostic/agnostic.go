@@ -1,0 +1,206 @@
+// Package agnostic implements the structure-AGNOSTIC learning pipeline of
+// Figure 2 (top) and Figure 3: materialize the feature-extraction join,
+// export it (CSV), re-import it into "the ML tool", shuffle it, one-hot
+// encode, and run mini-batch stochastic gradient descent over the data
+// matrix. Every stage is timed separately, because the paper's headline
+// comparison (2,160x) is precisely the sum of these stages against the
+// aggregate-batch path.
+//
+// This package plays the role PostgreSQL+TensorFlow play in the paper:
+// same architecture — two systems glued by a data export — with the same
+// five shortcomings of Section 1.2.
+package agnostic
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"borg/internal/engine"
+	"borg/internal/ml"
+	"borg/internal/query"
+	"borg/internal/relation"
+	"borg/internal/xrand"
+)
+
+// Report carries per-stage wall-clock times and sizes, mirroring the rows
+// of Figure 3.
+type Report struct {
+	JoinTime    time.Duration
+	ExportTime  time.Duration
+	ImportTime  time.Duration
+	ShuffleTime time.Duration
+	TrainTime   time.Duration
+
+	JoinRows  int
+	JoinBytes int64
+
+	Model *ml.LinReg
+	RMSE  float64
+}
+
+// Total returns the end-to-end pipeline time.
+func (r *Report) Total() time.Duration {
+	return r.JoinTime + r.ExportTime + r.ImportTime + r.ShuffleTime + r.TrainTime
+}
+
+// Config tunes the SGD stage.
+type Config struct {
+	Cont     []string
+	Cat      []string
+	Response string
+	Epochs   int
+	Batch    int
+	LR       float64
+	Lambda   float64
+	Seed     uint64
+}
+
+// RunLinReg executes the full pipeline for a linear regression model and
+// reports stage timings. The data matrix round-trips through CSV bytes in
+// memory — the analogue of the export/import steps between PostgreSQL and
+// TensorFlow.
+func RunLinReg(j *query.Join, cfg Config) (*Report, error) {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 100
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.05
+	}
+	rep := &Report{}
+
+	start := time.Now()
+	data, err := engine.MaterializeJoin(j)
+	if err != nil {
+		return nil, fmt.Errorf("agnostic: join: %w", err)
+	}
+	rep.JoinTime = time.Since(start)
+	rep.JoinRows = data.NumRows()
+
+	start = time.Now()
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf); err != nil {
+		return nil, fmt.Errorf("agnostic: export: %w", err)
+	}
+	rep.ExportTime = time.Since(start)
+	rep.JoinBytes = int64(buf.Len())
+
+	start = time.Now()
+	imported := data.CloneEmpty()
+	if err := imported.ReadCSV(bytes.NewReader(buf.Bytes())); err != nil {
+		return nil, fmt.Errorf("agnostic: import: %w", err)
+	}
+	rep.ImportTime = time.Since(start)
+	buf = bytes.Buffer{} // release the export copy, as the ML tool would
+
+	start = time.Now()
+	src := xrand.New(cfg.Seed)
+	perm := make([]int32, imported.NumRows())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	src.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+	imported.Permute(perm)
+	rep.ShuffleTime = time.Since(start)
+
+	start = time.Now()
+	model, err := trainSGD(imported, cfg, src)
+	if err != nil {
+		return nil, fmt.Errorf("agnostic: train: %w", err)
+	}
+	rep.TrainTime = time.Since(start)
+	rep.Model = model
+
+	rmse, err := model.RMSE(imported)
+	if err != nil {
+		return nil, err
+	}
+	rep.RMSE = rmse
+	return rep, nil
+}
+
+// trainSGD runs mini-batch SGD with on-the-fly one-hot encoding and
+// feature standardization — the TensorFlow stand-in. One epoch is one
+// pass over the shuffled matrix, as in the Figure 3 experiment. The
+// standardization pass (every serious SGD user standardizes) is part of
+// the timed training stage.
+func trainSGD(data *relation.Relation, cfg Config, src *xrand.Source) (*ml.LinReg, error) {
+	design, err := ml.NewDesign(data, cfg.Cont, cfg.Cat, cfg.Response)
+	if err != nil {
+		return nil, err
+	}
+	n := design.Size()
+	theta := make([]float64, n)
+	grad := make([]float64, n)
+	vec := make([]float64, n)
+	yc := data.AttrIndex(cfg.Response)
+	if yc < 0 {
+		return nil, fmt.Errorf("response %s missing", cfg.Response)
+	}
+	rows := data.NumRows()
+	if rows == 0 {
+		return nil, fmt.Errorf("empty data matrix")
+	}
+	// Standardization pass: per-feature inverse scale 1/max|x|.
+	scale := make([]float64, n)
+	for r := 0; r < rows; r++ {
+		if err := design.FeatureVector(data, r, vec); err != nil {
+			return nil, err
+		}
+		for i, v := range vec {
+			if v < 0 {
+				v = -v
+			}
+			if v > scale[i] {
+				scale[i] = v
+			}
+		}
+	}
+	for i := range scale {
+		if scale[i] == 0 {
+			scale[i] = 1
+		}
+		scale[i] = 1 / scale[i]
+	}
+	step := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		for lo := 0; lo < rows; lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > rows {
+				hi = rows
+			}
+			for i := range grad {
+				grad[i] = cfg.Lambda * theta[i]
+			}
+			for r := lo; r < hi; r++ {
+				if err := design.FeatureVector(data, r, vec); err != nil {
+					return nil, err
+				}
+				pred := 0.0
+				for i := range vec {
+					vec[i] *= scale[i]
+					pred += theta[i] * vec[i]
+				}
+				resid := pred - data.Float(yc, r)
+				for i := range vec {
+					grad[i] += resid * vec[i]
+				}
+			}
+			lr := cfg.LR / (1 + 1e-4*float64(step))
+			inv := 1 / float64(hi-lo)
+			for i := range theta {
+				theta[i] -= lr * grad[i] * inv
+			}
+			step++
+		}
+	}
+	// Map parameters back to the raw feature space.
+	for i := range theta {
+		theta[i] *= scale[i]
+	}
+	_ = src
+	return design.Model(theta, cfg.Lambda), nil
+}

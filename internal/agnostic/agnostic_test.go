@@ -1,0 +1,101 @@
+package agnostic
+
+import (
+	"math"
+	"testing"
+
+	"borg/internal/core"
+	"borg/internal/datagen"
+	"borg/internal/engine"
+	"borg/internal/ml"
+)
+
+func TestPipelineStagesAndAccuracy(t *testing.T) {
+	d := datagen.Retailer(1, 0.03)
+	rep, err := RunLinReg(d.Join, Config{
+		Cont: d.Cont, Cat: d.Cat, Response: d.Response,
+		Epochs: 2, Batch: 100, LR: 0.1, Lambda: 1e-3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JoinRows == 0 || rep.JoinBytes == 0 {
+		t.Fatalf("pipeline produced no data: %+v", rep)
+	}
+	if rep.Total() <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if math.IsNaN(rep.RMSE) || math.IsInf(rep.RMSE, 0) {
+		t.Fatalf("SGD diverged: RMSE = %v", rep.RMSE)
+	}
+	// The SGD model must beat the trivial predictor on the planted
+	// signal (stddev of inventoryunits is ≈ 4).
+	data, err := engine.MaterializeJoin(d.Join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yc := data.AttrIndex(d.Response)
+	var s, q float64
+	for i := 0; i < data.NumRows(); i++ {
+		v := data.Float(yc, i)
+		s += v
+		q += v * v
+	}
+	n := float64(data.NumRows())
+	std := math.Sqrt(q/n - (s/n)*(s/n))
+	if rep.RMSE > std {
+		t.Fatalf("SGD RMSE %v worse than mean predictor %v", rep.RMSE, std)
+	}
+}
+
+// TestPipelineMatchesAggregatePath verifies the headline claim holds on
+// the accuracy axis: the aggregate-trained model is at least as accurate
+// as the one-epoch SGD model, since its statistics are exact.
+func TestPipelineMatchesAggregatePath(t *testing.T) {
+	d := datagen.Retailer(2, 0.03)
+	rep, err := RunLinReg(d.Join, Config{
+		Cont: d.Cont, Cat: d.Cat, Response: d.Response,
+		Epochs: 1, Batch: 100, LR: 0.1, Lambda: 1e-3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt, err := d.Join.BuildJoinTree(d.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Compile(jt, core.CovarianceBatch(d.Features(), d.Response), core.Optimized(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := plan.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := ml.AssembleSigma(d.Cont, d.Cat, d.Response, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := ml.TrainLinRegGD(sigma, 1e-3, 20000, 1e-9)
+	data, err := engine.MaterializeJoin(d.Join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awareRMSE, err := aware.RMSE(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awareRMSE > rep.RMSE*1.05 {
+		t.Fatalf("aggregate-trained RMSE %v worse than one-epoch SGD %v", awareRMSE, rep.RMSE)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	d := datagen.Retailer(3, 0.02)
+	if _, err := RunLinReg(d.Join, Config{Cont: []string{"ghost"}, Response: d.Response}); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	if _, err := RunLinReg(d.Join, Config{Cont: d.Cont, Response: "ghost"}); err == nil {
+		t.Fatal("unknown response accepted")
+	}
+}

@@ -1,0 +1,30 @@
+// Package core implements LMFAO — Layered Multiple Functional Aggregate
+// Optimization (Schleich et al., SIGMOD 2019) — the paper's primary
+// contribution: evaluating a *batch* of group-by aggregates directly over
+// the joins of a database, without materializing the join.
+//
+// The pipeline is:
+//
+//  1. Compile: each aggregate of the batch is decomposed top-down over a
+//     rooted join tree. At every node the aggregate restricted to that
+//     node's subtree becomes a "slot": local factors, filters and
+//     group-bys on the node's relation, plus one slot reference per
+//     child. Restrictions with no aggregate attributes degrade to the
+//     canonical count slot. Slots are deduplicated by signature, so the
+//     hundreds of near-identical aggregates of a covariance matrix or a
+//     decision-tree node share almost all of their partial computation —
+//     the effect measured in Figure 4 (left) and Figure 6.
+//
+//  2. Eval: nodes are processed bottom-up. Each node performs ONE shared
+//     scan of its relation, computing all of its slots simultaneously
+//     into a view keyed by the join attributes towards the parent.
+//     Payloads are scalars, or group-keyed entry lists for aggregates
+//     with categorical group-bys (the sparse-tensor representation of
+//     Section 2.1). Scans can be range-partitioned across goroutines
+//     (domain parallelism) and sibling subtrees evaluated concurrently
+//     (task parallelism), cf. Section 4.
+//
+// Options toggles the three optimizations of Figure 6 — specialization,
+// sharing, parallelization — individually, which is what the ablation
+// benchmark exercises.
+package core

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"borg/internal/query"
+)
+
+// gkEntry is one group of a grouped payload.
+type gkEntry struct {
+	k query.GroupKey
+	v float64
+}
+
+// payload is the frozen value of one slot for one join key: a scalar for
+// scalar-only slots, an entry list otherwise.
+type payload struct {
+	scalar  float64
+	entries []gkEntry
+}
+
+// frozenRow holds one payload per slot of a node.
+type frozenRow []payload
+
+// nodeView is a node's materialized view: join key towards the parent →
+// all slot payloads for that key.
+type nodeView map[uint64]frozenRow
+
+// accRow accumulates slot values for one join key during a scan.
+type accRow struct {
+	scal []float64
+	maps []map[query.GroupKey]float64
+}
+
+// Eval runs the plan: evaluates every node bottom-up (possibly in
+// parallel) and assembles the batch results at the root.
+func (p *Plan) Eval() ([]*query.AggResult, error) {
+	if p.opts.Workers > 1 {
+		sem := make(chan struct{}, p.opts.Workers)
+		p.evalSubtreeParallel(p.root, sem)
+	} else {
+		for _, np := range p.bottomUp {
+			p.evalNode(np)
+		}
+	}
+
+	rootRow, ok := p.root.view[0]
+	results := make([]*query.AggResult, len(p.Specs))
+	for i := range p.Specs {
+		spec := &p.Specs[i]
+		res := &query.AggResult{Spec: spec}
+		if len(spec.GroupBy) > 0 {
+			res.Groups = make(map[query.GroupKey]float64)
+		}
+		if ok {
+			pl := rootRow[p.rootSlot[i]]
+			if res.Groups == nil {
+				res.Scalar = pl.scalar
+			} else {
+				perm := p.rootPerm[i]
+				for _, e := range pl.entries {
+					k := query.NoGroup
+					for gi, ci := range perm {
+						k[gi] = e.k[ci]
+					}
+					res.Groups[k] += e.v
+				}
+			}
+		}
+		results[i] = res
+	}
+	// Free the per-node views so a Plan can be re-evaluated after data
+	// changes without holding two generations of views.
+	for _, np := range p.bottomUp {
+		np.view = nil
+	}
+	return results, nil
+}
+
+// evalSubtreeParallel evaluates the children of np concurrently (task
+// parallelism), then np itself with a domain-partitioned scan.
+func (p *Plan) evalSubtreeParallel(np *nodePlan, sem chan struct{}) {
+	var wg sync.WaitGroup
+	for _, c := range np.children {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(c *nodePlan) {
+				defer wg.Done()
+				p.evalSubtreeParallel(c, sem)
+				<-sem
+			}(c)
+		default:
+			p.evalSubtreeParallel(c, sem)
+		}
+	}
+	wg.Wait()
+	p.evalNode(np)
+}
+
+// evalNode computes np's view with one shared scan over its relation.
+func (p *Plan) evalNode(np *nodePlan) {
+	n := np.rel.NumRows()
+	workers := p.opts.Workers
+	if workers > n {
+		workers = 1
+	}
+	if workers <= 1 {
+		acc := p.scanRange(np, 0, n)
+		np.view = freeze(np, acc)
+		return
+	}
+	// Domain parallelism: partition the scan, merge the partial maps.
+	accs := make([]map[uint64]*accRow, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			accs[w] = p.scanRange(np, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	base := accs[0]
+	if base == nil {
+		base = make(map[uint64]*accRow)
+	}
+	for _, part := range accs[1:] {
+		for k, row := range part {
+			dst, ok := base[k]
+			if !ok {
+				base[k] = row
+				continue
+			}
+			for s := range dst.scal {
+				dst.scal[s] += row.scal[s]
+			}
+			for s := range dst.maps {
+				if dst.maps[s] == nil {
+					continue
+				}
+				for gk, v := range row.maps[s] {
+					dst.maps[s][gk] += v
+				}
+			}
+		}
+	}
+	np.view = freeze(np, base)
+}
+
+// scanRange evaluates all slots of np over rows [lo, hi).
+func (p *Plan) scanRange(np *nodePlan, lo, hi int) map[uint64]*accRow {
+	acc := make(map[uint64]*accRow)
+	keyFn := np.rel.KeyFunc(np.parentKeyCols)
+	childKeyFns := make([]func(int) uint64, len(np.children))
+	for ci := range np.children {
+		childKeyFns[ci] = np.rel.KeyFunc(np.childKeyCols[ci])
+	}
+	nslots := len(np.slots)
+	chRows := make([]frozenRow, len(np.children))
+	// Scratch for grouped merges; grows as needed.
+	var cur, next []gkEntry
+
+rows:
+	for row := lo; row < hi; row++ {
+		// Resolve all child views once per row; a missing partner in any
+		// child zeroes every slot (all slots reference all children).
+		for ci := range np.children {
+			fr, ok := p.nodes[np.tn.Children[ci]].view[childKeyFns[ci](row)]
+			if !ok {
+				continue rows
+			}
+			chRows[ci] = fr
+		}
+		key := keyFn(row)
+		a, ok := acc[key]
+		if !ok {
+			a = &accRow{scal: make([]float64, nslots)}
+			for s := range np.slots {
+				if !np.slots[s].scalarOnly {
+					if a.maps == nil {
+						a.maps = make([]map[query.GroupKey]float64, nslots)
+					}
+					a.maps[s] = make(map[query.GroupKey]float64)
+				}
+			}
+			acc[key] = a
+		}
+
+		for s, sl := range np.slots {
+			var v float64
+			var pass bool
+			if sl.evalLocal != nil {
+				v, pass = sl.evalLocal(row)
+			} else {
+				v, pass = interpretLocal(np, sl, row)
+			}
+			if !pass {
+				continue
+			}
+			if sl.scalarOnly {
+				for ci := range np.children {
+					v *= chRows[ci][sl.childSlot[ci]].scalar
+				}
+				a.scal[s] += v
+				continue
+			}
+			// Grouped merge: start from the local group key, then fold in
+			// each child payload (scaling for scalar children, cross
+			// product for grouped ones).
+			base := query.NoGroup
+			for i, col := range sl.localGroupCols {
+				base[sl.localGroupPos[i]] = np.rel.Cat(col, row)
+			}
+			cur = append(cur[:0], gkEntry{k: base, v: v})
+			for ci := range np.children {
+				pl := chRows[ci][sl.childSlot[ci]]
+				if pl.entries == nil {
+					for i := range cur {
+						cur[i].v *= pl.scalar
+					}
+					continue
+				}
+				pos := sl.childGroupPos[ci]
+				next = next[:0]
+				for _, e := range cur {
+					for _, ce := range pl.entries {
+						nk := e.k
+						for i, pi := range pos {
+							nk[pi] = ce.k[i]
+						}
+						next = append(next, gkEntry{k: nk, v: e.v * ce.v})
+					}
+				}
+				cur, next = next, cur
+			}
+			m := a.maps[s]
+			for _, e := range cur {
+				m[e.k] += e.v
+			}
+		}
+	}
+	return acc
+}
+
+// interpretLocal is the unspecialized per-row evaluation: it re-reads the
+// slot descriptors, dispatches on filter ops, and computes powers through
+// math.Pow — the interpretive overhead that Options.Specialize removes.
+func interpretLocal(np *nodePlan, sl *slot, row int) (float64, bool) {
+	for i := range sl.filters {
+		if !sl.filters[i].f.Eval(np.rel, sl.filters[i].col, row) {
+			return 0, false
+		}
+	}
+	v := 1.0
+	for _, f := range sl.factors {
+		v *= math.Pow(np.rel.Float(f.col, row), float64(f.power))
+	}
+	return v, true
+}
+
+// freeze converts the accumulated rows into immutable view payloads.
+func freeze(np *nodePlan, acc map[uint64]*accRow) nodeView {
+	view := make(nodeView, len(acc))
+	for k, a := range acc {
+		fr := make(frozenRow, len(np.slots))
+		for s, sl := range np.slots {
+			if sl.scalarOnly {
+				fr[s] = payload{scalar: a.scal[s]}
+				continue
+			}
+			entries := make([]gkEntry, 0, len(a.maps[s]))
+			for gk, v := range a.maps[s] {
+				entries = append(entries, gkEntry{k: gk, v: v})
+			}
+			fr[s] = payload{entries: entries}
+		}
+		view[k] = fr
+	}
+	return view
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"borg/internal/engine"
+	"borg/internal/query"
+	"borg/internal/testdb"
+	"borg/internal/xrand"
+)
+
+// TestPropertyLMFAOMatchesEngine is the central invariant of the
+// repository, property-tested: for RANDOM databases and RANDOM aggregate
+// specs drawn from the Section 2 language, LMFAO (with all optimizations)
+// and the classical materialize-then-scan engine agree.
+func TestPropertyLMFAOMatchesEngine(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed uint64) bool {
+		src := xrand.New(seed)
+		_, j, cont, cat := testdb.RandomStar(testdb.StarSpec{
+			Seed:         seed,
+			FactRows:     50 + src.Intn(300),
+			DimRows:      []int{3 + src.Intn(15), 2 + src.Intn(10)},
+			DanglingDims: src.Intn(2) == 0,
+			Snowflake:    src.Intn(2) == 0,
+		})
+		specs := randomSpecs(src, cont, cat)
+		jt, err := j.BuildJoinTree("Fact")
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		opts := Options{
+			Specialize: src.Intn(2) == 0,
+			Share:      src.Intn(2) == 0,
+			Workers:    1 + src.Intn(2),
+		}
+		plan, err := Compile(jt, specs, opts)
+		if err != nil {
+			t.Logf("seed %d: compile: %v", seed, err)
+			return false
+		}
+		got, err := plan.Eval()
+		if err != nil {
+			t.Logf("seed %d: eval: %v", seed, err)
+			return false
+		}
+		want, err := engine.MaterializeAndEval(j, specs)
+		if err != nil {
+			t.Logf("seed %d: engine: %v", seed, err)
+			return false
+		}
+		for i := range specs {
+			if !got[i].ApproxEqual(want[i], 1e-7) {
+				t.Logf("seed %d: aggregate %s diverges", seed, specs[i].String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomSpecs draws a batch of 1–8 random aggregates from the supported
+// language: products of continuous powers, categorical group-bys, and
+// threshold/code filters.
+func randomSpecs(src *xrand.Source, cont, cat []string) []query.AggSpec {
+	n := 1 + src.Intn(8)
+	specs := make([]query.AggSpec, n)
+	for i := range specs {
+		s := &specs[i]
+		s.ID = "p" + string(rune('a'+i))
+		for _, c := range cont {
+			if src.Intn(3) == 0 {
+				s.Factors = append(s.Factors, query.Factor{Attr: c, Power: 1 + src.Intn(2)})
+			}
+		}
+		for _, g := range cat {
+			if len(s.GroupBy) < 2 && src.Intn(3) == 0 {
+				s.GroupBy = append(s.GroupBy, g)
+			}
+		}
+		switch src.Intn(4) {
+		case 0:
+			s.Filters = append(s.Filters, query.Filter{Attr: cont[src.Intn(len(cont))], Op: query.GE, Threshold: src.Float64()*4 - 2})
+		case 1:
+			s.Filters = append(s.Filters, query.Filter{Attr: cat[src.Intn(len(cat))], Op: query.EQ, Code: int32(src.Intn(4))})
+		case 2:
+			s.Filters = append(s.Filters, query.Filter{Attr: cont[src.Intn(len(cont))], Op: query.LT, Threshold: src.Float64()*4 - 2})
+		}
+	}
+	return specs
+}
+
+// TestPropertySharingPreservesResults: enabling the sharing optimization
+// must never change any result, for random batches.
+func TestPropertySharingPreservesResults(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	prop := func(seed uint64) bool {
+		src := xrand.New(seed)
+		_, j, cont, cat := testdb.RandomStar(testdb.StarSpec{
+			Seed: seed, FactRows: 100 + src.Intn(200), DimRows: []int{5 + src.Intn(10)},
+		})
+		specs := randomSpecs(src, cont, cat)
+		jt, err := j.BuildJoinTree("Fact")
+		if err != nil {
+			return false
+		}
+		shared, err := Compile(jt, specs, Options{Share: true, Specialize: true})
+		if err != nil {
+			return false
+		}
+		private, err := Compile(jt, specs, Options{Share: false, Specialize: true})
+		if err != nil {
+			return false
+		}
+		a, err := shared.Eval()
+		if err != nil {
+			return false
+		}
+		b, err := private.Eval()
+		if err != nil {
+			return false
+		}
+		for i := range specs {
+			if !a[i].ApproxEqual(b[i], 1e-9) {
+				return false
+			}
+		}
+		return shared.SlotCount() <= private.SlotCount()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

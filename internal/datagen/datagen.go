@@ -1,0 +1,523 @@
+// Package datagen generates the four evaluation datasets of the paper —
+// Retailer, Favorita, Yelp, and a TPC-DS-style snowflake — as synthetic
+// databases with the schemas, join graphs, cardinality ratios, and
+// key skew of the originals (documented substitution: the originals are
+// proprietary or require downloads; see DESIGN.md).
+//
+// Every generator is deterministic in its seed and scales linearly with
+// the scale factor sf: sf = 1 targets a laptop-size workload (hundreds
+// of thousands of fact rows) whose *relative* system behaviour matches
+// the paper's full-size runs.
+package datagen
+
+import (
+	"fmt"
+
+	"borg/internal/core"
+	"borg/internal/query"
+	"borg/internal/relation"
+	"borg/internal/xrand"
+)
+
+// Dataset bundles a generated database with the metadata the experiments
+// need: the feature-extraction join, the model features, and workload
+// hints.
+type Dataset struct {
+	Name string
+	DB   *relation.Database
+	Join *query.Join
+	// Root is the fact relation (join-tree root).
+	Root string
+	// Cont and Cat are the model features; Response the regression label.
+	Cont     []string
+	Cat      []string
+	Response string
+	// GridAttr is the categorical attribute used as the k-means grid.
+	GridAttr string
+	// StreamOrder lists relation names in a sensible streaming order for
+	// the IVM experiment (dimensions before fact by default).
+	StreamOrder []string
+}
+
+// Features returns the core.Feature list of the dataset's model.
+func (d *Dataset) Features() []core.Feature {
+	var out []core.Feature
+	for _, c := range d.Cont {
+		out = append(out, core.Feature{Attr: c})
+	}
+	for _, g := range d.Cat {
+		out = append(out, core.Feature{Attr: g, Categorical: true})
+	}
+	return out
+}
+
+// ByName generates the named dataset ("retailer", "favorita", "yelp",
+// "tpcds").
+func ByName(name string, seed uint64, sf float64) (*Dataset, error) {
+	switch name {
+	case "retailer":
+		return Retailer(seed, sf), nil
+	case "favorita":
+		return Favorita(seed, sf), nil
+	case "yelp":
+		return Yelp(seed, sf), nil
+	case "tpcds":
+		return TPCDS(seed, sf), nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// All generates the four datasets in the paper's order.
+func All(seed uint64, sf float64) []*Dataset {
+	return []*Dataset{Retailer(seed, sf), Favorita(seed+1, sf), Yelp(seed+2, sf), TPCDS(seed+3, sf)}
+}
+
+func scaled(base int, sf float64, minimum int) int {
+	n := int(float64(base) * sf)
+	if n < minimum {
+		n = minimum
+	}
+	return n
+}
+
+// fillDicts interns the decimal names "0".."n-1" for each categorical
+// attribute domain, so code i decodes as "i" and CSV export/import
+// round-trips. Must run before any codes are written, on fresh dicts.
+func fillDicts(db *relation.Database, domains map[string]int) {
+	for attr, n := range domains {
+		d := db.Dict(attr)
+		for i := 0; i < n; i++ {
+			d.Code(fmt.Sprintf("%d", i))
+		}
+	}
+}
+
+// Retailer mirrors the paper's retail forecasting schema (Figures 2–3):
+// Inventory(locn, dateid, ksn, inventoryunits) joined with Item(ksn, …),
+// Stores(locn, …), Demographics(zip, …) hanging off Stores, and
+// Weather(locn, dateid, …) on the composite key. The response is
+// inventoryunits.
+func Retailer(seed uint64, sf float64) *Dataset {
+	src := xrand.New(seed)
+	db := relation.NewDatabase()
+
+	nLocn := scaled(120, sf, 20)
+	nDate := scaled(320, sf, 40)
+	nItem := scaled(1200, sf, 60)
+	nZip := scaled(100, sf, 15)
+	nInv := scaled(120000, sf, 2000)
+
+	items := db.NewRelation("Item", []relation.Attribute{
+		{Name: "ksn", Type: relation.Category},
+		{Name: "subcategory", Type: relation.Category},
+		{Name: "category", Type: relation.Category},
+		{Name: "categoryCluster", Type: relation.Category},
+		{Name: "prize", Type: relation.Double},
+	})
+	prize := make([]float64, nItem)
+	for i := 0; i < nItem; i++ {
+		prize[i] = 1 + src.Float64()*60
+		items.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(src.Intn(40))),
+			relation.CatVal(int32(src.Intn(12))),
+			relation.CatVal(int32(src.Intn(5))),
+			relation.FloatVal(prize[i]),
+		)
+	}
+
+	stores := db.NewRelation("Stores", []relation.Attribute{
+		{Name: "locn", Type: relation.Category},
+		{Name: "zip", Type: relation.Category},
+		{Name: "rgn_cd", Type: relation.Category},
+		{Name: "sellarea", Type: relation.Double},
+		{Name: "avghhi", Type: relation.Double},
+	})
+	sellarea := make([]float64, nLocn)
+	for i := 0; i < nLocn; i++ {
+		sellarea[i] = 500 + src.Float64()*4500
+		stores.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(src.Intn(nZip))),
+			relation.CatVal(int32(src.Intn(8))),
+			relation.FloatVal(sellarea[i]),
+			relation.FloatVal(30+src.Float64()*90),
+		)
+	}
+
+	demo := db.NewRelation("Demographics", []relation.Attribute{
+		{Name: "zip", Type: relation.Category},
+		{Name: "population", Type: relation.Double},
+		{Name: "white", Type: relation.Double},
+		{Name: "asian", Type: relation.Double},
+		{Name: "hispanic", Type: relation.Double},
+		{Name: "medianage", Type: relation.Double},
+	})
+	for i := 0; i < nZip; i++ {
+		pop := 1000 + src.Float64()*90000
+		demo.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.FloatVal(pop),
+			relation.FloatVal(pop*src.Float64()),
+			relation.FloatVal(pop*src.Float64()*0.3),
+			relation.FloatVal(pop*src.Float64()*0.4),
+			relation.FloatVal(20+src.Float64()*40),
+		)
+	}
+
+	weather := db.NewRelation("Weather", []relation.Attribute{
+		{Name: "locn", Type: relation.Category},
+		{Name: "dateid", Type: relation.Category},
+		{Name: "rain", Type: relation.Category},
+		{Name: "snow", Type: relation.Category},
+		{Name: "maxtemp", Type: relation.Double},
+		{Name: "mintemp", Type: relation.Double},
+	})
+	// Weather covers every (locn, date) pair the fact table may use; the
+	// real dataset behaves the same (key–fkey join).
+	temp := make([]float64, nLocn*nDate)
+	for l := 0; l < nLocn; l++ {
+		for t := 0; t < nDate; t++ {
+			mx := -5 + src.Float64()*40
+			temp[l*nDate+t] = mx
+			weather.AppendRow(
+				relation.CatVal(int32(l)),
+				relation.CatVal(int32(t)),
+				relation.CatVal(int32(src.Intn(2))),
+				relation.CatVal(int32(src.Intn(2))),
+				relation.FloatVal(mx),
+				relation.FloatVal(mx-5-src.Float64()*8),
+			)
+		}
+	}
+
+	inv := db.NewRelation("Inventory", []relation.Attribute{
+		{Name: "locn", Type: relation.Category},
+		{Name: "dateid", Type: relation.Category},
+		{Name: "ksn", Type: relation.Category},
+		{Name: "inventoryunits", Type: relation.Double},
+	})
+	itemZipf := xrand.NewZipf(src, 1.1, nItem)
+	locnZipf := xrand.NewZipf(src, 1.05, nLocn)
+	start := inv.Grow(nInv)
+	for r := start; r < start+nInv; r++ {
+		l := int32(locnZipf.Next())
+		t := int32(src.Intn(nDate))
+		k := int32(itemZipf.Next())
+		units := 20 - 0.2*prize[k] + 0.002*sellarea[l] + 0.1*temp[int(l)*nDate+int(t)] + 3*src.NormFloat64()
+		inv.Col(0).C[r] = l
+		inv.Col(1).C[r] = t
+		inv.Col(2).C[r] = k
+		inv.Col(3).F[r] = units
+	}
+
+	fillDicts(db, map[string]int{
+		"locn": nLocn, "dateid": nDate, "ksn": nItem, "zip": nZip,
+		"subcategory": 40, "category": 12, "categoryCluster": 5,
+		"rgn_cd": 8, "rain": 2, "snow": 2,
+	})
+	return &Dataset{
+		Name: "Retailer",
+		DB:   db,
+		Join: query.NewJoin(inv, items, stores, demo, weather),
+		Root: "Inventory",
+		Cont: []string{"prize", "sellarea", "avghhi", "population", "white", "asian",
+			"hispanic", "medianage", "maxtemp", "mintemp"},
+		Cat:         []string{"subcategory", "category", "categoryCluster", "rgn_cd", "rain", "snow"},
+		Response:    "inventoryunits",
+		GridAttr:    "category",
+		StreamOrder: []string{"Item", "Stores", "Demographics", "Weather", "Inventory"},
+	}
+}
+
+// Favorita mirrors the Corporación Favorita grocery forecasting schema:
+// Sales(date, store, item, unitsales, onpromotion) with Items, Stores,
+// Transactions(date, store), Oil(date), Holidays(date).
+func Favorita(seed uint64, sf float64) *Dataset {
+	src := xrand.New(seed)
+	db := relation.NewDatabase()
+
+	nDate := scaled(330, sf, 40)
+	nStore := scaled(54, sf, 10)
+	nItem := scaled(1000, sf, 50)
+	nSales := scaled(100000, sf, 2000)
+
+	items := db.NewRelation("Items", []relation.Attribute{
+		{Name: "item", Type: relation.Category},
+		{Name: "class", Type: relation.Category},
+		{Name: "family", Type: relation.Category},
+		{Name: "perishable", Type: relation.Double},
+	})
+	for i := 0; i < nItem; i++ {
+		items.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(src.Intn(300))),
+			relation.CatVal(int32(src.Intn(30))),
+			relation.FloatVal(float64(src.Intn(2))),
+		)
+	}
+	stores := db.NewRelation("Stores", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "city", Type: relation.Category},
+		{Name: "storetype", Type: relation.Category},
+		{Name: "cluster", Type: relation.Category},
+	})
+	for i := 0; i < nStore; i++ {
+		stores.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(src.Intn(22))),
+			relation.CatVal(int32(src.Intn(5))),
+			relation.CatVal(int32(src.Intn(17))),
+		)
+	}
+	trans := db.NewRelation("Transactions", []relation.Attribute{
+		{Name: "date", Type: relation.Category},
+		{Name: "store", Type: relation.Category},
+		{Name: "txns", Type: relation.Double},
+	})
+	txns := make([]float64, nDate*nStore)
+	for t := 0; t < nDate; t++ {
+		for s := 0; s < nStore; s++ {
+			txns[t*nStore+s] = 500 + src.Float64()*3000
+			trans.AppendRow(relation.CatVal(int32(t)), relation.CatVal(int32(s)), relation.FloatVal(txns[t*nStore+s]))
+		}
+	}
+	oil := db.NewRelation("Oil", []relation.Attribute{
+		{Name: "date", Type: relation.Category},
+		{Name: "oilprize", Type: relation.Double},
+	})
+	oilp := make([]float64, nDate)
+	for t := 0; t < nDate; t++ {
+		oilp[t] = 40 + src.Float64()*60
+		oil.AppendRow(relation.CatVal(int32(t)), relation.FloatVal(oilp[t]))
+	}
+	holidays := db.NewRelation("Holidays", []relation.Attribute{
+		{Name: "date", Type: relation.Category},
+		{Name: "holidaytype", Type: relation.Category},
+	})
+	for t := 0; t < nDate; t++ {
+		holidays.AppendRow(relation.CatVal(int32(t)), relation.CatVal(int32(src.Intn(6))))
+	}
+
+	sales := db.NewRelation("Sales", []relation.Attribute{
+		{Name: "date", Type: relation.Category},
+		{Name: "store", Type: relation.Category},
+		{Name: "item", Type: relation.Category},
+		{Name: "unitsales", Type: relation.Double},
+		{Name: "onpromotion", Type: relation.Double},
+	})
+	itemZipf := xrand.NewZipf(src, 1.2, nItem)
+	start := sales.Grow(nSales)
+	for r := start; r < start+nSales; r++ {
+		t := int32(src.Intn(nDate))
+		s := int32(src.Intn(nStore))
+		i := int32(itemZipf.Next())
+		promo := float64(src.Intn(2))
+		u := 5 + 0.002*txns[int(t)*nStore+int(s)] - 0.02*oilp[t] + 4*promo + 1.5*src.NormFloat64()
+		sales.Col(0).C[r] = t
+		sales.Col(1).C[r] = s
+		sales.Col(2).C[r] = i
+		sales.Col(3).F[r] = u
+		sales.Col(4).F[r] = promo
+	}
+
+	fillDicts(db, map[string]int{
+		"date": nDate, "store": nStore, "item": nItem,
+		"class": 300, "family": 30, "city": 22, "storetype": 5,
+		"cluster": 17, "holidaytype": 6,
+	})
+	return &Dataset{
+		Name:        "Favorita",
+		DB:          db,
+		Join:        query.NewJoin(sales, items, stores, trans, oil, holidays),
+		Root:        "Sales",
+		Cont:        []string{"onpromotion", "perishable", "txns", "oilprize"},
+		Cat:         []string{"class", "family", "city", "storetype", "cluster", "holidaytype"},
+		Response:    "unitsales",
+		GridAttr:    "family",
+		StreamOrder: []string{"Items", "Stores", "Oil", "Holidays", "Transactions", "Sales"},
+	}
+}
+
+// Yelp mirrors the Yelp academic dataset's review-centric join:
+// Review(user, business, stars, …) with Business and User dimensions.
+func Yelp(seed uint64, sf float64) *Dataset {
+	src := xrand.New(seed)
+	db := relation.NewDatabase()
+
+	nUser := scaled(4000, sf, 100)
+	nBiz := scaled(1200, sf, 50)
+	nRev := scaled(80000, sf, 2000)
+
+	business := db.NewRelation("Business", []relation.Attribute{
+		{Name: "business", Type: relation.Category},
+		{Name: "bcity", Type: relation.Category},
+		{Name: "bstate", Type: relation.Category},
+		{Name: "bstars", Type: relation.Double},
+		{Name: "breviews", Type: relation.Double},
+	})
+	bstars := make([]float64, nBiz)
+	for i := 0; i < nBiz; i++ {
+		bstars[i] = 1 + src.Float64()*4
+		business.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(src.Intn(60))),
+			relation.CatVal(int32(src.Intn(15))),
+			relation.FloatVal(bstars[i]),
+			relation.FloatVal(float64(5+src.Intn(2000))),
+		)
+	}
+	users := db.NewRelation("User", []relation.Attribute{
+		{Name: "user", Type: relation.Category},
+		{Name: "ureviews", Type: relation.Double},
+		{Name: "uavgstars", Type: relation.Double},
+		{Name: "ufans", Type: relation.Double},
+	})
+	uavg := make([]float64, nUser)
+	for i := 0; i < nUser; i++ {
+		uavg[i] = 1 + src.Float64()*4
+		users.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.FloatVal(float64(1+src.Intn(500))),
+			relation.FloatVal(uavg[i]),
+			relation.FloatVal(float64(src.Intn(100))),
+		)
+	}
+	review := db.NewRelation("Review", []relation.Attribute{
+		{Name: "user", Type: relation.Category},
+		{Name: "business", Type: relation.Category},
+		{Name: "stars", Type: relation.Double},
+		{Name: "useful", Type: relation.Double},
+	})
+	bizZipf := xrand.NewZipf(src, 1.3, nBiz)
+	userZipf := xrand.NewZipf(src, 1.15, nUser)
+	start := review.Grow(nRev)
+	for r := start; r < start+nRev; r++ {
+		u := int32(userZipf.Next())
+		b := int32(bizZipf.Next())
+		s := 0.5*uavg[u] + 0.5*bstars[b] + 0.5*src.NormFloat64()
+		review.Col(0).C[r] = u
+		review.Col(1).C[r] = b
+		review.Col(2).F[r] = s
+		review.Col(3).F[r] = float64(src.Intn(50))
+	}
+
+	fillDicts(db, map[string]int{
+		"user": nUser, "business": nBiz, "bcity": 60, "bstate": 15,
+	})
+	return &Dataset{
+		Name:        "Yelp",
+		DB:          db,
+		Join:        query.NewJoin(review, business, users),
+		Root:        "Review",
+		Cont:        []string{"useful", "bstars", "breviews", "ureviews", "uavgstars", "ufans"},
+		Cat:         []string{"bcity", "bstate"},
+		Response:    "stars",
+		GridAttr:    "bcity",
+		StreamOrder: []string{"Business", "User", "Review"},
+	}
+}
+
+// TPCDS mirrors a star subset of TPC-DS centered on store_sales with
+// customer, item, store, and date dimensions.
+func TPCDS(seed uint64, sf float64) *Dataset {
+	src := xrand.New(seed)
+	db := relation.NewDatabase()
+
+	nCust := scaled(2000, sf, 80)
+	nItem := scaled(1500, sf, 60)
+	nStore := scaled(60, sf, 8)
+	nDate := scaled(365, sf, 40)
+	nSales := scaled(120000, sf, 2000)
+
+	customer := db.NewRelation("Customer", []relation.Attribute{
+		{Name: "customer", Type: relation.Category},
+		{Name: "birthyear", Type: relation.Double},
+		{Name: "ccity", Type: relation.Category},
+	})
+	for i := 0; i < nCust; i++ {
+		customer.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.FloatVal(float64(1940+src.Intn(65))),
+			relation.CatVal(int32(src.Intn(40))),
+		)
+	}
+	item := db.NewRelation("ItemDS", []relation.Attribute{
+		{Name: "item_k", Type: relation.Category},
+		{Name: "icategory", Type: relation.Category},
+		{Name: "iprice", Type: relation.Double},
+	})
+	iprice := make([]float64, nItem)
+	for i := 0; i < nItem; i++ {
+		iprice[i] = 1 + src.Float64()*150
+		item.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(src.Intn(10))),
+			relation.FloatVal(iprice[i]),
+		)
+	}
+	store := db.NewRelation("StoreDS", []relation.Attribute{
+		{Name: "store_k", Type: relation.Category},
+		{Name: "market", Type: relation.Category},
+		{Name: "floorspace", Type: relation.Double},
+	})
+	for i := 0; i < nStore; i++ {
+		store.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(src.Intn(10))),
+			relation.FloatVal(1000+src.Float64()*9000),
+		)
+	}
+	datedim := db.NewRelation("DateDim", []relation.Attribute{
+		{Name: "dateid", Type: relation.Category},
+		{Name: "dow", Type: relation.Category},
+		{Name: "moy", Type: relation.Category},
+	})
+	for i := 0; i < nDate; i++ {
+		datedim.AppendRow(
+			relation.CatVal(int32(i)),
+			relation.CatVal(int32(i%7)),
+			relation.CatVal(int32((i/30)%12)),
+		)
+	}
+	sales := db.NewRelation("StoreSales", []relation.Attribute{
+		{Name: "customer", Type: relation.Category},
+		{Name: "item_k", Type: relation.Category},
+		{Name: "store_k", Type: relation.Category},
+		{Name: "dateid", Type: relation.Category},
+		{Name: "quantity", Type: relation.Double},
+		{Name: "netpaid", Type: relation.Double},
+	})
+	itemZipf := xrand.NewZipf(src, 1.25, nItem)
+	custZipf := xrand.NewZipf(src, 1.1, nCust)
+	start := sales.Grow(nSales)
+	for r := start; r < start+nSales; r++ {
+		c := int32(custZipf.Next())
+		i := int32(itemZipf.Next())
+		s := int32(src.Intn(nStore))
+		t := int32(src.Intn(nDate))
+		q := float64(1 + src.Intn(10))
+		sales.Col(0).C[r] = c
+		sales.Col(1).C[r] = i
+		sales.Col(2).C[r] = s
+		sales.Col(3).C[r] = t
+		sales.Col(4).F[r] = q
+		sales.Col(5).F[r] = q*iprice[i]*(0.8+0.4*src.Float64()) + 2*src.NormFloat64()
+	}
+
+	fillDicts(db, map[string]int{
+		"customer": nCust, "item_k": nItem, "store_k": nStore, "dateid": nDate,
+		"ccity": 40, "icategory": 10, "market": 10, "dow": 7, "moy": 12,
+	})
+	return &Dataset{
+		Name:        "TPC-DS",
+		DB:          db,
+		Join:        query.NewJoin(sales, customer, item, store, datedim),
+		Root:        "StoreSales",
+		Cont:        []string{"quantity", "birthyear", "iprice", "floorspace"},
+		Cat:         []string{"ccity", "icategory", "market", "dow", "moy"},
+		Response:    "netpaid",
+		GridAttr:    "icategory",
+		StreamOrder: []string{"Customer", "ItemDS", "StoreDS", "DateDim", "StoreSales"},
+	}
+}

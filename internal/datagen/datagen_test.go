@@ -1,0 +1,184 @@
+package datagen
+
+import (
+	"testing"
+
+	"borg/internal/core"
+	"borg/internal/engine"
+	"borg/internal/ml"
+	"borg/internal/relation"
+)
+
+func TestAllDatasetsWellFormed(t *testing.T) {
+	for _, d := range All(1, 0.05) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			if !d.Join.IsAcyclic() {
+				t.Fatal("join is cyclic")
+			}
+			jt, err := d.Join.BuildJoinTree(d.Root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jt.Root.Rel.Name != d.Root {
+				t.Fatalf("root is %s, want %s", jt.Root.Rel.Name, d.Root)
+			}
+			// All declared features and the response exist with the right
+			// types.
+			for _, c := range append(append([]string(nil), d.Cont...), d.Response) {
+				typ, ok := d.Join.AttrType(c)
+				if !ok || typ != relation.Double {
+					t.Fatalf("continuous attribute %s missing or mistyped", c)
+				}
+			}
+			for _, g := range append(append([]string(nil), d.Cat...), d.GridAttr) {
+				typ, ok := d.Join.AttrType(g)
+				if !ok || typ != relation.Category {
+					t.Fatalf("categorical attribute %s missing or mistyped", g)
+				}
+			}
+			// The fact table dominates the database.
+			fact := d.DB.Relation(d.Root)
+			if fact.NumRows()*2 < d.DB.TotalRows() {
+				t.Fatalf("fact table has %d of %d rows; expected dominance", fact.NumRows(), d.DB.TotalRows())
+			}
+			// The stream order covers every relation exactly once.
+			if len(d.StreamOrder) != len(d.DB.Relations()) {
+				t.Fatalf("stream order has %d entries, database has %d relations", len(d.StreamOrder), len(d.DB.Relations()))
+			}
+			for _, name := range d.StreamOrder {
+				if d.DB.Relation(name) == nil {
+					t.Fatalf("stream order references unknown relation %s", name)
+				}
+			}
+			// The join is non-empty and every batch compiles and runs.
+			plan, err := core.Compile(jt, core.CovarianceBatch(d.Features(), d.Response), core.Optimized(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := plan.Eval()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[0].Scalar == 0 {
+				t.Fatal("join is empty")
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Retailer(7, 0.05)
+	b := Retailer(7, 0.05)
+	ra, rb := a.DB.Relation("Inventory"), b.DB.Relation("Inventory")
+	if ra.NumRows() != rb.NumRows() {
+		t.Fatalf("same seed, different sizes: %d vs %d", ra.NumRows(), rb.NumRows())
+	}
+	for i := 0; i < ra.NumRows(); i += 97 {
+		for c := 0; c < ra.NumAttrs(); c++ {
+			if ra.FormatCell(c, i) != rb.FormatCell(c, i) {
+				t.Fatalf("same seed, different cell (%d,%d)", c, i)
+			}
+		}
+	}
+	c := Retailer(8, 0.05)
+	rc := c.DB.Relation("Inventory")
+	same := true
+	for i := 0; i < ra.NumRows() && i < rc.NumRows(); i += 101 {
+		if ra.FormatCell(3, i) != rc.FormatCell(3, i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical data")
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	small := Retailer(1, 0.02)
+	big := Retailer(1, 0.2)
+	sr := small.DB.Relation("Inventory").NumRows()
+	br := big.DB.Relation("Inventory").NumRows()
+	if br < 5*sr {
+		t.Fatalf("scale factor not respected: sf=0.02 → %d rows, sf=0.2 → %d rows", sr, br)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"retailer", "favorita", "yelp", "tpcds"} {
+		d, err := ByName(name, 1, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == nil || d.DB.TotalRows() == 0 {
+			t.Fatalf("dataset %s empty", name)
+		}
+	}
+	if _, err := ByName("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRetailerModelIsLearnable(t *testing.T) {
+	// The planted signal must be recoverable: the aggregate-trained model
+	// beats the mean predictor by a wide margin.
+	d := Retailer(3, 0.05)
+	jt, err := d.Join.BuildJoinTree(d.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Compile(jt, core.CovarianceBatch(d.Features(), d.Response), core.Optimized(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := plan.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := ml.AssembleSigma(d.Cont, d.Cat, d.Response, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ml.TrainLinRegClosedForm(sigma, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := engine.MaterializeJoin(d.Join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := m.RMSE(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := stddev(data, d.Response)
+	if rmse > 0.8*std {
+		t.Fatalf("model RMSE %v vs response stddev %v: no signal recovered", rmse, std)
+	}
+}
+
+func stddev(data *relation.Relation, attr string) float64 {
+	c := data.AttrIndex(attr)
+	n := float64(data.NumRows())
+	var s, q float64
+	for i := 0; i < data.NumRows(); i++ {
+		v := data.Float(c, i)
+		s += v
+		q += v * v
+	}
+	mean := s / n
+	v := q/n - mean*mean
+	if v < 0 {
+		return 0
+	}
+	return sqrt(v)
+}
+
+func sqrt(v float64) float64 {
+	x := v
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}

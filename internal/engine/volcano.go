@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+
+	"borg/internal/query"
+	"borg/internal/relation"
+)
+
+// Volcano-style execution: the tuple-at-a-time iterator model with boxed
+// values that classical database systems (PostgreSQL and the commercial
+// engines of Figure 4 left) use. Every operator exposes Next() returning
+// one boxed tuple; every value crosses an interface boundary; every
+// expression re-dispatches per row. This is the interpretive overhead
+// that LMFAO's code specialization removes, and modeling it is what makes
+// the classical baseline architecturally faithful rather than a compiled
+// Go scan wearing a costume.
+
+// boxedTuple is one row with every attribute boxed, as in a classical
+// executor's datum array.
+type boxedTuple []any
+
+// iterator is the Volcano operator interface.
+type iterator interface {
+	// Open prepares the operator for a fresh pass.
+	Open()
+	// Next returns the next tuple, or nil when exhausted.
+	Next() boxedTuple
+}
+
+// scanOp produces the rows of a relation, boxing every value.
+type scanOp struct {
+	rel *relation.Relation
+	row int
+}
+
+func (s *scanOp) Open() { s.row = 0 }
+
+func (s *scanOp) Next() boxedTuple {
+	if s.row >= s.rel.NumRows() {
+		return nil
+	}
+	n := s.rel.NumAttrs()
+	out := make(boxedTuple, n)
+	for c := 0; c < n; c++ {
+		col := s.rel.Col(c)
+		if col.Type == relation.Double {
+			out[c] = col.F[s.row]
+		} else {
+			out[c] = col.C[s.row]
+		}
+	}
+	s.row++
+	return out
+}
+
+// filterOp drops tuples failing a predicate.
+type filterOp struct {
+	in   iterator
+	pred func(boxedTuple) bool
+}
+
+func (f *filterOp) Open() { f.in.Open() }
+
+func (f *filterOp) Next() boxedTuple {
+	for {
+		t := f.in.Next()
+		if t == nil {
+			return nil
+		}
+		if f.pred(t) {
+			return t
+		}
+	}
+}
+
+// aggOp folds the input into one aggregate value (scalar or grouped).
+type aggOp struct {
+	in      iterator
+	value   func(boxedTuple) float64
+	groupBy []int
+	// results
+	scalar float64
+	groups map[query.GroupKey]float64
+}
+
+func (a *aggOp) run() {
+	a.in.Open()
+	a.scalar = 0
+	if a.groupBy != nil {
+		a.groups = make(map[query.GroupKey]float64)
+	}
+	for {
+		t := a.in.Next()
+		if t == nil {
+			return
+		}
+		v := a.value(t)
+		if a.groups == nil {
+			a.scalar += v
+			continue
+		}
+		k := query.NoGroup
+		for i, c := range a.groupBy {
+			k[i] = t[c].(int32)
+		}
+		a.groups[k] += v
+	}
+}
+
+// EvalAggregateVolcano evaluates one aggregate over the materialized data
+// matrix through a Volcano pipeline: Scan → Filter* → Aggregate, with
+// boxed values and per-row closure dispatch.
+func EvalAggregateVolcano(data *relation.Relation, spec *query.AggSpec) (*query.AggResult, error) {
+	var it iterator = &scanOp{rel: data}
+	for i := range spec.Filters {
+		f := spec.Filters[i]
+		col := data.AttrIndex(f.Attr)
+		if col < 0 {
+			return nil, fmt.Errorf("engine: filter attribute %s not in data matrix", f.Attr)
+		}
+		pred, err := compileBoxedPred(f, col)
+		if err != nil {
+			return nil, err
+		}
+		it = &filterOp{in: it, pred: pred}
+	}
+	value, err := compileBoxedValue(data, spec)
+	if err != nil {
+		return nil, err
+	}
+	var groupBy []int
+	for _, g := range spec.GroupBy {
+		c := data.AttrIndex(g)
+		if c < 0 {
+			return nil, fmt.Errorf("engine: group-by attribute %s not in data matrix", g)
+		}
+		groupBy = append(groupBy, c)
+	}
+	agg := &aggOp{in: it, value: value, groupBy: groupBy}
+	agg.run()
+	res := &query.AggResult{Spec: spec, Scalar: agg.scalar, Groups: agg.groups}
+	return res, nil
+}
+
+func compileBoxedPred(f query.Filter, col int) (func(boxedTuple) bool, error) {
+	switch f.Op {
+	case query.GE:
+		return func(t boxedTuple) bool { return t[col].(float64) >= f.Threshold }, nil
+	case query.LT:
+		return func(t boxedTuple) bool { return t[col].(float64) < f.Threshold }, nil
+	case query.EQ:
+		return func(t boxedTuple) bool { return t[col].(int32) == f.Code }, nil
+	case query.NE:
+		return func(t boxedTuple) bool { return t[col].(int32) != f.Code }, nil
+	case query.IN:
+		set := make(map[int32]bool, len(f.Codes))
+		for _, c := range f.Codes {
+			set[c] = true
+		}
+		return func(t boxedTuple) bool { return set[t[col].(int32)] }, nil
+	}
+	return nil, fmt.Errorf("engine: unknown filter op %d", f.Op)
+}
+
+func compileBoxedValue(data *relation.Relation, spec *query.AggSpec) (func(boxedTuple) float64, error) {
+	type fc struct {
+		col, power int
+	}
+	var fs []fc
+	for _, f := range spec.Factors {
+		c := data.AttrIndex(f.Attr)
+		if c < 0 {
+			return nil, fmt.Errorf("engine: factor attribute %s not in data matrix", f.Attr)
+		}
+		fs = append(fs, fc{col: c, power: f.Power})
+	}
+	return func(t boxedTuple) float64 {
+		v := 1.0
+		for _, f := range fs {
+			x := t[f.col].(float64)
+			for p := 0; p < f.power; p++ {
+				v *= x
+			}
+		}
+		return v
+	}, nil
+}
+
+// EvalBatchVolcano evaluates each aggregate of the batch with its own
+// Volcano pipeline over the materialized join — the classical no-sharing
+// execution of Figure 4 (left).
+func EvalBatchVolcano(data *relation.Relation, specs []query.AggSpec) ([]*query.AggResult, error) {
+	out := make([]*query.AggResult, len(specs))
+	for i := range specs {
+		r, err := EvalAggregateVolcano(data, &specs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// MaterializeAndEvalVolcano is the end-to-end classical path with
+// Volcano-style aggregate evaluation.
+func MaterializeAndEvalVolcano(j *query.Join, specs []query.AggSpec) ([]*query.AggResult, error) {
+	data, err := MaterializeJoin(j)
+	if err != nil {
+		return nil, err
+	}
+	return EvalBatchVolcano(data, specs)
+}

@@ -1,0 +1,233 @@
+// Package ifaq is a miniature of IFAQ (Shaikhha et al., CGO 2020): a
+// unified intermediate language for DB+ML workloads together with the
+// rule-based transformation pipeline of the paper's Section 5.3 and
+// Figure 11. Programs — e.g. gradient descent for linear regression over
+// a join — are expressions; optimization stages are source-to-source
+// rewrites; every stage is executable by the same interpreter, so tests
+// can check that all stages compute the same model and benchmarks can
+// price each stage.
+//
+// The stages mirror the paper's walk-through:
+//
+//	Stage 0  naive: per iteration, per feature, one pass over the
+//	         materialized join, dynamic (hashed) field accesses.
+//	Stage 1  high-level optimizations: distribute sums, factor
+//	         loop-independent terms, memoize the covariance matrix, move
+//	         it out of the convergence loop (loop scheduling +
+//	         factorization + static memoization + code motion).
+//	Stage 2  schema specialization: dynamic field accesses become static
+//	         slot accesses (records → structs).
+//	Stage 3  aggregate pushdown + fusion: the covariance aggregates are
+//	         pushed past the join into per-relation views sharing one
+//	         scan each (the V_R/V_I dictionaries of the paper).
+//
+// Go cannot JIT-generate machine code, so "compilation" bottoms out at
+// slot-resolved interpretation; the relative stage-over-stage speedups —
+// the shape of Figure 11's pipeline — are preserved (see DESIGN.md,
+// substitutions).
+package ifaq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a node of the IFAQ expression language.
+type Expr interface {
+	String() string
+}
+
+// Const is a float literal.
+type Const struct{ V float64 }
+
+// Var references a let-bound value, a loop variable, or a row variable.
+type Var struct{ Name string }
+
+// Field is a DYNAMIC (by-name) field access on a record or row value —
+// the access form schema specialization eliminates.
+type Field struct {
+	Rec  Expr
+	Name string
+}
+
+// Slot is a STATIC (by-index) field access, produced by specialization.
+type Slot struct {
+	Rec Expr
+	Idx int
+	// Name is kept for printing and layout checks.
+	Name string
+}
+
+// Bin is a binary operation: '+', '-', '*'.
+type Bin struct {
+	Op   byte
+	L, R Expr
+}
+
+// Let binds Val to Name inside Body.
+type Let struct {
+	Name string
+	Val  Expr
+	Body Expr
+}
+
+// RecLit constructs a record value field by field.
+type RecLit struct {
+	Names []string
+	Vals  []Expr
+}
+
+// SumRows is Σ_{Var ∈ Rel} Body: the stateful summation over the tuples
+// of a registered relation. Body may evaluate to a float or a record
+// (records add component-wise).
+type SumRows struct {
+	Var, Rel string
+	Body     Expr
+}
+
+// GroupSum builds a dictionary: for each tuple of Rel, Key (a float) is
+// computed and Val is summed into the entry — the view-construction
+// primitive of aggregate pushdown.
+type GroupSum struct {
+	Var, Rel string
+	Key      Expr
+	Val      Expr
+}
+
+// Lookup reads Dict[Key]; a missing key denotes the zero of the value
+// type (sparse semantics).
+type Lookup struct {
+	Dict Expr
+	Key  Expr
+}
+
+// Iterate runs X ← Init, then N times X ← Body(X), and evaluates to the
+// final X — the convergence loop of gradient descent (with a static
+// iteration count in place of a convergence test, as in the paper's
+// simplified program).
+type Iterate struct {
+	N    int
+	Var  string
+	Init Expr
+	Body Expr
+}
+
+func (e *Const) String() string { return fmt.Sprintf("%g", e.V) }
+func (e *Var) String() string   { return e.Name }
+func (e *Field) String() string { return fmt.Sprintf("%s.%s", e.Rec, e.Name) }
+func (e *Slot) String() string  { return fmt.Sprintf("%s#%d/%s", e.Rec, e.Idx, e.Name) }
+func (e *Bin) String() string   { return fmt.Sprintf("(%s %c %s)", e.L, e.Op, e.R) }
+func (e *Let) String() string   { return fmt.Sprintf("let %s = %s in\n%s", e.Name, e.Val, e.Body) }
+func (e *RecLit) String() string {
+	parts := make([]string, len(e.Names))
+	for i := range e.Names {
+		parts[i] = fmt.Sprintf("%s=%s", e.Names[i], e.Vals[i])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+func (e *SumRows) String() string {
+	return fmt.Sprintf("Σ_{%s∈%s} %s", e.Var, e.Rel, e.Body)
+}
+func (e *GroupSum) String() string {
+	return fmt.Sprintf("Γ_{%s∈%s}[%s → %s]", e.Var, e.Rel, e.Key, e.Val)
+}
+func (e *Lookup) String() string { return fmt.Sprintf("%s[%s]", e.Dict, e.Key) }
+func (e *Iterate) String() string {
+	return fmt.Sprintf("iterate %d %s=%s { %s }", e.N, e.Var, e.Init, e.Body)
+}
+
+// freeVars collects the free variable names of e into out.
+func freeVars(e Expr, out map[string]bool) {
+	switch n := e.(type) {
+	case *Const:
+	case *Var:
+		out[n.Name] = true
+	case *Field:
+		freeVars(n.Rec, out)
+	case *Slot:
+		freeVars(n.Rec, out)
+	case *Bin:
+		freeVars(n.L, out)
+		freeVars(n.R, out)
+	case *Let:
+		freeVars(n.Val, out)
+		inner := map[string]bool{}
+		freeVars(n.Body, inner)
+		delete(inner, n.Name)
+		for v := range inner {
+			out[v] = true
+		}
+	case *RecLit:
+		for _, v := range n.Vals {
+			freeVars(v, out)
+		}
+	case *SumRows:
+		inner := map[string]bool{}
+		freeVars(n.Body, inner)
+		delete(inner, n.Var)
+		for v := range inner {
+			out[v] = true
+		}
+	case *GroupSum:
+		inner := map[string]bool{}
+		freeVars(n.Key, inner)
+		freeVars(n.Val, inner)
+		delete(inner, n.Var)
+		for v := range inner {
+			out[v] = true
+		}
+	case *Lookup:
+		freeVars(n.Dict, out)
+		freeVars(n.Key, out)
+	case *Iterate:
+		freeVars(n.Init, out)
+		inner := map[string]bool{}
+		freeVars(n.Body, inner)
+		delete(inner, n.Var)
+		for v := range inner {
+			out[v] = true
+		}
+	default:
+		panic(fmt.Sprintf("ifaq: freeVars: unknown node %T", e))
+	}
+}
+
+// dependsOn reports whether e has v free.
+func dependsOn(e Expr, v string) bool {
+	fv := map[string]bool{}
+	freeVars(e, fv)
+	return fv[v]
+}
+
+// rewrite applies f bottom-up over the expression tree, rebuilding nodes
+// whose children changed.
+func rewrite(e Expr, f func(Expr) Expr) Expr {
+	switch n := e.(type) {
+	case *Const, *Var:
+		return f(e)
+	case *Field:
+		return f(&Field{Rec: rewrite(n.Rec, f), Name: n.Name})
+	case *Slot:
+		return f(&Slot{Rec: rewrite(n.Rec, f), Idx: n.Idx, Name: n.Name})
+	case *Bin:
+		return f(&Bin{Op: n.Op, L: rewrite(n.L, f), R: rewrite(n.R, f)})
+	case *Let:
+		return f(&Let{Name: n.Name, Val: rewrite(n.Val, f), Body: rewrite(n.Body, f)})
+	case *RecLit:
+		vals := make([]Expr, len(n.Vals))
+		for i, v := range n.Vals {
+			vals[i] = rewrite(v, f)
+		}
+		return f(&RecLit{Names: n.Names, Vals: vals})
+	case *SumRows:
+		return f(&SumRows{Var: n.Var, Rel: n.Rel, Body: rewrite(n.Body, f)})
+	case *GroupSum:
+		return f(&GroupSum{Var: n.Var, Rel: n.Rel, Key: rewrite(n.Key, f), Val: rewrite(n.Val, f)})
+	case *Lookup:
+		return f(&Lookup{Dict: rewrite(n.Dict, f), Key: rewrite(n.Key, f)})
+	case *Iterate:
+		return f(&Iterate{N: n.N, Var: n.Var, Init: rewrite(n.Init, f), Body: rewrite(n.Body, f)})
+	default:
+		panic(fmt.Sprintf("ifaq: rewrite: unknown node %T", e))
+	}
+}

@@ -1,0 +1,319 @@
+package ifaq
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"borg/internal/relation"
+	"borg/internal/xrand"
+)
+
+// sectionFiveDB builds the paper's Section 5.3 example: Sales S(i, s, u),
+// StoRes R(s, c), Items I(i, p), with u ≈ 0.5·c + 0.3·p + noise so
+// gradient descent has signal to find.
+func sectionFiveDB(seed uint64, nS, nR, nI int) (*relation.Relation, *relation.Relation, *relation.Relation) {
+	db := relation.NewDatabase()
+	s := db.NewRelation("S", []relation.Attribute{
+		{Name: "i", Type: relation.Category},
+		{Name: "s", Type: relation.Category},
+		{Name: "u", Type: relation.Double},
+	})
+	r := db.NewRelation("R", []relation.Attribute{
+		{Name: "s", Type: relation.Category},
+		{Name: "c", Type: relation.Double},
+	})
+	i := db.NewRelation("I", []relation.Attribute{
+		{Name: "i", Type: relation.Category},
+		{Name: "p", Type: relation.Double},
+	})
+	src := xrand.New(seed)
+	cs := make([]float64, nR)
+	ps := make([]float64, nI)
+	for k := 0; k < nR; k++ {
+		cs[k] = src.Float64()*2 - 1
+		r.AppendRow(relation.CatVal(int32(k)), relation.FloatVal(cs[k]))
+	}
+	for k := 0; k < nI; k++ {
+		ps[k] = src.Float64()*2 - 1
+		i.AppendRow(relation.CatVal(int32(k)), relation.FloatVal(ps[k]))
+	}
+	for k := 0; k < nS; k++ {
+		si := int32(src.Intn(nI))
+		ss := int32(src.Intn(nR))
+		u := 0.5*cs[ss] + 0.3*ps[si] + 0.05*(src.Float64()-0.5)
+		s.AppendRow(relation.CatVal(si), relation.CatVal(ss), relation.FloatVal(u))
+	}
+	return s, r, i
+}
+
+func testWorkload(iters int) Workload {
+	return Workload{
+		Features: []string{"c", "p"},
+		Response: "u",
+		Alpha:    0.002,
+		Iters:    iters,
+		Join: JoinSpec{
+			JoinRel: "Q",
+			Base:    "S",
+			Children: []ChildSpec{
+				{Rel: "R", Key: "s"},
+				{Rel: "I", Key: "i"},
+			},
+		},
+	}
+}
+
+func thetaOf(t *testing.T, rec *Rec, name string) float64 {
+	t.Helper()
+	v, ok := rec.Get(name)
+	if !ok {
+		t.Fatalf("theta missing %s", name)
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("theta.%s is %T", name, v)
+	}
+	return f
+}
+
+func TestAllStagesAgree(t *testing.T) {
+	s, r, i := sectionFiveDB(1, 300, 12, 9)
+	w := testWorkload(15)
+	env, err := w.BuildEnv(s, r, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := w.Run(StageNaive, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range Stages[1:] {
+		got, err := w.Run(stage, env)
+		if err != nil {
+			t.Fatalf("stage %s: %v", stage, err)
+		}
+		for _, f := range w.Features {
+			a, b := thetaOf(t, ref, f), thetaOf(t, got, f)
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+				t.Fatalf("stage %s: theta.%s = %v, naive = %v", stage, f, b, a)
+			}
+		}
+	}
+}
+
+func TestGradientDescentLearnsSignal(t *testing.T) {
+	s, r, i := sectionFiveDB(2, 600, 10, 10)
+	w := testWorkload(250)
+	w.Alpha = 0.003
+	env, err := w.BuildEnv(s, r, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := w.Run(StagePushdown, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth is u ≈ 0.5c + 0.3p; GD over enough iterations must get
+	// the signs and rough magnitudes right.
+	c := thetaOf(t, rec, "c")
+	p := thetaOf(t, rec, "p")
+	if c < 0.2 || c > 0.8 {
+		t.Fatalf("theta.c = %v, expected near 0.5", c)
+	}
+	if p < 0.1 || p > 0.6 {
+		t.Fatalf("theta.p = %v, expected near 0.3", p)
+	}
+}
+
+func TestHighLevelStageHoistsSums(t *testing.T) {
+	w := testWorkload(5)
+	prog := MemoizeAndHoist(DistributeAndFactor(w.Naive()))
+	// After memoization + code motion there must be Lets binding closed
+	// sums ABOVE the Iterate, and no SumRows left inside it.
+	lets := 0
+	var e Expr = prog
+	for {
+		l, ok := e.(*Let)
+		if !ok {
+			break
+		}
+		if _, isSum := l.Val.(*SumRows); !isSum {
+			t.Fatalf("hoisted binding %s is %T, want SumRows", l.Name, l.Val)
+		}
+		lets++
+		e = l.Body
+	}
+	it, ok := e.(*Iterate)
+	if !ok {
+		t.Fatalf("expected Iterate under the hoisted Lets, got %T", e)
+	}
+	if lets == 0 {
+		t.Fatal("no sums were hoisted out of the loop")
+	}
+	if strings.Contains(it.Body.String(), "Σ") {
+		t.Fatalf("loop body still contains summations:\n%s", it.Body)
+	}
+	// With features {c, p} and response u: sums t.f2*t.f1 for f1,f2 in
+	// {c,p} plus response terms — deduplication must kick in (c*p == p*c
+	// is not structurally equal here, but repeated c*c across features
+	// is), so lets must be fewer than the 6 naive gradient terms times 1.
+	if lets > 6 {
+		t.Fatalf("expected ≤ 6 hoisted sums after dedup, got %d", lets)
+	}
+}
+
+func TestPushdownEliminatesJoinScan(t *testing.T) {
+	s, r, i := sectionFiveDB(3, 100, 5, 5)
+	w := testWorkload(3)
+	env, err := w.BuildEnv(s, r, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Program(StagePushdown, env.rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	if strings.Contains(text, "∈Q") {
+		t.Fatalf("pushdown program still scans the materialized join:\n%s", text)
+	}
+	for _, want := range []string{"V_R", "V_I", "M_fused"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("pushdown program missing %s:\n%s", want, text)
+		}
+	}
+}
+
+func TestSpecializeRemovesDynamicAccess(t *testing.T) {
+	s, r, i := sectionFiveDB(4, 50, 4, 4)
+	w := testWorkload(2)
+	env, err := w.BuildEnv(s, r, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Program(StageSpecialized, env.rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic := 0
+	var count func(e Expr)
+	count = func(e Expr) {
+		rewrite(e, func(n Expr) Expr {
+			if _, ok := n.(*Field); ok {
+				dynamic++
+			}
+			return n
+		})
+	}
+	count(prog)
+	if dynamic != 0 {
+		t.Fatalf("specialized program keeps %d dynamic field accesses:\n%s", dynamic, prog)
+	}
+}
+
+func TestInterpreterBasics(t *testing.T) {
+	env := NewEnv(nil)
+	// let x = 2 in x*3 + 1
+	prog := &Let{Name: "x", Val: &Const{V: 2},
+		Body: &Bin{Op: '+', L: &Bin{Op: '*', L: &Var{Name: "x"}, R: &Const{V: 3}}, R: &Const{V: 1}}}
+	v, err := Eval(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7.0 {
+		t.Fatalf("eval = %v, want 7", v)
+	}
+	if _, err := Eval(&Var{Name: "ghost"}, env); err == nil {
+		t.Fatal("unbound variable accepted")
+	}
+	if _, err := Eval(&SumRows{Var: "t", Rel: "ghost", Body: &Const{V: 1}}, env); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestGroupSumAndLookup(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.NewRelation("R", []relation.Attribute{
+		{Name: "k", Type: relation.Category},
+		{Name: "v", Type: relation.Double},
+	})
+	r.AppendRow(relation.CatVal(1), relation.FloatVal(10))
+	r.AppendRow(relation.CatVal(1), relation.FloatVal(5))
+	r.AppendRow(relation.CatVal(2), relation.FloatVal(7))
+	env := NewEnv(map[string]*relation.Relation{"R": r})
+	view := &GroupSum{Var: "u", Rel: "R",
+		Key: &Field{Rec: &Var{Name: "u"}, Name: "k"},
+		Val: &Field{Rec: &Var{Name: "u"}, Name: "v"}}
+	prog := &Let{Name: "V", Val: view,
+		Body: &Lookup{Dict: &Var{Name: "V"}, Key: &Const{V: 1}}}
+	v, err := Eval(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 15.0 {
+		t.Fatalf("V[1] = %v, want 15", v)
+	}
+	miss := &Let{Name: "V", Val: view,
+		Body: &Lookup{Dict: &Var{Name: "V"}, Key: &Const{V: 9}}}
+	v, err = Eval(miss, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.0 {
+		t.Fatalf("missing key = %v, want 0", v)
+	}
+}
+
+func TestIterateSemantics(t *testing.T) {
+	env := NewEnv(nil)
+	// x ← 1; 4 times x ← x*2  ⇒ 16
+	prog := &Iterate{N: 4, Var: "x", Init: &Const{V: 1},
+		Body: &Bin{Op: '*', L: &Var{Name: "x"}, R: &Const{V: 2}}}
+	v, err := Eval(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 16.0 {
+		t.Fatalf("iterate = %v, want 16", v)
+	}
+}
+
+func TestFreeVarsAndRewrite(t *testing.T) {
+	e := &Let{Name: "a", Val: &Var{Name: "b"},
+		Body: &Bin{Op: '+', L: &Var{Name: "a"}, R: &Var{Name: "c"}}}
+	fv := map[string]bool{}
+	freeVars(e, fv)
+	if !fv["b"] || !fv["c"] || fv["a"] {
+		t.Fatalf("freeVars = %v", fv)
+	}
+	// rewrite must visit and rebuild: replace c by 1.
+	out := rewrite(e, func(n Expr) Expr {
+		if v, ok := n.(*Var); ok && v.Name == "c" {
+			return &Const{V: 1}
+		}
+		return n
+	})
+	if strings.Contains(out.String(), "c") {
+		t.Fatalf("rewrite missed a node: %s", out)
+	}
+}
+
+func BenchmarkStages(b *testing.B) {
+	s, r, i := sectionFiveDB(5, 3000, 40, 30)
+	w := testWorkload(20)
+	env, err := w.BuildEnv(s, r, i)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, stage := range Stages {
+		stage := stage
+		b.Run(stage.String(), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				if _, err := w.Run(stage, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

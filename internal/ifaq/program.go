@@ -1,0 +1,148 @@
+package ifaq
+
+import (
+	"fmt"
+
+	"borg/internal/engine"
+	"borg/internal/query"
+	"borg/internal/relation"
+)
+
+// Workload is the Section 5.3 running example: learn a linear regression
+// model with gradient descent over the join Q = S ⋈ R ⋈ I, with the
+// features and response drawn from the join's attributes.
+type Workload struct {
+	Features []string
+	Response string
+	Alpha    float64
+	Iters    int
+	Join     JoinSpec
+}
+
+// Stage identifies one point of the transformation pipeline.
+type Stage int
+
+const (
+	// StageNaive is the textbook program: per iteration and per feature,
+	// one pass over the materialized join with dynamic field accesses.
+	StageNaive Stage = iota
+	// StageHighLevel adds loop scheduling, factorization, static
+	// memoization, and code motion: the covariance matrix is computed
+	// once, before the loop.
+	StageHighLevel
+	// StageSpecialized adds schema specialization: static slot accesses.
+	StageSpecialized
+	// StagePushdown adds aggregate pushdown past the join and aggregate
+	// fusion: no materialized join, one scan per base relation.
+	StagePushdown
+)
+
+// String names the stage as in the Figure 11 pipeline.
+func (s Stage) String() string {
+	switch s {
+	case StageNaive:
+		return "naive"
+	case StageHighLevel:
+		return "high-level-opt"
+	case StageSpecialized:
+		return "+specialization"
+	case StagePushdown:
+		return "+pushdown+fusion"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Stages lists the pipeline in order.
+var Stages = []Stage{StageNaive, StageHighLevel, StageSpecialized, StagePushdown}
+
+// Naive builds the stage-0 program over the materialized join relation.
+func (w Workload) Naive() Expr {
+	theta := &Var{Name: "theta"}
+	t := &Var{Name: "t"}
+	// pred(t) = Σ_f theta.f * t.f  -  t.response
+	var pred Expr
+	for _, f := range w.Features {
+		term := &Bin{Op: '*', L: &Field{Rec: theta, Name: f}, R: &Field{Rec: t, Name: f}}
+		if pred == nil {
+			pred = term
+		} else {
+			pred = &Bin{Op: '+', L: pred, R: term}
+		}
+	}
+	pred = &Bin{Op: '-', L: pred, R: &Field{Rec: t, Name: w.Response}}
+
+	names := make([]string, len(w.Features))
+	inits := make([]Expr, len(w.Features))
+	updates := make([]Expr, len(w.Features))
+	for i, f := range w.Features {
+		names[i] = f
+		inits[i] = &Const{V: 0}
+		grad := &SumRows{Var: "t", Rel: w.Join.JoinRel,
+			Body: &Bin{Op: '*', L: pred, R: &Field{Rec: t, Name: f}}}
+		updates[i] = &Bin{Op: '-',
+			L: &Field{Rec: theta, Name: f},
+			R: &Bin{Op: '*', L: &Const{V: w.Alpha}, R: grad}}
+	}
+	return &Iterate{
+		N:    w.Iters,
+		Var:  "theta",
+		Init: &RecLit{Names: names, Vals: inits},
+		Body: &RecLit{Names: names, Vals: updates},
+	}
+}
+
+// Program builds the program at the given pipeline stage. rels must hold
+// the base relations and, for the first three stages, the materialized
+// join under w.Join.JoinRel (BuildEnv prepares both).
+func (w Workload) Program(stage Stage, rels map[string]*relation.Relation) (Expr, error) {
+	p := w.Naive()
+	if stage == StageNaive {
+		return p, nil
+	}
+	p = MemoizeAndHoist(DistributeAndFactor(p))
+	if stage == StageHighLevel {
+		return p, nil
+	}
+	if stage == StageSpecialized {
+		return Specialize(p, rels), nil
+	}
+	pushed, err := PushAggregates(p, w.Join, rels)
+	if err != nil {
+		return nil, err
+	}
+	return Specialize(pushed, rels), nil
+}
+
+// BuildEnv registers the base relations and materializes the join (used
+// by the pre-pushdown stages) into a fresh environment.
+func (w Workload) BuildEnv(base ...*relation.Relation) (*Env, error) {
+	rels := make(map[string]*relation.Relation, len(base)+1)
+	for _, r := range base {
+		rels[r.Name] = r
+	}
+	joined, err := engine.MaterializeJoin(query.NewJoin(base...))
+	if err != nil {
+		return nil, err
+	}
+	joined.Name = w.Join.JoinRel
+	rels[w.Join.JoinRel] = joined
+	return NewEnv(rels), nil
+}
+
+// Run compiles the workload to the given stage and interprets it,
+// returning the learned parameter record.
+func (w Workload) Run(stage Stage, env *Env) (*Rec, error) {
+	prog, err := w.Program(stage, env.rels)
+	if err != nil {
+		return nil, err
+	}
+	v, err := Eval(prog, env)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok := v.(*Rec)
+	if !ok {
+		return nil, fmt.Errorf("ifaq: program evaluated to %T, want record", v)
+	}
+	return rec, nil
+}

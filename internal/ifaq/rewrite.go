@@ -1,0 +1,481 @@
+package ifaq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"borg/internal/relation"
+)
+
+// ---- Stage 1: high-level optimizations ---------------------------------
+//
+// DistributeAndFactor normalizes every SumRows body into a sum of
+// monomials (loop scheduling / distributivity), then factors the
+// loop-variable-independent multiplicands out of each summation
+// (factorization): Σ_t (Σ_k a_k·b_k(t))·c(t) becomes Σ_k a_k·(Σ_t b_k(t)·c(t)).
+
+// DistributeAndFactor applies the distributive rewrites bottom-up.
+func DistributeAndFactor(e Expr) Expr {
+	return rewrite(e, func(n Expr) Expr {
+		s, ok := n.(*SumRows)
+		if !ok {
+			return n
+		}
+		terms := expandTerms(s.Body)
+		if len(terms) == 1 && len(terms[0]) == 1 {
+			return s // nothing to distribute
+		}
+		var out Expr
+		for _, t := range terms {
+			var dep, indep []Expr
+			for _, f := range t {
+				if dependsOn(f, s.Var) {
+					dep = append(dep, f)
+				} else {
+					indep = append(indep, f)
+				}
+			}
+			inner := product(dep)
+			if inner == nil {
+				inner = &Const{V: 1}
+			}
+			var termExpr Expr = &SumRows{Var: s.Var, Rel: s.Rel, Body: inner}
+			if p := product(indep); p != nil {
+				termExpr = &Bin{Op: '*', L: p, R: termExpr}
+			}
+			if out == nil {
+				out = termExpr
+			} else {
+				out = &Bin{Op: '+', L: out, R: termExpr}
+			}
+		}
+		return out
+	})
+}
+
+// expandTerms rewrites e into a list of monomials (each a factor list):
+// distributing '*' over '+' and '-', with '-' expressed by a Const(-1)
+// factor.
+func expandTerms(e Expr) [][]Expr {
+	switch n := e.(type) {
+	case *Bin:
+		switch n.Op {
+		case '+':
+			return append(expandTerms(n.L), expandTerms(n.R)...)
+		case '-':
+			out := expandTerms(n.L)
+			for _, t := range expandTerms(n.R) {
+				out = append(out, append([]Expr{&Const{V: -1}}, t...))
+			}
+			return out
+		case '*':
+			var out [][]Expr
+			for _, lt := range expandTerms(n.L) {
+				for _, rt := range expandTerms(n.R) {
+					term := make([]Expr, 0, len(lt)+len(rt))
+					term = append(append(term, lt...), rt...)
+					out = append(out, term)
+				}
+			}
+			return out
+		}
+	}
+	return [][]Expr{{e}}
+}
+
+// product folds factors into a '*' chain, folding constants.
+func product(factors []Expr) Expr {
+	c := 1.0
+	var rest []Expr
+	for _, f := range factors {
+		if k, ok := f.(*Const); ok {
+			c *= k.V
+			continue
+		}
+		rest = append(rest, f)
+	}
+	var out Expr
+	for _, f := range rest {
+		if out == nil {
+			out = f
+		} else {
+			out = &Bin{Op: '*', L: out, R: f}
+		}
+	}
+	if out == nil {
+		if len(factors) == 0 {
+			return nil
+		}
+		return &Const{V: c}
+	}
+	if c != 1 {
+		out = &Bin{Op: '*', L: &Const{V: c}, R: out}
+	}
+	return out
+}
+
+// MemoizeAndHoist performs static memoization + code motion: every
+// closed SumRows appearing inside an Iterate body (hence re-evaluated
+// per iteration although iteration-independent) is bound once, above the
+// loop, and deduplicated structurally. This is what moves the covariance
+// computation out of the gradient-descent loop.
+func MemoizeAndHoist(e Expr) Expr {
+	counter := 0
+	return rewrite(e, func(n Expr) Expr {
+		it, ok := n.(*Iterate)
+		if !ok {
+			return n
+		}
+		memo := map[string]string{} // expr string → bound name
+		var order []string
+		bound := map[string]Expr{}
+		body := rewrite(it.Body, func(m Expr) Expr {
+			s, ok := m.(*SumRows)
+			if !ok {
+				return m
+			}
+			fv := map[string]bool{}
+			freeVars(s, fv)
+			if len(fv) > 0 {
+				return m // not closed: may depend on the loop variable
+			}
+			key := s.String()
+			name, seen := memo[key]
+			if !seen {
+				name = fmt.Sprintf("m%d", counter)
+				counter++
+				memo[key] = name
+				order = append(order, name)
+				bound[name] = s
+			}
+			return &Var{Name: name}
+		})
+		var out Expr = &Iterate{N: it.N, Var: it.Var, Init: it.Init, Body: body}
+		for i := len(order) - 1; i >= 0; i-- {
+			out = &Let{Name: order[i], Val: bound[order[i]], Body: out}
+		}
+		return out
+	})
+}
+
+// ---- Stage 2: schema specialization -------------------------------------
+
+// valLayout describes the statically known shape of a value, enabling
+// Field → Slot conversion.
+type valLayout struct {
+	rel   *relation.Relation // row layout
+	names []string           // record layout
+	elem  *valLayout         // dict element layout
+}
+
+func (l *valLayout) slot(name string) (int, bool) {
+	if l == nil {
+		return 0, false
+	}
+	if l.rel != nil {
+		if c := l.rel.AttrIndex(name); c >= 0 {
+			return c, true
+		}
+		return 0, false
+	}
+	for i, n := range l.names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Specialize converts dynamic field accesses into static slot accesses
+// wherever the record layout is statically known — the "records become
+// structs" step of the paper.
+func Specialize(e Expr, rels map[string]*relation.Relation) Expr {
+	return specializeWith(e, map[string]*valLayout{}, rels)
+}
+
+func specializeWith(e Expr, env map[string]*valLayout, rels map[string]*relation.Relation) Expr {
+	var walk func(e Expr, env map[string]*valLayout) (Expr, *valLayout)
+	walk = func(e Expr, env map[string]*valLayout) (Expr, *valLayout) {
+		switch n := e.(type) {
+		case *Const:
+			return n, nil
+		case *Var:
+			return n, env[n.Name]
+		case *Field:
+			rec, l := walk(n.Rec, env)
+			if idx, ok := l.slot(n.Name); ok {
+				var elem *valLayout
+				// Field of a record of records keeps no nested layout in
+				// this mini-language (all record fields are scalars).
+				return &Slot{Rec: rec, Idx: idx, Name: n.Name}, elem
+			}
+			return &Field{Rec: rec, Name: n.Name}, nil
+		case *Slot:
+			rec, _ := walk(n.Rec, env)
+			return &Slot{Rec: rec, Idx: n.Idx, Name: n.Name}, nil
+		case *Bin:
+			l, _ := walk(n.L, env)
+			r, _ := walk(n.R, env)
+			return &Bin{Op: n.Op, L: l, R: r}, nil
+		case *Let:
+			val, vl := walk(n.Val, env)
+			inner := cloneLayoutEnv(env)
+			inner[n.Name] = vl
+			body, bl := walk(n.Body, inner)
+			return &Let{Name: n.Name, Val: val, Body: body}, bl
+		case *RecLit:
+			vals := make([]Expr, len(n.Vals))
+			for i, v := range n.Vals {
+				vals[i], _ = walk(v, env)
+			}
+			return &RecLit{Names: n.Names, Vals: vals}, &valLayout{names: n.Names}
+		case *SumRows:
+			inner := cloneLayoutEnv(env)
+			inner[n.Var] = &valLayout{rel: rels[n.Rel]}
+			body, bl := walk(n.Body, inner)
+			return &SumRows{Var: n.Var, Rel: n.Rel, Body: body}, bl
+		case *GroupSum:
+			inner := cloneLayoutEnv(env)
+			inner[n.Var] = &valLayout{rel: rels[n.Rel]}
+			key, _ := walk(n.Key, inner)
+			val, vl := walk(n.Val, inner)
+			return &GroupSum{Var: n.Var, Rel: n.Rel, Key: key, Val: val}, &valLayout{elem: vl}
+		case *Lookup:
+			dict, dl := walk(n.Dict, env)
+			key, _ := walk(n.Key, env)
+			var elem *valLayout
+			if dl != nil {
+				elem = dl.elem
+			}
+			return &Lookup{Dict: dict, Key: key}, elem
+		case *Iterate:
+			init, il := walk(n.Init, env)
+			inner := cloneLayoutEnv(env)
+			inner[n.Var] = il
+			body, bl := walk(n.Body, inner)
+			return &Iterate{N: n.N, Var: n.Var, Init: init, Body: body}, bl
+		default:
+			panic(fmt.Sprintf("ifaq: specialize: unknown node %T", e))
+		}
+	}
+	out, _ := walk(e, env)
+	return out
+}
+
+func cloneLayoutEnv(env map[string]*valLayout) map[string]*valLayout {
+	out := make(map[string]*valLayout, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- Stage 3: aggregate pushdown + fusion --------------------------------
+
+// JoinSpec describes the feature-extraction join for pushdown: the base
+// (fact) relation and the child (dimension) relations with their join
+// keys. The materialized join relation is registered under JoinRel; after
+// pushdown the program only touches Base and the children.
+type JoinSpec struct {
+	JoinRel  string
+	Base     string
+	Children []ChildSpec
+}
+
+// ChildSpec is one dimension relation joined to the base on Key.
+type ChildSpec struct {
+	Rel string
+	Key string
+}
+
+// PushAggregates rewrites every let-bound monomial summation over the
+// materialized join into factorized form: per-child GROUP-BY views
+// (V_R, V_I in the paper's notation) looked up from a single fused scan
+// of the base relation. Sums that were separate Lets share both the view
+// scans and the base scan afterwards — the paper's aggregate fusion.
+func PushAggregates(e Expr, spec JoinSpec, rels map[string]*relation.Relation) (Expr, error) {
+	owner := func(attr string) (string, error) {
+		if r := rels[spec.Base]; r != nil && r.HasAttr(attr) {
+			return spec.Base, nil
+		}
+		for _, c := range spec.Children {
+			if r := rels[c.Rel]; r != nil && r.HasAttr(attr) {
+				return c.Rel, nil
+			}
+		}
+		return "", fmt.Errorf("ifaq: pushdown: attribute %s not found", attr)
+	}
+
+	// Per child: needed monomials, canonically named.
+	viewMono := map[string]map[string][]string{} // child rel → mono name → attr factors
+	for _, c := range spec.Children {
+		viewMono[c.Rel] = map[string][]string{}
+	}
+	childOf := map[string]ChildSpec{}
+	for _, c := range spec.Children {
+		childOf[c.Rel] = c
+	}
+
+	// Collect the rewritable Lets and rewrite their bodies.
+	type fusedSum struct {
+		name string
+		body Expr // body over the base row variable "t"
+	}
+	var fused []fusedSum
+	var err error
+	out := rewrite(e, func(n Expr) Expr {
+		if err != nil {
+			return n
+		}
+		let, ok := n.(*Let)
+		if !ok {
+			return n
+		}
+		s, ok := let.Val.(*SumRows)
+		if !ok || s.Rel != spec.JoinRel {
+			return n
+		}
+		factors, ok := monomialFactors(s.Body, s.Var)
+		if !ok {
+			return n // not a pure monomial; leave it alone
+		}
+		// Partition factors by owning relation.
+		perRel := map[string][]string{}
+		consts := 1.0
+		for _, f := range factors {
+			switch ff := f.(type) {
+			case *Const:
+				consts *= ff.V
+			case *Field:
+				o, oerr := owner(ff.Name)
+				if oerr != nil {
+					err = oerr
+					return n
+				}
+				perRel[o] = append(perRel[o], ff.Name)
+			}
+		}
+		// Body over the base row: local fields × per-child view lookups.
+		// The lookups reference per-row Let bindings (w_R, w_I, ...) so
+		// the fused scan hashes each view ONCE per row — the paper's
+		// "let wR = WR({s = xs.s})" trie-conversion step.
+		var body []Expr
+		if consts != 1 {
+			body = append(body, &Const{V: consts})
+		}
+		for _, a := range perRel[spec.Base] {
+			body = append(body, &Field{Rec: &Var{Name: "t"}, Name: a})
+		}
+		for _, c := range spec.Children {
+			attrs := perRel[c.Rel]
+			mono := monoName(attrs)
+			viewMono[c.Rel][mono] = attrs
+			body = append(body, &Field{Rec: &Var{Name: rowLookupName(c.Rel)}, Name: mono})
+		}
+		fused = append(fused, fusedSum{name: let.Name, body: product(body)})
+		// Replace the summation with a field of the fused record; the
+		// fused Let chain is prepended below.
+		return &Let{Name: let.Name, Val: &Field{Rec: &Var{Name: "M_fused"}, Name: let.Name}, Body: let.Body}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(fused) == 0 {
+		return out, nil
+	}
+
+	// One fused scan of the base relation computes every pushed-down sum,
+	// with one view lookup per child per row shared by all fields.
+	names := make([]string, len(fused))
+	vals := make([]Expr, len(fused))
+	for i, f := range fused {
+		names[i] = f.name
+		vals[i] = f.body
+	}
+	var scanBody Expr = &RecLit{Names: names, Vals: vals}
+	for i := len(spec.Children) - 1; i >= 0; i-- {
+		c := spec.Children[i]
+		scanBody = &Let{
+			Name: rowLookupName(c.Rel),
+			Val:  &Lookup{Dict: &Var{Name: viewName(c.Rel)}, Key: &Field{Rec: &Var{Name: "t"}, Name: c.Key}},
+			Body: scanBody,
+		}
+	}
+	var prog Expr = &Let{
+		Name: "M_fused",
+		Val:  &SumRows{Var: "t", Rel: spec.Base, Body: scanBody},
+		Body: out,
+	}
+	// Prepend the per-child views, each one scan of its relation.
+	for i := len(spec.Children) - 1; i >= 0; i-- {
+		c := spec.Children[i]
+		monos := viewMono[c.Rel]
+		var mnames []string
+		for m := range monos {
+			mnames = append(mnames, m)
+		}
+		sort.Strings(mnames)
+		mvals := make([]Expr, len(mnames))
+		for k, m := range mnames {
+			var fs []Expr
+			for _, a := range monos[m] {
+				fs = append(fs, &Field{Rec: &Var{Name: "u"}, Name: a})
+			}
+			p := product(fs)
+			if p == nil {
+				p = &Const{V: 1}
+			}
+			mvals[k] = p
+		}
+		prog = &Let{
+			Name: viewName(c.Rel),
+			Val: &GroupSum{
+				Var: "u", Rel: c.Rel,
+				Key: &Field{Rec: &Var{Name: "u"}, Name: c.Key},
+				Val: &RecLit{Names: mnames, Vals: mvals},
+			},
+			Body: prog,
+		}
+	}
+	return prog, nil
+}
+
+// monomialFactors decomposes e into constant and Field-of-v factors,
+// returning ok=false when e is not a pure monomial over v.
+func monomialFactors(e Expr, v string) ([]Expr, bool) {
+	switch n := e.(type) {
+	case *Const:
+		return []Expr{n}, true
+	case *Field:
+		rv, ok := n.Rec.(*Var)
+		if !ok || rv.Name != v {
+			return nil, false
+		}
+		return []Expr{n}, true
+	case *Bin:
+		if n.Op != '*' {
+			return nil, false
+		}
+		l, ok1 := monomialFactors(n.L, v)
+		r, ok2 := monomialFactors(n.R, v)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return append(l, r...), true
+	}
+	return nil, false
+}
+
+func monoName(attrs []string) string {
+	if len(attrs) == 0 {
+		return "one"
+	}
+	s := append([]string(nil), attrs...)
+	sort.Strings(s)
+	return strings.Join(s, "_x_")
+}
+
+func viewName(rel string) string { return "V_" + rel }
+
+func rowLookupName(rel string) string { return "w_" + rel }

@@ -1,0 +1,122 @@
+package ivm
+
+import (
+	"borg/internal/query"
+	"borg/internal/ring"
+)
+
+// FIVM is the factorized incremental view maintenance strategy (Nikolic &
+// Olteanu, SIGMOD'18): one view hierarchy over the join tree whose
+// payloads are covariance-ring triples. A single delta propagation along
+// the leaf-to-root path maintains the entire covariance matrix.
+type FIVM struct {
+	*base
+	ring  ring.CovarRing
+	views map[*node]map[uint64]*ring.Covar
+	// result is the maintained root value: the covariance triple of the
+	// full join.
+	result *ring.Covar
+}
+
+// NewFIVM creates an F-IVM maintainer over an initially empty copy of the
+// join's relations, rooted at the named relation.
+func NewFIVM(j *query.Join, root string, features []string) (*FIVM, error) {
+	b, err := newBase(j, root, features)
+	if err != nil {
+		return nil, err
+	}
+	m := &FIVM{
+		base:   b,
+		ring:   ring.CovarRing{N: len(features)},
+		views:  make(map[*node]map[uint64]*ring.Covar),
+		result: (ring.CovarRing{N: len(features)}).Zero(),
+	}
+	var initViews func(n *node)
+	initViews = func(n *node) {
+		m.views[n] = make(map[uint64]*ring.Covar)
+		for _, c := range n.children {
+			initViews(c)
+		}
+	}
+	initViews(m.root)
+	return m, nil
+}
+
+// Name implements Maintainer.
+func (m *FIVM) Name() string { return "F-IVM" }
+
+// Insert implements Maintainer: one ring-valued delta propagation.
+func (m *FIVM) Insert(t Tuple) error {
+	n, row, err := m.append(t)
+	if err != nil {
+		return err
+	}
+	// δ at the inserted node: lift(t) ⨂ current child views.
+	delta := m.ring.Lift(n.featIdx, n.vals(row))
+	for ci, c := range n.children {
+		cv, ok := m.views[c][n.childKey(ci, row)]
+		if !ok {
+			// No join partner yet: the tuple contributes nothing now; it
+			// will contribute when the partner's own delta climbs past
+			// this node (via the child index we just updated).
+			return nil
+		}
+		delta = m.ring.Mul(delta, cv)
+	}
+	m.propagate(n, n.parentKey(row), delta)
+	return nil
+}
+
+// propagate merges δ into n's view at the given key and climbs towards
+// the root through the parent's index on n's join key.
+func (m *FIVM) propagate(n *node, key uint64, delta *ring.Covar) {
+	v := m.views[n]
+	if cur, ok := v[key]; ok {
+		cur.AddInPlace(delta)
+	} else {
+		v[key] = delta.Clone()
+	}
+	p := n.parent
+	if p == nil {
+		m.result.AddInPlace(delta)
+		return
+	}
+	// δ_p(k') = Σ_{t ∈ R_p matching} lift(t) ⨂ Π_{c≠n} V_c ⨂ δ.
+	deltas := make(map[uint64]*ring.Covar)
+	rows := p.childIndexes[n.childPos].Rows(key)
+rows:
+	for _, r := range rows {
+		contrib := m.ring.Mul(m.ring.Lift(p.featIdx, p.vals(int(r))), delta)
+		for ci, c := range p.children {
+			if c == n {
+				continue
+			}
+			cv, ok := m.views[c][p.childKey(ci, int(r))]
+			if !ok {
+				continue rows
+			}
+			contrib = m.ring.Mul(contrib, cv)
+		}
+		k := p.parentKey(int(r))
+		if cur, ok := deltas[k]; ok {
+			cur.AddInPlace(contrib)
+		} else {
+			deltas[k] = contrib
+		}
+	}
+	for k, d := range deltas {
+		m.propagate(p, k, d)
+	}
+}
+
+// Count implements Maintainer.
+func (m *FIVM) Count() float64 { return m.result.Count }
+
+// Sum implements Maintainer.
+func (m *FIVM) Sum(i int) float64 { return m.result.Sum[i] }
+
+// Moment implements Maintainer.
+func (m *FIVM) Moment(i, j int) float64 { return m.result.Q[i*m.ring.N+j] }
+
+// Result exposes the maintained covariance triple (read-only).
+func (m *FIVM) Result() *ring.Covar { return m.result }

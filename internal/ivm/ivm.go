@@ -1,0 +1,195 @@
+// Package ivm implements incremental maintenance of the covariance
+// matrix — the sufficient statistics of linear regression — under tuple
+// inserts into the relations of a feature-extraction join, in the three
+// designs compared by Figure 4 (right) of the paper:
+//
+//   - First-order IVM (classical delta processing): no intermediate
+//     views. Every insert evaluates its full delta query against the
+//     base relations, separately for every aggregate of the batch.
+//
+//   - Higher-order IVM (DBToaster-style): one materialized view hierarchy
+//     *per aggregate* over the join tree. Deltas propagate along the
+//     leaf-to-root path with index lookups, but the hundreds of
+//     aggregates of a covariance matrix are maintained independently.
+//
+//   - F-IVM: ONE view hierarchy whose payloads are covariance-ring
+//     triples (internal/ring), so a single propagation pass maintains
+//     every aggregate of the batch simultaneously — the sharing that
+//     Section 5.2 credits for the orders-of-magnitude throughput gap.
+//
+// All three maintainers expose the same interface and are tested for
+// equivalence against batch recomputation.
+//
+// Scope note (documented substitution): the maintained statistics cover
+// the continuous features, which matches the F-IVM covariance experiment;
+// categorical interactions would add group-keyed ring payloads and change
+// constants, not the relative shape.
+package ivm
+
+import (
+	"fmt"
+
+	"borg/internal/query"
+	"borg/internal/relation"
+)
+
+// Tuple is one streamed insert: a row for the named relation, in schema
+// order.
+type Tuple struct {
+	Rel    string
+	Values []relation.Value
+}
+
+// Maintainer is the common interface of the three IVM strategies.
+type Maintainer interface {
+	// Insert applies one tuple insert and updates the maintained result.
+	Insert(t Tuple) error
+	// Count returns the maintained SUM(1) over the join.
+	Count() float64
+	// Sum returns the maintained SUM(x_i) for feature i.
+	Sum(i int) float64
+	// Moment returns the maintained SUM(x_i * x_j).
+	Moment(i, j int) float64
+	// Name identifies the strategy in benchmark tables.
+	Name() string
+}
+
+// node is one relation of the live join tree, with the indexes needed for
+// delta propagation: for every child edge an index of THIS relation's
+// rows by the child's join key (used when a delta climbs from that
+// child), maintained incrementally.
+type node struct {
+	tn       *query.TreeNode
+	rel      *relation.Relation
+	parent   *node
+	childPos int // index of this node among parent's children
+
+	parentKeyCols []int
+	children      []*node
+	childKeyCols  [][]int
+	childIndexes  []*relation.Index
+	// selfIndex indexes this relation's rows by the key towards the
+	// parent; first-order maintenance navigates downward through it.
+	selfIndex *relation.Index
+
+	// featIdx/featCols: global feature indexes owned by this node and
+	// their columns in rel.
+	featIdx  []int
+	featCols []int
+}
+
+// base is the shared state of all maintainers: a live database (initially
+// empty copies of the schema relations) arranged into a join tree.
+type base struct {
+	root     *node
+	byName   map[string]*node
+	features []string
+}
+
+// newBase clones empty live relations for the given join, builds the
+// tree rooted at root, and resolves feature ownership.
+func newBase(j *query.Join, root string, features []string) (*base, error) {
+	live := make([]*relation.Relation, len(j.Relations))
+	for i, r := range j.Relations {
+		live[i] = r.CloneEmpty()
+	}
+	lj := query.NewJoin(live...)
+	jt, err := lj.BuildJoinTree(root)
+	if err != nil {
+		return nil, err
+	}
+	b := &base{byName: make(map[string]*node), features: features}
+
+	owner := make(map[string]*node)
+	var build func(tn *query.TreeNode, parent *node) *node
+	build = func(tn *query.TreeNode, parent *node) *node {
+		n := &node{tn: tn, rel: tn.Rel, parent: parent}
+		for _, a := range tn.JoinAttrs {
+			n.parentKeyCols = append(n.parentKeyCols, tn.Rel.AttrIndex(a))
+		}
+		n.selfIndex = relation.NewIndex(n.parentKeyCols)
+		for _, at := range tn.Rel.Attrs() {
+			if _, taken := owner[at.Name]; !taken {
+				owner[at.Name] = n
+			}
+		}
+		b.byName[tn.Rel.Name] = n
+		for ci, ctn := range tn.Children {
+			var cols []int
+			for _, a := range ctn.JoinAttrs {
+				cols = append(cols, tn.Rel.AttrIndex(a))
+			}
+			n.childKeyCols = append(n.childKeyCols, cols)
+			n.childIndexes = append(n.childIndexes, relation.NewIndex(cols))
+			c := build(ctn, n)
+			c.childPos = ci
+			n.children = append(n.children, c)
+		}
+		return n
+	}
+	b.root = build(jt.Root, nil)
+
+	for fi, f := range features {
+		n, ok := owner[f]
+		if !ok {
+			return nil, fmt.Errorf("ivm: feature %s not in join", f)
+		}
+		col := n.rel.AttrIndex(f)
+		if n.rel.Attrs()[col].Type != relation.Double {
+			return nil, fmt.Errorf("ivm: feature %s is not continuous", f)
+		}
+		n.featIdx = append(n.featIdx, fi)
+		n.featCols = append(n.featCols, col)
+	}
+	return b, nil
+}
+
+// append adds the tuple to its live relation and all indexes, returning
+// the node and the new row id.
+func (b *base) append(t Tuple) (*node, int, error) {
+	n, ok := b.byName[t.Rel]
+	if !ok {
+		return nil, 0, fmt.Errorf("ivm: unknown relation %s", t.Rel)
+	}
+	if len(t.Values) != n.rel.NumAttrs() {
+		return nil, 0, fmt.Errorf("ivm: tuple for %s has %d values, want %d", t.Rel, len(t.Values), n.rel.NumAttrs())
+	}
+	n.rel.AppendRow(t.Values...)
+	row := n.rel.NumRows() - 1
+	for ci := range n.children {
+		key := n.rel.KeyFunc(n.childKeyCols[ci])(row)
+		n.childIndexes[ci].Insert(key, int32(row))
+	}
+	n.selfIndex.Insert(n.parentKey(row), int32(row))
+	return n, row, nil
+}
+
+// Relation returns the live (streamed-into) relation with the given
+// name, or nil. Callers use it to resolve schemas and dictionaries when
+// constructing stream tuples.
+func (b *base) Relation(name string) *relation.Relation {
+	n, ok := b.byName[name]
+	if !ok {
+		return nil
+	}
+	return n.rel
+}
+
+// parentKey returns the packed key of row `row` towards n's parent.
+func (n *node) parentKey(row int) uint64 {
+	return n.rel.KeyFunc(n.parentKeyCols)(row)
+}
+
+// childKey returns the packed key of row `row` towards child ci.
+func (n *node) childKey(ci, row int) uint64 {
+	return n.rel.KeyFunc(n.childKeyCols[ci])(row)
+}
+
+// vals extracts the feature values owned by n from row `row`.
+func (n *node) vals(row int) []float64 {
+	out := make([]float64, len(n.featCols))
+	for i, c := range n.featCols {
+		out[i] = n.rel.Float(c, row)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package ivm
+
+// aggDef identifies one scalar aggregate of the covariance batch in
+// terms of global feature indexes:
+//
+//	i == -1           SUM(1)                (count)
+//	i >= 0, j == -1   SUM(x_i)              (sum)
+//	i >= 0, j >= 0    SUM(x_i * x_j), i<=j  (second moment)
+//
+// The scalar maintainers (first-order, higher-order) maintain each of
+// these independently; F-IVM carries all of them in one ring element.
+type aggDef struct {
+	i, j int
+}
+
+// covarAggs enumerates the full covariance batch over n features:
+// 1 count + n sums + n(n+1)/2 moments.
+func covarAggs(n int) []aggDef {
+	out := []aggDef{{i: -1, j: -1}}
+	for i := 0; i < n; i++ {
+		out = append(out, aggDef{i: i, j: -1})
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			out = append(out, aggDef{i: i, j: j})
+		}
+	}
+	return out
+}
+
+// localEval computes the product of agg's factors owned by node n for
+// row `row` (1 when n owns none of them).
+func localEval(n *node, row int, a aggDef) float64 {
+	v := 1.0
+	for k, fi := range n.featIdx {
+		if a.i == fi {
+			v *= n.rel.Float(n.featCols[k], row)
+		}
+		if a.j == fi {
+			v *= n.rel.Float(n.featCols[k], row)
+		}
+	}
+	return v
+}
+
+// aggValue reads aggregate a out of a per-aggregate result vector laid
+// out as by covarAggs.
+type aggIndex struct {
+	n       int
+	sumBase int
+	momBase int
+}
+
+func newAggIndex(n int) aggIndex {
+	return aggIndex{n: n, sumBase: 1, momBase: 1 + n}
+}
+
+func (ix aggIndex) count() int { return 0 }
+
+func (ix aggIndex) sum(i int) int { return ix.sumBase + i }
+
+func (ix aggIndex) moment(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Row-major upper triangle offset of (i, j) with i<=j.
+	return ix.momBase + i*ix.n - i*(i-1)/2 + (j - i)
+}

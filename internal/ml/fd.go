@@ -1,0 +1,85 @@
+package ml
+
+import (
+	"fmt"
+
+	"borg/internal/relation"
+)
+
+// Functional-dependency reparameterization (Section 3.2): when the FD
+// city → country holds, a model with parameters θ_city and θ_country can
+// be replaced by a smaller model with one composite parameter
+// θ_(city,country); predictions are identical because, under the FD, the
+// one-hot vector of country is a deterministic linear function of the
+// one-hot vector of city. Training the reparameterized model touches
+// fewer parameters and its aggregates group by one attribute instead of
+// two.
+
+// DetectFD reports whether the functional dependency det → dep holds in
+// the relation holding both attributes (each det code maps to exactly one
+// dep code), returning the mapping when it does.
+func DetectFD(rel *relation.Relation, det, dep string) (map[int32]int32, bool, error) {
+	dc, pc := rel.AttrIndex(det), rel.AttrIndex(dep)
+	if dc < 0 || pc < 0 {
+		return nil, false, fmt.Errorf("ml: relation %s lacks %s or %s", rel.Name, det, dep)
+	}
+	if rel.Attrs()[dc].Type != relation.Category || rel.Attrs()[pc].Type != relation.Category {
+		return nil, false, fmt.Errorf("ml: FD attributes must be categorical")
+	}
+	mapping := make(map[int32]int32)
+	for row := 0; row < rel.NumRows(); row++ {
+		d, p := rel.Cat(dc, row), rel.Cat(pc, row)
+		if prev, ok := mapping[d]; ok && prev != p {
+			return nil, false, nil
+		}
+		mapping[d] = p
+	}
+	return mapping, true, nil
+}
+
+// ExpandFDModel maps a model trained with only the determinant attribute
+// (the composite θ_(city,country) parameters — under the FD, grouping by
+// city IS grouping by the pair) back to explicit per-attribute
+// parameters: θ'_city = θ_(city) − mean-of-country-share and θ'_country
+// collects the shared part. The split chosen here assigns each country
+// the average of its cities' composite parameters; any split summing to
+// the composite yields identical predictions, which is the recoverability
+// statement of Section 3.2.
+func ExpandFDModel(m *LinReg, detAttr string, fd map[int32]int32) (det map[int32]float64, dep map[int32]float64, err error) {
+	ki := -1
+	for k, g := range m.Cat {
+		if g == detAttr {
+			ki = k
+		}
+	}
+	if ki < 0 {
+		return nil, nil, fmt.Errorf("ml: model has no categorical feature %s", detAttr)
+	}
+	// Group composite parameters by dependent code.
+	sums := make(map[int32]float64)
+	counts := make(map[int32]float64)
+	composite := make(map[int32]float64)
+	for _, code := range m.catCodes[ki] {
+		pos, ok := m.CatPos(ki, code)
+		if !ok {
+			continue
+		}
+		theta := m.Theta[pos]
+		composite[code] = theta
+		depCode, ok := fd[code]
+		if !ok {
+			return nil, nil, fmt.Errorf("ml: FD mapping misses code %d", code)
+		}
+		sums[depCode] += theta
+		counts[depCode]++
+	}
+	dep = make(map[int32]float64, len(sums))
+	for c, s := range sums {
+		dep[c] = s / counts[c]
+	}
+	det = make(map[int32]float64, len(composite))
+	for code, theta := range composite {
+		det[code] = theta - dep[fd[code]]
+	}
+	return det, dep, nil
+}

@@ -1,0 +1,180 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"borg/internal/query"
+	"borg/internal/xrand"
+)
+
+// Weighted k-means in the style of Rk-means (Curtin et al., AISTATS
+// 2020, Section 3.3 of the paper): instead of clustering the join result
+// tuple by tuple, cluster a small weighted CORESET derived from grouped
+// aggregates — here the per-grid-cell means weighted by cell cardinality.
+// The coreset size is bounded by the grid attribute's domain, independent
+// of the join size, giving constant-factor approximations of the k-means
+// objective at a fraction of the cost.
+
+// WPoint is a weighted point.
+type WPoint struct {
+	X []float64
+	W float64
+}
+
+// BuildCoreset turns the results of a core.KMeansBatch evaluation into
+// weighted cell-mean points. dims must match the batch's dimensions.
+func BuildCoreset(dims []string, results []*query.AggResult) ([]WPoint, error) {
+	byID := make(map[string]*query.AggResult, len(results))
+	for _, r := range results {
+		byID[r.Spec.ID] = r
+	}
+	cells, ok := byID["km_cells"]
+	if !ok {
+		return nil, fmt.Errorf("ml: k-means batch missing km_cells")
+	}
+	sums := make([]*query.AggResult, len(dims))
+	for i, d := range dims {
+		s, ok := byID["km_s_"+d]
+		if !ok {
+			return nil, fmt.Errorf("ml: k-means batch missing km_s_%s", d)
+		}
+		sums[i] = s
+	}
+	var out []WPoint
+	for key, n := range cells.Groups {
+		if n <= 0 {
+			continue
+		}
+		p := WPoint{X: make([]float64, len(dims)), W: n}
+		for i := range dims {
+			p.X[i] = sums[i].Groups[key] / n
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// KMeans runs weighted Lloyd iterations with k-means++ seeding and
+// returns the centers and the weighted objective (sum of squared
+// distances to the nearest center).
+func KMeans(points []WPoint, k, iters int, seed uint64) ([][]float64, float64, error) {
+	if len(points) == 0 {
+		return nil, 0, fmt.Errorf("ml: k-means over empty point set")
+	}
+	if k <= 0 || k > len(points) {
+		k = min(len(points), max(1, k))
+	}
+	dim := len(points[0].X)
+	src := xrand.New(seed)
+
+	// k-means++ seeding over weights.
+	centers := make([][]float64, 0, k)
+	first := points[weightedPick(points, nil, src)]
+	centers = append(centers, append([]float64(nil), first.X...))
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		for i, p := range points {
+			d2[i] = p.W * nearestDist2(p.X, centers)
+		}
+		centers = append(centers, append([]float64(nil), points[weightedPick(points, d2, src)].X...))
+	}
+
+	assign := make([]int, len(points))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bd := 0, math.Inf(1)
+			for c := range centers {
+				if d := dist2(p.X, centers[c]); d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		wsum := make([]float64, k)
+		acc := make([][]float64, k)
+		for c := range acc {
+			acc[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			wsum[c] += p.W
+			for d := 0; d < dim; d++ {
+				acc[c][d] += p.W * p.X[d]
+			}
+		}
+		for c := range centers {
+			if wsum[c] == 0 {
+				continue // empty cluster keeps its center
+			}
+			for d := 0; d < dim; d++ {
+				centers[c][d] = acc[c][d] / wsum[c]
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return centers, Objective(points, centers), nil
+}
+
+// Objective returns the weighted k-means cost of the points under the
+// given centers.
+func Objective(points []WPoint, centers [][]float64) float64 {
+	total := 0.0
+	for _, p := range points {
+		total += p.W * nearestDist2(p.X, centers)
+	}
+	return total
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func nearestDist2(x []float64, centers [][]float64) float64 {
+	best := math.Inf(1)
+	for _, c := range centers {
+		if d := dist2(x, c); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// weightedPick draws an index proportionally to d2 (or to the point
+// weights when d2 is nil).
+func weightedPick(points []WPoint, d2 []float64, src *xrand.Source) int {
+	total := 0.0
+	for i := range points {
+		if d2 != nil {
+			total += d2[i]
+		} else {
+			total += points[i].W
+		}
+	}
+	if total <= 0 {
+		return src.Intn(len(points))
+	}
+	r := src.Float64() * total
+	for i := range points {
+		if d2 != nil {
+			r -= d2[i]
+		} else {
+			r -= points[i].W
+		}
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(points) - 1
+}

@@ -1,0 +1,200 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"borg/internal/relation"
+)
+
+// LinReg is a ridge linear regression model over a Design.
+type LinReg struct {
+	Design
+	Theta  []float64
+	Lambda float64
+	// Iterations records how many gradient steps training took (0 for
+	// the closed form), for experiment reporting.
+	Iterations int
+}
+
+// TrainLinRegGD minimizes the ridge least-squares objective by batch
+// gradient descent over the moment matrix: each step costs O(n²) in the
+// number of parameters and touches NO data — this is the 50-millisecond
+// "Grad Descent" line of Figure 3. Training stops after maxIters steps or
+// when the gradient norm falls below tol.
+//
+// The descent runs in the STANDARDIZED feature space (the paper's
+// Section 2.1 notes the covariance matrix is over standardized features):
+// the moments are preconditioned by the per-feature second-moment scale,
+// which makes the step size robust to wildly different feature ranges,
+// and the learned parameters are mapped back to the raw space.
+func TrainLinRegGD(s *Sigma, lambda float64, maxIters int, tol float64) *LinReg {
+	n := s.Size()
+	// Diagonal preconditioner d_i = 1/sqrt(E[x_i^2]).
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := s.XtX[i][i]
+		if v <= 0 {
+			d[i] = 1
+		} else {
+			d[i] = 1 / math.Sqrt(v)
+		}
+	}
+	a := make([][]float64, n) // preconditioned XtX
+	b := make([]float64, n)   // preconditioned XtY
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = d[i] * s.XtX[i][j] * d[j]
+		}
+		b[i] = d[i] * s.XtY[i]
+	}
+
+	theta := make([]float64, n)
+	grad := make([]float64, n)
+	// Safe step size: 1/L with L bounded by the trace of the
+	// preconditioned matrix (all diagonal entries are 1) plus lambda.
+	lr := 1 / (float64(n) + lambda)
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			g := -b[i] + lambda*theta[i]
+			row := a[i]
+			for j := 0; j < n; j++ {
+				g += row[j] * theta[j]
+			}
+			grad[i] = g
+			norm += g * g
+		}
+		if math.Sqrt(norm) < tol {
+			break
+		}
+		for i := 0; i < n; i++ {
+			theta[i] -= lr * grad[i]
+		}
+	}
+	// Map back to raw feature space.
+	for i := 0; i < n; i++ {
+		theta[i] *= d[i]
+	}
+	return &LinReg{Design: s.Design, Theta: theta, Lambda: lambda, Iterations: iters}
+}
+
+// TrainLinRegClosedForm solves the same standardized-ridge system as
+// TrainLinRegGD in closed form: (XtX + λ·diag(XtX))θ = XtY by Cholesky
+// factorization — the penalty of each parameter scales with its
+// feature's second moment, the standard convention when features are
+// standardized. λ must be positive when the one-hot blocks make XtX
+// singular (they always do together with the intercept).
+func TrainLinRegClosedForm(s *Sigma, lambda float64) (*LinReg, error) {
+	n := s.Size()
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = append([]float64(nil), s.XtX[i]...)
+		scale := s.XtX[i][i]
+		if scale <= 0 {
+			scale = 1
+		}
+		a[i][i] += lambda * scale
+	}
+	theta, err := choleskySolve(a, append([]float64(nil), s.XtY...))
+	if err != nil {
+		return nil, err
+	}
+	return &LinReg{Design: s.Design, Theta: theta, Lambda: lambda}, nil
+}
+
+// choleskySolve solves a x = b for symmetric positive-definite a,
+// overwriting its inputs.
+func choleskySolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Factor a = L Lᵀ in place (lower triangle).
+	for j := 0; j < n; j++ {
+		d := a[j][j]
+		for k := 0; k < j; k++ {
+			d -= a[j][k] * a[j][k]
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("ml: moment matrix not positive definite at pivot %d (add ridge)", j)
+		}
+		a[j][j] = math.Sqrt(d)
+		for i := j + 1; i < n; i++ {
+			v := a[i][j]
+			for k := 0; k < j; k++ {
+				v -= a[i][k] * a[j][k]
+			}
+			a[i][j] = v / a[j][j]
+		}
+	}
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		v := b[i]
+		for k := 0; k < i; k++ {
+			v -= a[i][k] * b[k]
+		}
+		b[i] = v / a[i][i]
+	}
+	// Back solve Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		v := b[i]
+		for k := i + 1; k < n; k++ {
+			v -= a[k][i] * b[k]
+		}
+		b[i] = v / a[i][i]
+	}
+	return b, nil
+}
+
+// Predict evaluates the model on one row of a materialized data matrix.
+func (m *LinReg) Predict(data *relation.Relation, row int, scratch []float64) (float64, error) {
+	if err := m.FeatureVector(data, row, scratch); err != nil {
+		return 0, err
+	}
+	p := 0.0
+	for i, v := range scratch {
+		p += m.Theta[i] * v
+	}
+	return p, nil
+}
+
+// RMSE computes the root-mean-square error of the model over a
+// materialized data matrix (validation only; training is aggregate-based).
+func (m *LinReg) RMSE(data *relation.Relation) (float64, error) {
+	yc := data.AttrIndex(m.Response)
+	if yc < 0 {
+		return 0, fmt.Errorf("ml: data matrix missing response %s", m.Response)
+	}
+	scratch := make([]float64, m.Size())
+	sse := 0.0
+	n := data.NumRows()
+	if n == 0 {
+		return 0, fmt.Errorf("ml: empty data matrix")
+	}
+	for row := 0; row < n; row++ {
+		p, err := m.Predict(data, row, scratch)
+		if err != nil {
+			return 0, err
+		}
+		e := p - data.Float(yc, row)
+		sse += e * e
+	}
+	return math.Sqrt(sse / float64(n)), nil
+}
+
+// ObjectiveFromSigma evaluates the (normalized) ridge least-squares
+// objective ½θᵀΣθ − θᵀb + ½·YtY + ½λ|θ|² at the model's parameters,
+// entirely from the moments — no data access.
+func (m *LinReg) ObjectiveFromSigma(s *Sigma) float64 {
+	n := s.Size()
+	obj := 0.5 * s.YtY
+	for i := 0; i < n; i++ {
+		obj -= m.Theta[i] * s.XtY[i]
+		row := s.XtX[i]
+		for j := 0; j < n; j++ {
+			obj += 0.5 * m.Theta[i] * row[j] * m.Theta[j]
+		}
+		obj += 0.5 * m.Lambda * m.Theta[i] * m.Theta[i]
+	}
+	return obj
+}

@@ -1,0 +1,196 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VarNode is one variable (attribute) of a variable order — the d-tree of
+// Section 5.1 (Figure 8, left). The order dictates the nesting of the
+// factorized join: values of a variable are grouped under each
+// combination of its Key ancestors, and sibling subtrees are
+// conditionally independent given their common ancestors.
+type VarNode struct {
+	Attr string
+	// Key is the subset of ancestor attributes this variable (and its
+	// subtree) depends on — the adornment {dish}, {item}, ... of Figure 8.
+	// Variables whose Key is a strict subset of their ancestors enable
+	// caching: their subtree is stored once per Key value, not once per
+	// ancestor combination (the `price` under `item` example).
+	Key      []string
+	Children []*VarNode
+	// Rels lists (by index into the join's relation slice) the relations
+	// that contain Attr.
+	Rels []int
+}
+
+// VarOrder is a rooted forest of variables covering all attributes of a
+// join. For connected joins it is a single tree.
+type VarOrder struct {
+	Join  *Join
+	Roots []*VarNode
+}
+
+// BuildVarOrder derives a variable order from a rooted join tree: each
+// tree node contributes its attributes not yet placed by its ancestors
+// (join attributes first, so children can hang below them), and each
+// child subtree attaches below the deepest of its join attributes. For
+// acyclic joins this yields an order whose factorization width is 1 —
+// f-representation size linear in the input (Olteanu & Závodný, TODS'15).
+func BuildVarOrder(t *JoinTree) *VarOrder {
+	vo := &VarOrder{Join: t.Join}
+	relIdx := make(map[string]int, len(t.Join.Relations))
+	for i, r := range t.Join.Relations {
+		relIdx[r.Name] = i
+	}
+
+	var build func(n *TreeNode, placed map[string]*VarNode, ancestors []string) *VarNode
+	build = func(n *TreeNode, placed map[string]*VarNode, ancestors []string) *VarNode {
+		// Order this node's own new attributes: join attrs with children
+		// first (they must dominate the child subtrees), then the rest.
+		isChildJoin := make(map[string]bool)
+		for _, c := range n.Children {
+			for _, a := range c.JoinAttrs {
+				isChildJoin[a] = true
+			}
+		}
+		var newAttrs []string
+		for _, a := range n.Rel.Attrs() {
+			if _, done := placed[a.Name]; !done && isChildJoin[a.Name] {
+				newAttrs = append(newAttrs, a.Name)
+			}
+		}
+		for _, a := range n.Rel.Attrs() {
+			if _, done := placed[a.Name]; !done && !isChildJoin[a.Name] {
+				newAttrs = append(newAttrs, a.Name)
+			}
+		}
+
+		var top, bottom *VarNode
+		anc := append([]string(nil), ancestors...)
+		for _, a := range newAttrs {
+			vn := &VarNode{Attr: a, Key: keyFor(a, anc, t.Join), Rels: t.Join.RelationsWith(a)}
+			placed[a] = vn
+			if bottom == nil {
+				top = vn
+			} else {
+				bottom.Children = append(bottom.Children, vn)
+			}
+			bottom = vn
+			anc = append(anc, a)
+		}
+		// Attach child subtrees under the deepest of their join attrs
+		// (all of which are placed: either by ancestors or just now).
+		for _, c := range n.Children {
+			attach := bottom
+			if len(c.JoinAttrs) > 0 {
+				attach = deepest(placed, c.JoinAttrs, anc)
+			}
+			sub := build(c, placed, ancestorsOf(attach, placed, anc))
+			if sub == nil {
+				continue
+			}
+			if attach == nil {
+				vo.Roots = append(vo.Roots, sub)
+			} else {
+				attach.Children = append(attach.Children, sub)
+			}
+		}
+		return top
+	}
+
+	placed := make(map[string]*VarNode)
+	root := build(t.Root, placed, nil)
+	if root != nil {
+		vo.Roots = append([]*VarNode{root}, vo.Roots...)
+	}
+	return vo
+}
+
+// keyFor computes the adornment of attribute a: the ancestors that
+// co-occur with a in some relation.
+func keyFor(a string, ancestors []string, j *Join) []string {
+	var key []string
+	for _, anc := range ancestors {
+		for _, ri := range j.RelationsWith(a) {
+			if j.Relations[ri].HasAttr(anc) {
+				key = append(key, anc)
+				break
+			}
+		}
+	}
+	return key
+}
+
+// deepest returns the variable among names that was placed last (appears
+// latest in the ancestor chain anc).
+func deepest(placed map[string]*VarNode, names []string, anc []string) *VarNode {
+	best := -1
+	var bestNode *VarNode
+	for _, nm := range names {
+		vn := placed[nm]
+		for i, a := range anc {
+			if a == nm && i > best {
+				best = i
+				bestNode = vn
+			}
+		}
+	}
+	if bestNode == nil {
+		// Join attr placed by an ancestor outside anc (should not happen
+		// for GYO trees); fall back to any placed node.
+		for _, nm := range names {
+			if placed[nm] != nil {
+				return placed[nm]
+			}
+		}
+	}
+	return bestNode
+}
+
+// ancestorsOf returns the chain of attributes from the root down to and
+// including vn, following the anc ordering.
+func ancestorsOf(vn *VarNode, placed map[string]*VarNode, anc []string) []string {
+	if vn == nil {
+		return nil
+	}
+	for i, a := range anc {
+		if placed[a] == vn {
+			return append([]string(nil), anc[:i+1]...)
+		}
+	}
+	return append([]string(nil), anc...)
+}
+
+// Vars returns all variables of the order in pre-order.
+func (vo *VarOrder) Vars() []*VarNode {
+	var out []*VarNode
+	var walk func(n *VarNode)
+	walk = func(n *VarNode) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range vo.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// String renders the order as an indented tree with adornments, matching
+// the presentation of Figure 8 (left).
+func (vo *VarOrder) String() string {
+	var b strings.Builder
+	var walk func(n *VarNode, depth int)
+	walk = func(n *VarNode, depth int) {
+		fmt.Fprintf(&b, "%s%s {%s}\n", strings.Repeat("  ", depth), n.Attr, strings.Join(n.Key, ","))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range vo.Roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation as headerful CSV. Categorical codes are
+// decoded through their dictionaries, so the output round-trips through
+// ReadCSV. This is the "export" step of the structure-agnostic pipeline
+// measured in Figure 3.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := csv.NewWriter(bw)
+	header := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	rec := make([]string, len(r.attrs))
+	for row := 0; row < r.rows; row++ {
+		for c := range r.cols {
+			rec[c] = r.FormatCell(c, row)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write csv row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flush csv: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV appends rows parsed from headerful CSV data to r. The header
+// must list exactly r's attributes in order; Double cells are parsed as
+// floats and Category cells are interned through the shared dictionaries.
+func (r *Relation) ReadCSV(rd io.Reader) error {
+	cr := csv.NewReader(bufio.NewReaderSize(rd, 1<<16))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("read csv header: %w", err)
+	}
+	if len(header) != len(r.attrs) {
+		return fmt.Errorf("csv header has %d columns, relation %s has %d", len(header), r.Name, len(r.attrs))
+	}
+	for i, a := range r.attrs {
+		if header[i] != a.Name {
+			return fmt.Errorf("csv column %d is %q, want %q", i, header[i], a.Name)
+		}
+	}
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("read csv row %d: %w", row, err)
+		}
+		for c := range r.cols {
+			col := &r.cols[c]
+			if col.Type == Double {
+				f, err := strconv.ParseFloat(rec[c], 64)
+				if err != nil {
+					return fmt.Errorf("row %d column %s: %w", row, r.attrs[c].Name, err)
+				}
+				col.F = append(col.F, f)
+			} else {
+				col.C = append(col.C, col.Dict.Code(rec[c]))
+			}
+		}
+		r.rows++
+		row++
+	}
+}

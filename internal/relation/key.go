@@ -1,0 +1,78 @@
+package relation
+
+// Join keys in this system are tuples of at most two categorical codes.
+// They pack losslessly into a uint64, which keeps hash maps on the hot
+// paths allocation-free. Feature-extraction queries over the evaluated
+// schemas (Retailer, Favorita, Yelp, TPC-DS) join on one attribute
+// (ids) or two (location+date composite keys), so two slots suffice;
+// wider keys would be a schema error caught at plan time.
+
+// PackKey1 packs a single categorical code into a join key.
+func PackKey1(a int32) uint64 {
+	return uint64(uint32(a))
+}
+
+// PackKey2 packs two categorical codes into a join key.
+func PackKey2(a, b int32) uint64 {
+	return uint64(uint32(a)) | uint64(uint32(b))<<32
+}
+
+// UnpackKey2 splits a two-code key back into its components.
+func UnpackKey2(k uint64) (int32, int32) {
+	return int32(uint32(k)), int32(uint32(k >> 32))
+}
+
+// KeyFunc returns a function computing the packed join key of a row from
+// the given categorical column positions (1 or 2 of them). A zero-length
+// cols slice yields the constant key 0, which models a cross-product edge.
+func (r *Relation) KeyFunc(cols []int) func(row int) uint64 {
+	switch len(cols) {
+	case 0:
+		return func(int) uint64 { return 0 }
+	case 1:
+		c := r.cols[cols[0]].C
+		return func(row int) uint64 { return PackKey1(c[row]) }
+	case 2:
+		c0, c1 := r.cols[cols[0]].C, r.cols[cols[1]].C
+		return func(row int) uint64 { return PackKey2(c0[row], c1[row]) }
+	}
+	panic("relation: join keys wider than 2 attributes are not supported")
+}
+
+// Index is a hash index from packed join key to the row ids holding it.
+type Index struct {
+	cols []int
+	m    map[uint64][]int32
+}
+
+// BuildIndex indexes the relation on the given categorical columns.
+func (r *Relation) BuildIndex(cols []int) *Index {
+	key := r.KeyFunc(cols)
+	m := make(map[uint64][]int32, r.rows)
+	for i := 0; i < r.rows; i++ {
+		k := key(i)
+		m[k] = append(m[k], int32(i))
+	}
+	return &Index{cols: cols, m: m}
+}
+
+// NewIndex returns an empty index on the given columns, to be maintained
+// incrementally with Insert as rows are appended.
+func NewIndex(cols []int) *Index {
+	return &Index{cols: cols, m: make(map[uint64][]int32)}
+}
+
+// Insert records that row id carries key k.
+func (ix *Index) Insert(k uint64, id int32) {
+	ix.m[k] = append(ix.m[k], id)
+}
+
+// Rows returns the row ids with key k (nil if none). The slice must not
+// be modified.
+func (ix *Index) Rows(k uint64) []int32 { return ix.m[k] }
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return len(ix.m) }
+
+// Cols returns the indexed column positions.
+func (ix *Index) Cols() []int { return ix.cols }

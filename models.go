@@ -1,0 +1,403 @@
+package borg
+
+import (
+	"fmt"
+
+	"borg/internal/core"
+	"borg/internal/engine"
+	"borg/internal/ivm"
+	"borg/internal/ml"
+	"borg/internal/relation"
+)
+
+// LinearRegression is a ridge linear regression model trained over the
+// join from aggregate results only.
+type LinearRegression struct {
+	model *ml.LinReg
+	sigma *ml.Sigma
+}
+
+// LinearRegression trains a ridge model with the given features and
+// response: one LMFAO covariance batch over the join, then gradient
+// descent on the moments (Section 2.1 of the paper).
+func (q *Query) LinearRegression(f Features, response string, lambda float64) (*LinearRegression, error) {
+	sigma, err := q.covariance(f, response)
+	if err != nil {
+		return nil, err
+	}
+	m := ml.TrainLinRegGD(sigma, lambda, 50000, 1e-10)
+	return &LinearRegression{model: m, sigma: sigma}, nil
+}
+
+// Intercept returns the intercept parameter.
+func (m *LinearRegression) Intercept() float64 { return m.model.Theta[0] }
+
+// Coefficient returns the parameter of a continuous feature.
+func (m *LinearRegression) Coefficient(attr string) (float64, error) {
+	for i, a := range m.model.Cont {
+		if a == attr {
+			return m.model.Theta[m.model.ContPos(i)], nil
+		}
+	}
+	return 0, fmt.Errorf("borg: %s is not a continuous feature of the model", attr)
+}
+
+// CategoryCoefficient returns the one-hot parameter of (attr, value).
+func (m *LinearRegression) CategoryCoefficient(q *Query, attr, value string) (float64, error) {
+	for k, g := range m.model.Cat {
+		if g != attr {
+			continue
+		}
+		dict := q.dict(attr)
+		if dict == nil {
+			return 0, fmt.Errorf("borg: no dictionary for %s", attr)
+		}
+		code, ok := dict.Lookup(value)
+		if !ok {
+			return 0, fmt.Errorf("borg: value %q never observed for %s", value, attr)
+		}
+		pos, ok := m.model.CatPos(k, code)
+		if !ok {
+			return 0, fmt.Errorf("borg: value %q not in the training data", value)
+		}
+		return m.model.Theta[pos], nil
+	}
+	return 0, fmt.Errorf("borg: %s is not a categorical feature of the model", attr)
+}
+
+// TrainingRMSE materializes the join ONCE for validation and reports the
+// root-mean-square error. This is a diagnostics path; training itself
+// never materializes.
+func (m *LinearRegression) TrainingRMSE(q *Query) (float64, error) {
+	data, err := engine.MaterializeJoin(q.join)
+	if err != nil {
+		return 0, err
+	}
+	return m.model.RMSE(data)
+}
+
+// Retrain fits a new model over a SUBSET of the original features
+// without touching the data — the Section 1.5 model-selection move.
+func (m *LinearRegression) Retrain(f Features, lambda float64) (*LinearRegression, error) {
+	sub, err := ml.SubsetSigma(m.sigma, f.Continuous, f.Categorical)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearRegression{model: ml.TrainLinRegGD(sub, lambda, 50000, 1e-10), sigma: sub}, nil
+}
+
+func (q *Query) dict(attr string) *relation.Dict {
+	return q.db.db.Dict(attr)
+}
+
+// covariance evaluates the covariance batch and assembles the moments.
+func (q *Query) covariance(f Features, response string) (*ml.Sigma, error) {
+	jt, err := q.tree()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.Compile(jt, core.CovarianceBatch(f.core(), response), q.opts())
+	if err != nil {
+		return nil, err
+	}
+	results, err := plan.Eval()
+	if err != nil {
+		return nil, err
+	}
+	return ml.AssembleSigma(f.Continuous, f.Categorical, response, results)
+}
+
+// Covariance exposes the raw normalized moments of the features — the
+// sufficient statistics every Section 2.1 model consumes.
+type Covariance struct {
+	sigma *ml.Sigma
+}
+
+// Covariance computes the covariance matrix of the features and response.
+func (q *Query) Covariance(f Features, response string) (*Covariance, error) {
+	s, err := q.covariance(f, response)
+	if err != nil {
+		return nil, err
+	}
+	return &Covariance{sigma: s}, nil
+}
+
+// Count returns the number of tuples in the join.
+func (c *Covariance) Count() float64 { return c.sigma.Count }
+
+// Mean returns the mean of a continuous feature over the join.
+func (c *Covariance) Mean(attr string) (float64, error) {
+	for i, a := range c.sigma.Cont {
+		if a == attr {
+			return c.sigma.XtX[0][c.sigma.ContPos(i)], nil
+		}
+	}
+	return 0, fmt.Errorf("borg: %s not in covariance", attr)
+}
+
+// SecondMoment returns E[a·b] over the join for continuous features.
+func (c *Covariance) SecondMoment(a, b string) (float64, error) {
+	pa, pb := -1, -1
+	for i, x := range c.sigma.Cont {
+		if x == a {
+			pa = c.sigma.ContPos(i)
+		}
+		if x == b {
+			pb = c.sigma.ContPos(i)
+		}
+	}
+	if pa < 0 || pb < 0 {
+		return 0, fmt.Errorf("borg: %s or %s not in covariance", a, b)
+	}
+	return c.sigma.XtX[pa][pb], nil
+}
+
+// DecisionTree is a CART regression tree trained over the join.
+type DecisionTree struct {
+	tree *ml.Tree
+}
+
+// TreeOptions configures DecisionTree.
+type TreeOptions struct {
+	MaxDepth      int
+	MinRows       float64
+	ThresholdsPer int // candidate thresholds per continuous feature
+}
+
+// DecisionTree trains a CART regression tree: one LMFAO batch per tree
+// node (Section 2.2), never materializing the join.
+func (q *Query) DecisionTree(f Features, response string, opt TreeOptions) (*DecisionTree, error) {
+	if opt.ThresholdsPer <= 0 {
+		opt.ThresholdsPer = 8
+	}
+	jt, err := q.tree()
+	if err != nil {
+		return nil, err
+	}
+	ths := make(map[string][]float64, len(f.Continuous))
+	for _, a := range f.Continuous {
+		lo, hi, err := q.observedRange(a)
+		if err != nil {
+			return nil, err
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		for i := 1; i <= opt.ThresholdsPer; i++ {
+			ths[a] = append(ths[a], lo+(hi-lo)*float64(i)/float64(opt.ThresholdsPer+1))
+		}
+	}
+	tree, err := ml.TrainCART(jt, ml.TreeConfig{
+		Features:   f.core(),
+		Response:   response,
+		Thresholds: ths,
+		MaxDepth:   opt.MaxDepth,
+		MinRows:    opt.MinRows,
+		Opts:       q.opts(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DecisionTree{tree: tree}, nil
+}
+
+// Nodes returns the number of evaluated tree nodes.
+func (t *DecisionTree) Nodes() int { return t.tree.Nodes }
+
+// Depth returns the trained tree depth.
+func (t *DecisionTree) Depth() int { return t.tree.Depth() }
+
+// TrainingRMSE materializes the join once for validation.
+func (t *DecisionTree) TrainingRMSE(q *Query) (float64, error) {
+	data, err := engine.MaterializeJoin(q.join)
+	if err != nil {
+		return 0, err
+	}
+	return t.tree.RMSE(data)
+}
+
+func (q *Query) observedRange(attr string) (float64, float64, error) {
+	for _, r := range q.join.Relations {
+		c := r.AttrIndex(attr)
+		if c < 0 || r.NumRows() == 0 {
+			continue
+		}
+		col := r.Col(c).F
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return lo, hi, nil
+	}
+	return 0, 0, fmt.Errorf("borg: attribute %s not found or empty", attr)
+}
+
+// Clustering is the result of relational k-means.
+type Clustering struct {
+	Centers   [][]float64
+	Objective float64
+	Coreset   int
+}
+
+// KMeans clusters the join's tuples in the space of dims via the
+// Rk-means-style grid coreset over gridAttr (Section 3.3): the coreset
+// statistics come from one aggregate batch; Lloyd's algorithm never sees
+// the data.
+func (q *Query) KMeans(dims []string, gridAttr string, k, iters int, seed uint64) (*Clustering, error) {
+	jt, err := q.tree()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.Compile(jt, core.KMeansBatch(dims, gridAttr), q.opts())
+	if err != nil {
+		return nil, err
+	}
+	results, err := plan.Eval()
+	if err != nil {
+		return nil, err
+	}
+	coreset, err := ml.BuildCoreset(dims, results)
+	if err != nil {
+		return nil, err
+	}
+	centers, obj, err := ml.KMeans(coreset, k, iters, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Clustering{Centers: centers, Objective: obj, Coreset: len(coreset)}, nil
+}
+
+// DependencyEdge is one edge of a Chow–Liu dependency tree.
+type DependencyEdge struct {
+	A, B string
+	MI   float64
+}
+
+// ChowLiu estimates the pairwise mutual information of the categorical
+// attributes over the join and returns the maximum-spanning dependency
+// tree (the "mutual inf." workload of Figure 5).
+func (q *Query) ChowLiu(cats []string) ([]DependencyEdge, error) {
+	jt, err := q.tree()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.Compile(jt, core.MutualInfoBatch(cats), q.opts())
+	if err != nil {
+		return nil, err
+	}
+	results, err := plan.Eval()
+	if err != nil {
+		return nil, err
+	}
+	mi, err := ml.MutualInfo(cats, results)
+	if err != nil {
+		return nil, err
+	}
+	var out []DependencyEdge
+	for _, e := range ml.ChowLiu(mi) {
+		out = append(out, DependencyEdge{A: cats[e.A], B: cats[e.B], MI: e.MI})
+	}
+	return out, nil
+}
+
+// StreamingCovariance maintains the covariance matrix of the join's
+// continuous features under live tuple inserts, using F-IVM (one
+// ring-valued view hierarchy; Section 5.2 and Figure 4 right).
+type StreamingCovariance struct {
+	m        *ivm.FIVM
+	features []string
+}
+
+// StreamCovariance creates an F-IVM maintainer over an initially empty
+// copy of the query's relations.
+func (q *Query) StreamCovariance(features []string) (*StreamingCovariance, error) {
+	root := q.Root
+	if root == "" {
+		best := q.join.Relations[0]
+		for _, r := range q.join.Relations[1:] {
+			if r.NumRows() > best.NumRows() {
+				best = r
+			}
+		}
+		root = best.Name
+	}
+	m, err := ivm.NewFIVM(q.join, root, features)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamingCovariance{m: m, features: features}, nil
+}
+
+// Insert streams one tuple into the named relation. Values follow the
+// Relation.Append conventions (float64/int for continuous, string for
+// categorical).
+func (s *StreamingCovariance) Insert(rel string, values ...any) error {
+	r := s.m.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("borg: unknown relation %s", rel)
+	}
+	row := make([]relation.Value, len(values))
+	if len(values) != r.NumAttrs() {
+		return fmt.Errorf("borg: %s has %d attributes, got %d values", rel, r.NumAttrs(), len(values))
+	}
+	for i, v := range values {
+		col := r.Col(i)
+		switch x := v.(type) {
+		case float64:
+			row[i] = relation.FloatVal(x)
+		case int:
+			row[i] = relation.FloatVal(float64(x))
+		case string:
+			if col.Type != relation.Category {
+				return fmt.Errorf("borg: attribute %s is continuous, got string", r.Attrs()[i].Name)
+			}
+			row[i] = relation.CatVal(col.Dict.Code(x))
+		default:
+			return fmt.Errorf("borg: unsupported value type %T", v)
+		}
+	}
+	return s.m.Insert(ivm.Tuple{Rel: rel, Values: row})
+}
+
+// Count returns the maintained SUM(1) over the join.
+func (s *StreamingCovariance) Count() float64 { return s.m.Count() }
+
+// Mean returns the maintained mean of a feature, or NaN-free 0 when the
+// join is still empty.
+func (s *StreamingCovariance) Mean(attr string) (float64, error) {
+	i, err := s.featureIndex(attr)
+	if err != nil {
+		return 0, err
+	}
+	if s.m.Count() == 0 {
+		return 0, nil
+	}
+	return s.m.Sum(i) / s.m.Count(), nil
+}
+
+// SecondMoment returns the maintained SUM(a·b).
+func (s *StreamingCovariance) SecondMoment(a, b string) (float64, error) {
+	i, err := s.featureIndex(a)
+	if err != nil {
+		return 0, err
+	}
+	j, err := s.featureIndex(b)
+	if err != nil {
+		return 0, err
+	}
+	return s.m.Moment(i, j), nil
+}
+
+func (s *StreamingCovariance) featureIndex(attr string) (int, error) {
+	for i, f := range s.features {
+		if f == attr {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("borg: %s is not a maintained feature", attr)
+}
