@@ -19,6 +19,7 @@ import (
 	"borg/internal/core"
 	"borg/internal/datagen"
 	"borg/internal/engine"
+	"borg/internal/exec"
 	"borg/internal/factor"
 	"borg/internal/ifaq"
 	"borg/internal/ivm"
@@ -154,7 +155,7 @@ func BenchmarkFig6Ablation(b *testing.B) {
 		{"baseline", core.Options{}},
 		{"specialization", core.Options{Specialize: true}},
 		{"sharing", core.Options{Specialize: true, Share: true}},
-		{"parallelization", core.Options{Specialize: true, Share: true, Workers: 2}},
+		{"parallelization", core.Options{Specialize: true, Share: true, Runtime: exec.Runtime{Workers: 2}}},
 	}
 	for _, cfg := range configs {
 		cfg := cfg

@@ -27,6 +27,7 @@ import (
 
 	"borg/internal/core"
 	"borg/internal/datagen"
+	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/relation"
 )
@@ -122,8 +123,13 @@ type Query struct {
 	// Root pins the join-tree root (fact relation); empty picks the
 	// largest relation.
 	Root string
-	// Workers bounds engine parallelism (default 2).
+	// Workers bounds the morsel-driven execution runtime's parallelism.
+	// Query constructors set 2; values below 2 select the serial path.
 	Workers int
+	// MorselSize overrides the runtime's scan granularity (rows per
+	// morsel). 0 is automatic; pin it to make results bitwise
+	// reproducible across worker counts.
+	MorselSize int
 }
 
 // Query builds the natural join of the named relations (all relations
@@ -173,11 +179,17 @@ func (q *Query) tree() (*query.JoinTree, error) {
 }
 
 func (q *Query) opts() core.Options {
+	return core.Options{Specialize: true, Share: true, Runtime: q.runtime()}
+}
+
+// runtime resolves the query's exec.Runtime — the single parallelism
+// config threaded from the facade through core, engine, and ivm.
+func (q *Query) runtime() exec.Runtime {
 	w := q.Workers
 	if w <= 0 {
 		w = 1
 	}
-	return core.Optimized(w)
+	return exec.Runtime{Workers: w, MorselSize: q.MorselSize}
 }
 
 // Dataset wraps one of the built-in synthetic evaluation datasets with

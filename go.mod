@@ -1,0 +1,3 @@
+module borg
+
+go 1.24

@@ -35,6 +35,9 @@ type Options struct {
 	Workers int
 	// Budget caps the per-strategy streaming time of the IVM experiment.
 	Budget time.Duration
+	// JSON switches machine-readable output on for the runners that
+	// support it (the exec-runtime baseline).
+	JSON bool
 }
 
 func (o *Options) defaults() {

@@ -7,6 +7,7 @@ import (
 	"borg/internal/core"
 	"borg/internal/datagen"
 	"borg/internal/engine"
+	"borg/internal/exec"
 	"borg/internal/factor"
 	"borg/internal/ifaq"
 	"borg/internal/ineq"
@@ -49,7 +50,7 @@ func Fig6(o Options) error {
 		{"baseline", core.Options{}},
 		{"+specialization", core.Options{Specialize: true}},
 		{"+sharing", core.Options{Specialize: true, Share: true}},
-		{"+parallelization", core.Options{Specialize: true, Share: true, Workers: o.Workers}},
+		{"+parallelization", core.Options{Specialize: true, Share: true, Runtime: exec.Runtime{Workers: o.Workers}}},
 	}
 	var rows [][]string
 	for _, d := range datagen.All(o.Seed, o.SF) {

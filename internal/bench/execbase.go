@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"borg/internal/core"
+	"borg/internal/datagen"
+	"borg/internal/exec"
+)
+
+// ExecBaselineRun is one measured configuration of the exec-runtime
+// baseline: the covariance batch evaluated end to end at a fixed worker
+// count.
+type ExecBaselineRun struct {
+	Workers int     `json:"workers"`
+	BestMS  float64 `json:"best_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// ExecBaselineReport is the machine-readable perf baseline of the
+// morsel-driven runtime: the retailer covariance batch at several worker
+// counts, plus enough environment detail (CPU count, morsel size, scale
+// factor) that future runs are comparable. Committed runs of this report
+// are the repository's performance trajectory.
+type ExecBaselineReport struct {
+	Dataset    string            `json:"dataset"`
+	SF         float64           `json:"sf"`
+	Seed       uint64            `json:"seed"`
+	Batch      string            `json:"batch"`
+	Aggregates int               `json:"aggregates"`
+	InputRows  int               `json:"input_rows"`
+	CPUs       int               `json:"cpus"`
+	MorselSize int               `json:"morsel_size"`
+	Reps       int               `json:"reps"`
+	Runs       []ExecBaselineRun `json:"runs"`
+	// SpeedupW8OverW1 is best-of-reps Workers:1 time over Workers:8
+	// time. On a single-CPU host this sits near 1.0 by construction;
+	// the per-run times remain the comparable trajectory.
+	SpeedupW8OverW1 float64 `json:"speedup_w8_over_w1"`
+}
+
+// ExecBaseline measures the exec-runtime baseline on the Retailer
+// covariance batch at Workers 1, 2, 4, 8.
+func ExecBaseline(o Options) (*ExecBaselineReport, error) {
+	o.defaults()
+	const reps = 5
+	d := datagen.Retailer(o.Seed, o.SF)
+	specs := core.CovarianceBatch(d.Features(), d.Response)
+	jt, err := d.Join.BuildJoinTree(d.Root)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ExecBaselineReport{
+		Dataset:    d.Name,
+		SF:         o.SF,
+		Seed:       o.Seed,
+		Batch:      "covariance",
+		Aggregates: len(specs),
+		InputRows:  d.DB.TotalRows(),
+		CPUs:       runtime.NumCPU(),
+		MorselSize: exec.DefaultMorselSize,
+		Reps:       reps,
+	}
+	times := make(map[int]time.Duration, 4)
+	for _, workers := range []int{1, 2, 4, 8} {
+		// MorselSize is pinned so every run uses the same morsel
+		// decomposition (and produces bitwise-identical results): the
+		// comparison is a pure worker-count ablation, and the recorded
+		// morsel_size is true for every run including Workers:1.
+		opts := core.Options{Specialize: true, Share: true,
+			Runtime: exec.Runtime{Workers: workers, MorselSize: exec.DefaultMorselSize}}
+		plan, err := core.Compile(jt, specs, opts)
+		if err != nil {
+			return nil, err
+		}
+		best := time.Duration(0)
+		var total time.Duration
+		for r := 0; r < reps; r++ {
+			t, err := timed(func() error {
+				_, err := plan.Eval()
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			total += t
+			if best == 0 || t < best {
+				best = t
+			}
+		}
+		times[workers] = best
+		rep.Runs = append(rep.Runs, ExecBaselineRun{
+			Workers: workers,
+			BestMS:  float64(best.Microseconds()) / 1000,
+			MeanMS:  float64(total.Microseconds()) / 1000 / reps,
+		})
+	}
+	rep.SpeedupW8OverW1 = float64(times[1]) / float64(times[8])
+	return rep, nil
+}
+
+// ExecBaselineTable runs the baseline and renders it as a table, or as
+// indented JSON when o.JSON is set (the format committed under
+// benchmarks/).
+func ExecBaselineTable(o Options) error {
+	o.defaults()
+	rep, err := ExecBaseline(o)
+	if err != nil {
+		return err
+	}
+	if o.JSON {
+		enc := json.NewEncoder(o.Out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	var rows [][]string
+	base := rep.Runs[0].BestMS
+	for _, r := range rep.Runs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%.1f ms", r.BestMS),
+			fmt.Sprintf("%.1f ms", r.MeanMS),
+			fmt.Sprintf("%.2fx", base/r.BestMS),
+		})
+	}
+	printTable(o.Out, fmt.Sprintf("Exec runtime baseline: %s covariance batch (%d aggregates, %d input rows, %d CPUs)",
+		rep.Dataset, rep.Aggregates, rep.InputRows, rep.CPUs),
+		[]string{"Workers", "Best", "Mean", "Speedup vs W1"}, rows)
+	fmt.Fprintf(o.Out, "Workers:8 over Workers:1 speedup: %.2fx\n", rep.SpeedupW8OverW1)
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"borg/internal/engine"
+	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/testdb"
 )
@@ -15,7 +16,7 @@ func allOptionCombos() []Options {
 	for _, spec := range []bool{false, true} {
 		for _, share := range []bool{false, true} {
 			for _, workers := range []int{1, 2} {
-				out = append(out, Options{Specialize: spec, Share: share, Workers: workers})
+				out = append(out, Options{Specialize: spec, Share: share, Runtime: exec.Runtime{Workers: workers}})
 			}
 		}
 	}
@@ -23,7 +24,7 @@ func allOptionCombos() []Options {
 }
 
 func optName(o Options) string {
-	return fmt.Sprintf("spec=%v_share=%v_w=%d", o.Specialize, o.Share, o.Workers)
+	return fmt.Sprintf("spec=%v_share=%v_w=%d", o.Specialize, o.Share, o.Runtime.Workers)
 }
 
 // evalBoth runs the batch through LMFAO (with the given options) and the

@@ -2,8 +2,8 @@ package core
 
 import (
 	"math"
-	"sync"
 
+	"borg/internal/exec"
 	"borg/internal/query"
 )
 
@@ -33,16 +33,12 @@ type accRow struct {
 	maps []map[query.GroupKey]float64
 }
 
-// Eval runs the plan: evaluates every node bottom-up (possibly in
-// parallel) and assembles the batch results at the root.
+// Eval runs the plan: every node is evaluated bottom-up with one shared,
+// morsel-parallel scan of its relation (internal/exec), then the batch
+// results are assembled at the root.
 func (p *Plan) Eval() ([]*query.AggResult, error) {
-	if p.opts.Workers > 1 {
-		sem := make(chan struct{}, p.opts.Workers)
-		p.evalSubtreeParallel(p.root, sem)
-	} else {
-		for _, np := range p.bottomUp {
-			p.evalNode(np)
-		}
+	for _, np := range p.bottomUp {
+		p.evalNode(np)
 	}
 
 	rootRow, ok := p.root.view[0]
@@ -78,88 +74,96 @@ func (p *Plan) Eval() ([]*query.AggResult, error) {
 	return results, nil
 }
 
-// evalSubtreeParallel evaluates the children of np concurrently (task
-// parallelism), then np itself with a domain-partitioned scan.
-func (p *Plan) evalSubtreeParallel(np *nodePlan, sem chan struct{}) {
-	var wg sync.WaitGroup
-	for _, c := range np.children {
-		select {
-		case sem <- struct{}{}:
-			wg.Add(1)
-			go func(c *nodePlan) {
-				defer wg.Done()
-				p.evalSubtreeParallel(c, sem)
-				<-sem
-			}(c)
-		default:
-			p.evalSubtreeParallel(c, sem)
-		}
-	}
-	wg.Wait()
-	p.evalNode(np)
-}
-
-// evalNode computes np's view with one shared scan over its relation.
+// evalNode computes np's view with one shared scan over its relation,
+// scheduled by the exec runtime. Leaf nodes whose slots are all scalar
+// take the typed grouped-multi-sum kernel; everything else runs the
+// general slot scan morsel by morsel with a deterministic merge.
 func (p *Plan) evalNode(np *nodePlan) {
+	rt := p.opts.Runtime
 	n := np.rel.NumRows()
-	workers := p.opts.Workers
-	if workers > n {
-		workers = 1
-	}
-	if workers <= 1 {
-		acc := p.scanRange(np, 0, n)
-		np.view = freeze(np, acc)
+
+	if len(np.children) == 0 && allScalar(np.slots) {
+		slots := make([]exec.RowVal, len(np.slots))
+		for s, sl := range np.slots {
+			slots[s] = p.slotVal(np, sl)
+		}
+		table := exec.MultiSum(rt, n, np.rel.KeyFunc(np.parentKeyCols), slots)
+		view := make(nodeView, len(table))
+		for k, vals := range table {
+			fr := make(frozenRow, len(vals))
+			for s, v := range vals {
+				fr[s] = payload{scalar: v}
+			}
+			view[k] = fr
+		}
+		np.view = view
 		return
 	}
-	// Domain parallelism: partition the scan, merge the partial maps.
-	accs := make([]map[uint64]*accRow, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			accs[w] = p.scanRange(np, lo, hi)
-		}(w, lo, hi)
+
+	parts := exec.Scan(rt, n,
+		func() map[uint64]*accRow { return make(map[uint64]*accRow) },
+		func(acc map[uint64]*accRow, lo, hi int) map[uint64]*accRow {
+			p.scanRange(np, acc, lo, hi)
+			return acc
+		})
+	acc := exec.Fold(parts, mergeAcc)
+	if acc == nil {
+		acc = make(map[uint64]*accRow)
 	}
-	wg.Wait()
-	base := accs[0]
-	if base == nil {
-		base = make(map[uint64]*accRow)
-	}
-	for _, part := range accs[1:] {
-		for k, row := range part {
-			dst, ok := base[k]
-			if !ok {
-				base[k] = row
-				continue
-			}
-			for s := range dst.scal {
-				dst.scal[s] += row.scal[s]
-			}
-			for s := range dst.maps {
-				if dst.maps[s] == nil {
-					continue
-				}
-				for gk, v := range row.maps[s] {
-					dst.maps[s][gk] += v
-				}
-			}
-		}
-	}
-	np.view = freeze(np, base)
+	np.view = freeze(np, acc)
 }
 
-// scanRange evaluates all slots of np over rows [lo, hi).
-func (p *Plan) scanRange(np *nodePlan, lo, hi int) map[uint64]*accRow {
-	acc := make(map[uint64]*accRow)
+// allScalar reports whether every slot of a node is scalar-only.
+func allScalar(slots []*slot) bool {
+	for _, sl := range slots {
+		if !sl.scalarOnly {
+			return false
+		}
+	}
+	return true
+}
+
+// slotVal returns the per-row evaluator of a slot's local computation:
+// the specialized closure when the plan was compiled with
+// Options.Specialize, the interpreter otherwise.
+func (p *Plan) slotVal(np *nodePlan, sl *slot) exec.RowVal {
+	if sl.evalLocal != nil {
+		return exec.RowVal(sl.evalLocal)
+	}
+	return func(row int) (float64, bool) {
+		return interpretLocal(np, sl, row)
+	}
+}
+
+// mergeAcc merges one morsel's partial accumulator into dst, per key and
+// in morsel order — the deterministic merge step of the parallel scan.
+func mergeAcc(dst, src map[uint64]*accRow) map[uint64]*accRow {
+	if dst == nil {
+		return src
+	}
+	for k, row := range src {
+		d, ok := dst[k]
+		if !ok {
+			dst[k] = row
+			continue
+		}
+		for s := range d.scal {
+			d.scal[s] += row.scal[s]
+		}
+		for s := range d.maps {
+			if d.maps[s] == nil {
+				continue
+			}
+			for gk, v := range row.maps[s] {
+				d.maps[s][gk] += v
+			}
+		}
+	}
+	return dst
+}
+
+// scanRange evaluates all slots of np over rows [lo, hi) into acc.
+func (p *Plan) scanRange(np *nodePlan, acc map[uint64]*accRow, lo, hi int) {
 	keyFn := np.rel.KeyFunc(np.parentKeyCols)
 	childKeyFns := make([]func(int) uint64, len(np.children))
 	for ci := range np.children {
@@ -249,7 +253,6 @@ rows:
 			}
 		}
 	}
-	return acc
 }
 
 // interpretLocal is the unspecialized per-row evaluation: it re-reads the

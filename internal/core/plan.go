@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/relation"
 )
@@ -22,16 +23,18 @@ type Options struct {
 	// aggregate gets private copies of all of its partial aggregates,
 	// recomputing identical work per aggregate.
 	Share bool
-	// Workers is the number of goroutines for domain-partitioned scans
-	// and concurrent subtree evaluation. Values below 2 disable
-	// parallelism.
-	Workers int
+	// Runtime configures the shared morsel-driven execution runtime
+	// (internal/exec) that schedules every node scan. Runtime.Workers
+	// below 2 is the serial path — the parallelization-off baseline of
+	// Figure 6. Pin Runtime.MorselSize to make results bitwise
+	// reproducible across worker counts.
+	Runtime exec.Runtime
 }
 
 // Optimized returns the fully optimized configuration with the given
 // parallelism.
 func Optimized(workers int) Options {
-	return Options{Specialize: true, Share: true, Workers: workers}
+	return Options{Specialize: true, Share: true, Runtime: exec.Runtime{Workers: workers}}
 }
 
 // Plan is a compiled aggregate batch over a rooted join tree.
@@ -112,8 +115,8 @@ type slot struct {
 // Compile decomposes the batch over the join tree. All spec attributes
 // must be covered by the tree's relations.
 func Compile(tree *query.JoinTree, specs []query.AggSpec, opts Options) (*Plan, error) {
-	if opts.Workers < 1 {
-		opts.Workers = 1
+	if opts.Runtime.Workers < 1 {
+		opts.Runtime.Workers = 1
 	}
 	p := &Plan{
 		Tree:     tree,

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"borg/internal/engine"
+	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/testdb"
 	"borg/internal/xrand"
@@ -34,7 +35,7 @@ func TestPropertyLMFAOMatchesEngine(t *testing.T) {
 		opts := Options{
 			Specialize: src.Intn(2) == 0,
 			Share:      src.Intn(2) == 0,
-			Workers:    1 + src.Intn(2),
+			Runtime:    exec.Runtime{Workers: 1 + src.Intn(2), MorselSize: 64 << src.Intn(3)},
 		}
 		plan, err := Compile(jt, specs, opts)
 		if err != nil {

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"borg/internal/exec"
+	"borg/internal/query"
+	"borg/internal/testdb"
+)
+
+// bitIdentical asserts two result batches are byte-identical: equal
+// scalar bits and equal group maps with equal value bits. This is the
+// certification of the exec runtime's deterministic merge — Workers must
+// never change a single mantissa bit once MorselSize is pinned.
+func bitIdentical(t *testing.T, label string, got, want []*query.AggResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i].Scalar) != math.Float64bits(want[i].Scalar) {
+			t.Fatalf("%s: aggregate %s scalar %x != %x", label,
+				want[i].Spec.ID, math.Float64bits(got[i].Scalar), math.Float64bits(want[i].Scalar))
+		}
+		if len(got[i].Groups) != len(want[i].Groups) {
+			t.Fatalf("%s: aggregate %s has %d groups, want %d", label,
+				want[i].Spec.ID, len(got[i].Groups), len(want[i].Groups))
+		}
+		for k, v := range want[i].Groups {
+			gv, ok := got[i].Groups[k]
+			if !ok || math.Float64bits(gv) != math.Float64bits(v) {
+				t.Fatalf("%s: aggregate %s group %v = %v, want %v", label,
+					want[i].Spec.ID, k, gv, v)
+			}
+		}
+	}
+}
+
+// TestEvalBitIdenticalAcrossWorkers: for a pinned MorselSize, Workers 1,
+// 2 and 8 must produce byte-identical aggregate batches. Run under
+// -race this also certifies the scan/merge step of internal/exec.
+func TestEvalBitIdenticalAcrossWorkers(t *testing.T) {
+	_, j, cont, cat := testdb.RandomStar(testdb.StarSpec{
+		Seed: 41, FactRows: 2000, DimRows: []int{40, 20, 9}, DanglingDims: true,
+	})
+	var features []Feature
+	for _, c := range cont[2:] {
+		features = append(features, Feature{Attr: c})
+	}
+	features = append(features, Feature{Attr: "fx"})
+	for _, g := range cat {
+		features = append(features, Feature{Attr: g, Categorical: true})
+	}
+	batches := map[string][]query.AggSpec{
+		"covariance": CovarianceBatch(features, "fy"),
+		"tree-node": DecisionNodeBatch(features, "fy", map[string][]float64{
+			"fx": {1, 4, 9}, "d0x": {0}, "d1x": {-1, 1},
+		}),
+	}
+	jt, err := j.BuildJoinTree("Fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, specs := range batches {
+		eval := func(workers int) []*query.AggResult {
+			opts := Options{
+				Specialize: true, Share: true,
+				Runtime: exec.Runtime{Workers: workers, MorselSize: 113},
+			}
+			plan, err := Compile(jt, specs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := plan.Eval()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		ref := eval(1)
+		for _, w := range []int{2, 8} {
+			bitIdentical(t, name, eval(w), ref)
+		}
+	}
+}
+
+// TestEvalBitIdenticalAutoMorsels: two PARALLEL worker counts share the
+// automatic DefaultMorselSize decomposition, so they too must agree
+// bitwise with each other (the serial auto path uses one whole-relation
+// morsel and is only required to agree approximately).
+func TestEvalBitIdenticalAutoMorsels(t *testing.T) {
+	_, j, cont, _ := testdb.RandomStar(testdb.StarSpec{Seed: 42, FactRows: 1500, DimRows: []int{25, 10}})
+	var features []Feature
+	for _, c := range cont {
+		if c == "fy" {
+			continue
+		}
+		features = append(features, Feature{Attr: c})
+	}
+	specs := CovarianceBatch(features, "fy")
+	jt, err := j.BuildJoinTree("Fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(workers int) []*query.AggResult {
+		plan, err := Compile(jt, specs, Optimized(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := plan.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bitIdentical(t, "auto-morsel", eval(8), eval(2))
+	// The serial single-morsel path agrees within float tolerance.
+	serial, parallel := eval(1), eval(2)
+	for i := range serial {
+		if !serial[i].ApproxEqual(parallel[i], 1e-12) {
+			t.Fatalf("serial vs parallel diverged on %s", serial[i].Spec.ID)
+		}
+	}
+}

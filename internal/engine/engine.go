@@ -16,6 +16,7 @@ package engine
 import (
 	"fmt"
 
+	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/relation"
 )
@@ -116,9 +117,19 @@ func hashJoin(l, r *relation.Relation) (*relation.Relation, error) {
 	return out, nil
 }
 
-// EvalAggregate computes one aggregate with a full scan over the
+// EvalAggregate computes one aggregate with a full serial scan over the
 // materialized data matrix.
 func EvalAggregate(data *relation.Relation, spec *query.AggSpec) (*query.AggResult, error) {
+	return EvalAggregateRT(exec.Serial(), data, spec)
+}
+
+// EvalAggregateRT computes one aggregate over the data matrix through
+// the shared exec kernels: a scalar-sum kernel for ungrouped aggregates,
+// a grouped-sum kernel keyed by packed uint64 codes for up to two
+// group-by attributes (the common case of every paper batch), and the
+// generic wide-key kernel beyond that. The scan is morselized and
+// scheduled by rt.
+func EvalAggregateRT(rt exec.Runtime, data *relation.Relation, spec *query.AggSpec) (*query.AggResult, error) {
 	factorCols := make([]int, len(spec.Factors))
 	for i, f := range spec.Factors {
 		factorCols[i] = data.AttrIndex(f.Attr)
@@ -141,16 +152,47 @@ func EvalAggregate(data *relation.Relation, spec *query.AggSpec) (*query.AggResu
 		}
 	}
 
-	res := &query.AggResult{Spec: spec}
-	if len(groupCols) > 0 {
-		res.Groups = make(map[query.GroupKey]float64)
-	}
+	val := rowVal(data, spec, factorCols, filterCols)
 	n := data.NumRows()
-rows:
-	for row := 0; row < n; row++ {
+	res := &query.AggResult{Spec: spec}
+	switch {
+	case len(groupCols) == 0:
+		res.Scalar = exec.Sum(rt, n, val)
+	case len(groupCols) <= 2:
+		table := exec.GroupedSum(rt, n, data.KeyFunc(groupCols), val)
+		res.Groups = make(map[query.GroupKey]float64, len(table))
+		if len(groupCols) == 1 {
+			for k, v := range table {
+				res.Groups[query.MakeGroupKey(int32(uint32(k)))] = v
+			}
+		} else {
+			for k, v := range table {
+				a, b := relation.UnpackKey2(k)
+				res.Groups[query.MakeGroupKey(a, b)] = v
+			}
+		}
+	default:
+		res.Groups = exec.GroupedSum(rt, n, func(row int) query.GroupKey {
+			k := query.NoGroup
+			for i, c := range groupCols {
+				k[i] = data.Cat(c, row)
+			}
+			return k
+		}, val)
+		if res.Groups == nil { // empty scan: grouped results stay non-nil
+			res.Groups = make(map[query.GroupKey]float64)
+		}
+	}
+	return res, nil
+}
+
+// rowVal compiles the spec's filters and factor product into a kernel
+// row evaluator over the data matrix.
+func rowVal(data *relation.Relation, spec *query.AggSpec, factorCols, filterCols []int) exec.RowVal {
+	return func(row int) (float64, bool) {
 		for i := range spec.Filters {
 			if !spec.Filters[i].Eval(data, filterCols[i], row) {
-				continue rows
+				return 0, false
 			}
 		}
 		v := 1.0
@@ -160,25 +202,25 @@ rows:
 				v *= x
 			}
 		}
-		if res.Groups == nil {
-			res.Scalar += v
-			continue
-		}
-		k := query.NoGroup
-		for i, c := range groupCols {
-			k[i] = data.Cat(c, row)
-		}
-		res.Groups[k] += v
+		return v, true
 	}
-	return res, nil
 }
 
-// EvalBatch evaluates each aggregate of the batch with its own scan —
-// the no-sharing execution the classical systems of Figure 4 (left) use.
+// EvalBatch evaluates each aggregate of the batch with its own serial
+// scan — the no-sharing execution the classical systems of Figure 4
+// (left) use.
 func EvalBatch(data *relation.Relation, specs []query.AggSpec) ([]*query.AggResult, error) {
+	return EvalBatchRT(exec.Serial(), data, specs)
+}
+
+// EvalBatchRT evaluates each aggregate with its own morsel-scheduled
+// scan. The scans stay one-per-aggregate (no sharing — that is the
+// architectural point of this baseline); rt only parallelizes each scan
+// internally.
+func EvalBatchRT(rt exec.Runtime, data *relation.Relation, specs []query.AggSpec) ([]*query.AggResult, error) {
 	out := make([]*query.AggResult, len(specs))
 	for i := range specs {
-		r, err := EvalAggregate(data, &specs[i])
+		r, err := EvalAggregateRT(rt, data, &specs[i])
 		if err != nil {
 			return nil, err
 		}

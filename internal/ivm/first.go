@@ -1,6 +1,9 @@
 package ivm
 
-import "borg/internal/query"
+import (
+	"borg/internal/exec"
+	"borg/internal/query"
+)
 
 // FirstOrder is classical first-order IVM: delta processing with no
 // auxiliary structures of any kind. Every insert evaluates its delta
@@ -58,15 +61,12 @@ func (m *FirstOrder) Insert(t Tuple) error {
 }
 
 // down recomputes aggregate a over the subtree rooted at n, restricted to
-// rows matching key — a fresh scan of the base relation, the defining
-// trait of first-order maintenance.
+// rows matching key — a fresh scan of the base relation (the defining
+// trait of first-order maintenance), run through the exec sum-where
+// kernel.
 func (m *FirstOrder) down(n *node, key uint64, a aggDef) float64 {
-	total := 0.0
-	keyOf := n.rel.KeyFunc(n.parentKeyCols)
-	for r := 0; r < n.rel.NumRows(); r++ {
-		if keyOf(r) != key {
-			continue
-		}
+	keyOf := exec.KeyFunc(n.rel.KeyFunc(n.parentKeyCols))
+	return exec.SumWhere(m.rt, n.rel.NumRows(), keyOf, key, func(r int) float64 {
 		v := localEval(n, r, a)
 		for ci, c := range n.children {
 			if v == 0 {
@@ -74,33 +74,30 @@ func (m *FirstOrder) down(n *node, key uint64, a aggDef) float64 {
 			}
 			v *= m.down(c, n.childKey(ci, r), a)
 		}
-		total += v
-	}
-	return total
+		return v
+	})
 }
 
-// up expands the delta towards the root, scanning the parent relation for
-// matching tuples and recomputing the sibling subtrees.
+// up expands the delta towards the root: the exec selection kernel scans
+// the parent relation for matching tuples, then each match recomputes
+// its sibling subtrees and climbs.
 func (m *FirstOrder) up(n *node, key uint64, a int, partial float64) {
 	p := n.parent
 	if p == nil {
 		m.result[a] += partial
 		return
 	}
-	keyOf := p.rel.KeyFunc(p.childKeyCols[n.childPos])
-	for r := 0; r < p.rel.NumRows(); r++ {
-		if keyOf(r) != key {
-			continue
-		}
-		contrib := localEval(p, r, m.aggs[a]) * partial
+	keyOf := exec.KeyFunc(p.rel.KeyFunc(p.childKeyCols[n.childPos]))
+	for _, r := range exec.SelectWhere(m.rt, p.rel.NumRows(), keyOf, key) {
+		contrib := localEval(p, int(r), m.aggs[a]) * partial
 		for ci, c := range p.children {
 			if c == n || contrib == 0 {
 				continue
 			}
-			contrib *= m.down(c, p.childKey(ci, r), m.aggs[a])
+			contrib *= m.down(c, p.childKey(ci, int(r)), m.aggs[a])
 		}
 		if contrib != 0 {
-			m.up(p, p.parentKey(r), a, contrib)
+			m.up(p, p.parentKey(int(r)), a, contrib)
 		}
 	}
 }

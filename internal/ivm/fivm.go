@@ -1,6 +1,7 @@
 package ivm
 
 import (
+	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/ring"
 )
@@ -81,29 +82,26 @@ func (m *FIVM) propagate(n *node, key uint64, delta *ring.Covar) {
 		m.result.AddInPlace(delta)
 		return
 	}
-	// δ_p(k') = Σ_{t ∈ R_p matching} lift(t) ⨂ Π_{c≠n} V_c ⨂ δ.
-	deltas := make(map[uint64]*ring.Covar)
+	// δ_p(k') = Σ_{t ∈ R_p matching} lift(t) ⨂ Π_{c≠n} V_c ⨂ δ, the
+	// ring-valued instance of the exec grouped-fold fanout kernel.
 	rows := p.childIndexes[n.childPos].Rows(key)
-rows:
-	for _, r := range rows {
-		contrib := m.ring.Mul(m.ring.Lift(p.featIdx, p.vals(int(r))), delta)
-		for ci, c := range p.children {
-			if c == n {
-				continue
+	deltas := exec.GroupedFold(rows,
+		func(r int) uint64 { return p.parentKey(r) },
+		func(r int) (*ring.Covar, bool) {
+			contrib := m.ring.Mul(m.ring.Lift(p.featIdx, p.vals(r)), delta)
+			for ci, c := range p.children {
+				if c == n {
+					continue
+				}
+				cv, ok := m.views[c][p.childKey(ci, r)]
+				if !ok {
+					return nil, false
+				}
+				contrib = m.ring.Mul(contrib, cv)
 			}
-			cv, ok := m.views[c][p.childKey(ci, int(r))]
-			if !ok {
-				continue rows
-			}
-			contrib = m.ring.Mul(contrib, cv)
-		}
-		k := p.parentKey(int(r))
-		if cur, ok := deltas[k]; ok {
-			cur.AddInPlace(contrib)
-		} else {
-			deltas[k] = contrib
-		}
-	}
+			return contrib, true
+		},
+		func(dst, v *ring.Covar) *ring.Covar { dst.AddInPlace(v); return dst })
 	for k, d := range deltas {
 		m.propagate(p, k, d)
 	}

@@ -1,6 +1,9 @@
 package ivm
 
-import "borg/internal/query"
+import (
+	"borg/internal/exec"
+	"borg/internal/query"
+)
 
 // HigherOrder is DBToaster-style higher-order IVM: delta processing with
 // materialized intermediate views, but — unlike F-IVM — one independent
@@ -75,7 +78,9 @@ func (m *HigherOrder) Insert(t Tuple) error {
 }
 
 // propagate merges a scalar delta into aggregate a's view at node n and
-// climbs to the root.
+// climbs to the root. The fanout over the parent's matching tuples is
+// the exec grouped-fold kernel, grouping contributions by the parent's
+// own upward key.
 func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
 	m.views[n][a][key] += delta
 	p := n.parent
@@ -83,23 +88,24 @@ func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
 		m.result[a] += delta
 		return
 	}
-	deltas := make(map[uint64]float64)
 	rows := p.childIndexes[n.childPos].Rows(key)
-rows:
-	for _, r := range rows {
-		contrib := localEval(p, int(r), m.aggs[a]) * delta
-		for ci, c := range p.children {
-			if c == n {
-				continue
+	deltas := exec.GroupedFold(rows,
+		func(r int) uint64 { return p.parentKey(r) },
+		func(r int) (float64, bool) {
+			contrib := localEval(p, r, m.aggs[a]) * delta
+			for ci, c := range p.children {
+				if c == n {
+					continue
+				}
+				cv, ok := m.views[c][a][p.childKey(ci, r)]
+				if !ok {
+					return 0, false
+				}
+				contrib *= cv
 			}
-			cv, ok := m.views[c][a][p.childKey(ci, int(r))]
-			if !ok {
-				continue rows
-			}
-			contrib *= cv
-		}
-		deltas[p.parentKey(int(r))] += contrib
-	}
+			return contrib, true
+		},
+		func(dst, v float64) float64 { return dst + v })
 	for k, d := range deltas {
 		m.propagate(p, a, k, d)
 	}

@@ -29,6 +29,7 @@ package ivm
 import (
 	"fmt"
 
+	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/relation"
 )
@@ -84,7 +85,15 @@ type base struct {
 	root     *node
 	byName   map[string]*node
 	features []string
+	// rt schedules the delta scans routed through internal/exec. The
+	// zero value is the serial runtime; SetRuntime overrides it.
+	rt exec.Runtime
 }
+
+// SetRuntime points the maintainer's scan kernels at the given exec
+// runtime. Only first-order maintenance runs scans wide enough to
+// parallelize; view-based strategies use the runtime's serial kernels.
+func (b *base) SetRuntime(rt exec.Runtime) { b.rt = rt }
 
 // newBase clones empty live relations for the given join, builds the
 // tree rooted at root, and resolves feature ownership.

@@ -330,6 +330,10 @@ func (q *Query) StreamCovariance(features []string) (*StreamingCovariance, error
 	if err != nil {
 		return nil, err
 	}
+	// F-IVM's per-tuple propagation runs on the runtime's serial kernels
+	// today; threading the query's runtime here keeps the facade contract
+	// uniform and future bulk paths (initial loads, batch deltas) scaled.
+	m.SetRuntime(q.runtime())
 	return &StreamingCovariance{m: m, features: features}, nil
 }
 
