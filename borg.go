@@ -15,11 +15,18 @@
 //	    Continuous:  []string{"price"},
 //	}, "units", 1e-3)
 //
+// For continuous workloads, Query.Serve starts a long-lived Server that
+// maintains the model's sufficient statistics incrementally under
+// streamed inserts (F-IVM, Section 5.2) while serving snapshot-
+// consistent statistics and freshly trained models to any number of
+// concurrent readers; cmd/borg-serve exposes it over HTTP.
+//
 // Under the facade: internal/core is the LMFAO aggregate-batch engine,
 // internal/ring the covariance ring, internal/ivm the incremental
-// maintenance strategies, internal/factor the factorized representations,
-// and internal/ml the models. The experiment harness reproducing the
-// paper's evaluation lives in internal/bench and cmd/borg-bench.
+// maintenance strategies, internal/serve the concurrent serving layer,
+// internal/factor the factorized representations, and internal/ml the
+// models. The experiment harness reproducing the paper's evaluation
+// lives in internal/bench and cmd/borg-bench.
 package borg
 
 import (
@@ -85,34 +92,58 @@ func (r *Relation) Rows() int { return r.rel.NumRows() }
 // categorical attributes take string values, which are interned in the
 // shared dictionaries.
 func (r *Relation) Append(values ...any) error {
-	if len(values) != r.rel.NumAttrs() {
-		return fmt.Errorf("borg: %s has %d attributes, got %d values", r.rel.Name, r.rel.NumAttrs(), len(values))
+	row, err := coerceRow(r.rel, values)
+	if err != nil {
+		return err
+	}
+	r.rel.AppendRow(row...)
+	return nil
+}
+
+// coerceRow converts facade values (float64/int for continuous, string
+// for categorical) into relation values in schema order — the single
+// conversion path shared by Relation.Append, StreamingCovariance.Insert,
+// and Server.Insert. Categorical strings are interned under the shared
+// dictionary lock so that Server.Insert — the one entry point documented
+// as safe for concurrent callers — can convert in parallel; Append and
+// StreamingCovariance.Insert remain single-writer APIs (their row
+// mutation happens outside any lock).
+func coerceRow(r *relation.Relation, values []any) ([]relation.Value, error) {
+	if len(values) != r.NumAttrs() {
+		return nil, fmt.Errorf("borg: %s has %d attributes, got %d values", r.Name, r.NumAttrs(), len(values))
 	}
 	row := make([]relation.Value, len(values))
 	for i, v := range values {
-		col := r.rel.Col(i)
+		col := r.Col(i)
 		switch x := v.(type) {
 		case float64:
 			if col.Type != relation.Double {
-				return fmt.Errorf("borg: attribute %s is categorical, got float", r.rel.Attrs()[i].Name)
+				return nil, fmt.Errorf("borg: attribute %s is categorical, got float", r.Attrs()[i].Name)
 			}
 			row[i] = relation.FloatVal(x)
 		case int:
 			if col.Type != relation.Double {
-				return fmt.Errorf("borg: attribute %s is categorical, got int", r.rel.Attrs()[i].Name)
+				return nil, fmt.Errorf("borg: attribute %s is categorical, got int", r.Attrs()[i].Name)
 			}
 			row[i] = relation.FloatVal(float64(x))
 		case string:
 			if col.Type != relation.Category {
-				return fmt.Errorf("borg: attribute %s is continuous, got string", r.rel.Attrs()[i].Name)
+				return nil, fmt.Errorf("borg: attribute %s is continuous, got string", r.Attrs()[i].Name)
 			}
-			row[i] = relation.CatVal(col.Dict.Code(x))
+			internMu.RLock()
+			code, known := col.Dict.Lookup(x)
+			internMu.RUnlock()
+			if !known {
+				internMu.Lock()
+				code = col.Dict.Code(x)
+				internMu.Unlock()
+			}
+			row[i] = relation.CatVal(code)
 		default:
-			return fmt.Errorf("borg: unsupported value type %T for attribute %s", v, r.rel.Attrs()[i].Name)
+			return nil, fmt.Errorf("borg: unsupported value type %T for attribute %s", v, r.Attrs()[i].Name)
 		}
 	}
-	r.rel.AppendRow(row...)
-	return nil
+	return row, nil
 }
 
 // Query is a natural join of relations — the feature-extraction query of
@@ -176,6 +207,22 @@ func (f Features) core() []core.Feature {
 
 func (q *Query) tree() (*query.JoinTree, error) {
 	return q.join.BuildJoinTree(q.Root)
+}
+
+// rootOrLargest resolves the pinned join-tree root, defaulting to the
+// largest relation (the fact table, in the evaluated schemas) — the
+// root-selection rule shared by the streaming and serving facades.
+func (q *Query) rootOrLargest() string {
+	if q.Root != "" {
+		return q.Root
+	}
+	best := q.join.Relations[0]
+	for _, r := range q.join.Relations[1:] {
+		if r.NumRows() > best.NumRows() {
+			best = r
+		}
+	}
+	return best.Name
 }
 
 func (q *Query) opts() core.Options {

@@ -1,0 +1,134 @@
+// Command borg-perfgate is the CI performance-regression gate: it
+// compares a fresh `borg-bench -fig exec -json` run against the
+// committed baseline (benchmarks/baseline.json) and fails when any
+// worker-count cell slowed down beyond the tolerance.
+//
+// Usage:
+//
+//	borg-bench -fig exec -json > fresh.json
+//	borg-perfgate -baseline benchmarks/baseline.json -fresh fresh.json
+//
+// The tolerance is deliberately generous — CI runners are noisy and the
+// gate exists to catch order-of-magnitude regressions (a serialized hot
+// path, an accidental O(n²)), not 10% wobble. Per cell, the fresh best
+// time may be at most
+//
+//	max-ratio × max(1, p_base/p_fresh)
+//
+// times the baseline best time, where p = min(workers, cpus) is the
+// effective parallelism each host could give that cell: a baseline
+// recorded on a bigger machine is not held against a smaller runner.
+//
+// Knobs for noisy runners:
+//
+//	-max-ratio 2.5            the per-cell tolerance (flag)
+//	PERF_GATE_MAX_RATIO=4     environment override, wins over the flag
+//	PERF_GATE_SKIP=1          skip the gate entirely (emergency valve)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"borg/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "benchmarks/baseline.json", "committed baseline report")
+	freshPath := flag.String("fresh", "", "fresh report to gate (required)")
+	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
+	flag.Parse()
+
+	if os.Getenv("PERF_GATE_SKIP") == "1" {
+		fmt.Println("perfgate: PERF_GATE_SKIP=1, skipping")
+		return
+	}
+	if env := os.Getenv("PERF_GATE_MAX_RATIO"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad PERF_GATE_MAX_RATIO %q: %v", env, err))
+		}
+		*maxRatio = v
+	}
+	if *freshPath == "" {
+		fatal(fmt.Errorf("-fresh is required"))
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	if base.SF != fresh.SF || base.Seed != fresh.Seed || base.Dataset != fresh.Dataset {
+		fatal(fmt.Errorf("reports are not comparable: baseline is %s sf=%v seed=%d, fresh is %s sf=%v seed=%d",
+			base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed))
+	}
+
+	freshByWorkers := make(map[int]bench.ExecBaselineRun, len(fresh.Runs))
+	for _, r := range fresh.Runs {
+		freshByWorkers[r.Workers] = r
+	}
+	fmt.Printf("perfgate: baseline %s (%d cpus) vs fresh (%d cpus), tolerance %.2fx\n",
+		*baselinePath, base.CPUs, fresh.CPUs, *maxRatio)
+	failed := false
+	for _, b := range base.Runs {
+		f, ok := freshByWorkers[b.Workers]
+		if !ok {
+			fmt.Printf("  workers=%d  MISSING from fresh report\n", b.Workers)
+			failed = true
+			continue
+		}
+		allowed := *maxRatio * parallelismPenalty(b.Workers, base.CPUs, fresh.CPUs)
+		ratio := f.BestMS / b.BestMS
+		verdict := "ok"
+		if ratio > allowed {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  workers=%d  base %.1f ms  fresh %.1f ms  ratio %.2fx  allowed %.2fx  %s\n",
+			b.Workers, b.BestMS, f.BestMS, ratio, allowed, verdict)
+	}
+	if failed {
+		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
+	}
+	fmt.Println("perfgate: pass")
+}
+
+// parallelismPenalty is the extra slowdown allowed when the fresh host
+// can give a cell less effective parallelism than the baseline host did:
+// p = min(workers, cpus) per host, and a cell that had p_base ways of
+// running is allowed to take p_base/p_fresh times longer on the smaller
+// runner. Never below 1 — bigger runners get no extra slack.
+func parallelismPenalty(workers, baseCPUs, freshCPUs int) float64 {
+	pBase := min(workers, max(baseCPUs, 1))
+	pFresh := min(workers, max(freshCPUs, 1))
+	if pFresh >= pBase {
+		return 1
+	}
+	return float64(pBase) / float64(pFresh)
+}
+
+func load(path string) (*bench.ExecBaselineReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.ExecBaselineReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs recorded", path)
+	}
+	return &rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,283 @@
+// Command borg-serve runs the streaming-serving layer as an HTTP JSON
+// service over a demo retail schema:
+//
+//	Sales(item, store, units)   Items(item, price)   Stores(store, area)
+//
+// Tuples stream in through POST /insert while GET /stats and GET /model
+// serve snapshot-consistent statistics and freshly trained models to any
+// number of concurrent clients — inserts never block reads and reads
+// never block inserts.
+//
+// Usage:
+//
+//	borg-serve -addr :8080 -strategy fivm -batch 64 -flush 1ms
+//
+// API:
+//
+//	POST /insert   {"rel": "Sales", "values": ["patty", "s1", 3]}
+//	               or a JSON array of such objects; values follow the
+//	               schema (strings for categorical, numbers for
+//	               continuous). Responds {"queued": n}.
+//	GET  /stats    {"epoch", "inserts", "queued", "count", "means": {...}}
+//	GET  /model?response=units&lambda=0.001
+//	               {"epoch", "count", "response", "intercept",
+//	                "coefficients": {...}}
+//	GET  /healthz  200 {"status": "ok"}
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"borg"
+)
+
+var features = []string{"units", "price", "area"}
+
+type insertReq struct {
+	Rel    string `json:"rel"`
+	Values []any  `json:"values"`
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	strategy := flag.String("strategy", "fivm", "IVM strategy: fivm, higher-order, first-order")
+	batch := flag.Int("batch", 64, "inserts per snapshot publication")
+	flush := flag.Duration("flush", time.Millisecond, "max snapshot staleness for a partial batch")
+	queue := flag.Int("queue", 1024, "ingest queue depth (backpressure beyond it)")
+	workers := flag.Int("workers", 2, "exec worker pool size for maintenance scans")
+	oneShot := flag.Bool("oneshot", false, "start, self-check the endpoints, and exit (CI smoke)")
+	flag.Parse()
+
+	db := borg.NewDatabase()
+	db.AddRelation("Sales", borg.Cat("item"), borg.Cat("store"), borg.Num("units"))
+	db.AddRelation("Items", borg.Cat("item"), borg.Num("price"))
+	db.AddRelation("Stores", borg.Cat("store"), borg.Num("area"))
+	q, err := db.Query()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := q.Serve(features, borg.ServerOptions{
+		Strategy:      *strategy,
+		BatchSize:     *batch,
+		FlushInterval: *flush,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: newHandler(srv)}
+	if *oneShot {
+		if err := selfCheck(srv, httpSrv.Handler); err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("borg-serve: one-shot self-check passed")
+		return
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		shutCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		_ = httpSrv.Shutdown(shutCtx)
+	}()
+	log.Printf("borg-serve: %s strategy, listening on %s", *strategy, *addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := srv.Flush(); err != nil {
+		log.Printf("borg-serve: flush: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// selfCheck drives every endpoint once through the handler (no network),
+// so CI can smoke-test the whole service path in one process.
+func selfCheck(srv *borg.Server, h http.Handler) error {
+	do := func(method, path, body string) (int, string) {
+		req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := do("POST", "/insert", `[
+		{"rel": "Items", "values": ["patty", 6]},
+		{"rel": "Stores", "values": ["s1", 120]},
+		{"rel": "Sales", "values": ["patty", "s1", 3]},
+		{"rel": "Sales", "values": ["patty", "s1", 5]}
+	]`); code != http.StatusOK {
+		return fmt.Errorf("insert: %d %s", code, body)
+	}
+	if err := srv.Flush(); err != nil {
+		return err
+	}
+	code, body := do("GET", "/stats", "")
+	if code != http.StatusOK {
+		return fmt.Errorf("stats: %d %s", code, body)
+	}
+	var stats struct {
+		Count float64 `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		return fmt.Errorf("stats body: %v", err)
+	}
+	if stats.Count != 2 {
+		return fmt.Errorf("stats count = %v, want 2", stats.Count)
+	}
+	if code, body := do("GET", "/model?response=units&lambda=0.001", ""); code != http.StatusOK {
+		return fmt.Errorf("model: %d %s", code, body)
+	}
+	if code, body := do("GET", "/healthz", ""); code != http.StatusOK {
+		return fmt.Errorf("healthz: %d %s", code, body)
+	}
+	if code, body := do("POST", "/insert", `{"rel": "Nope", "values": []}`); code != http.StatusUnprocessableEntity {
+		return fmt.Errorf("bad insert accepted: %d %s", code, body)
+	}
+	return nil
+}
+
+// newHandler wires the three endpoints over a running server.
+func newHandler(srv *borg.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		reqs, err := parseInserts(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Array bodies are applied item by item, not atomically: on a
+		// mid-array failure the response reports how many items were
+		// already queued, so clients retry only the remainder.
+		for i, req := range reqs {
+			if err := srv.Insert(req.Rel, req.Values...); err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusUnprocessableEntity)
+				_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "queued": i})
+				return
+			}
+		}
+		writeJSON(w, map[string]any{"queued": len(reqs)})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := srv.CovarSnapshot()
+		st := srv.Stats()
+		means := make(map[string]float64, len(features))
+		for _, f := range features {
+			m, err := snap.Mean(f)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			means[f] = m
+		}
+		writeJSON(w, map[string]any{
+			"epoch":   snap.Epoch(),
+			"inserts": snap.Inserts(),
+			"queued":  st.Queued,
+			"count":   snap.Count(),
+			"means":   means,
+		})
+	})
+	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
+		response := r.URL.Query().Get("response")
+		if response == "" {
+			response = "units"
+		}
+		lambda := 1e-3
+		if s := r.URL.Query().Get("lambda"); s != "" {
+			var err error
+			if lambda, err = strconv.ParseFloat(s, 64); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad lambda: %v", err))
+				return
+			}
+		}
+		snap := srv.CovarSnapshot()
+		if snap.Count() == 0 {
+			httpError(w, http.StatusConflict, fmt.Errorf("join is empty: no model yet"))
+			return
+		}
+		model, err := snap.TrainLinReg(response, lambda)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		coefs := make(map[string]float64)
+		for _, f := range features {
+			if f == response {
+				continue
+			}
+			c, err := model.Coefficient(f)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			coefs[f] = c
+		}
+		writeJSON(w, map[string]any{
+			"epoch":        snap.Epoch(),
+			"count":        snap.Count(),
+			"response":     response,
+			"lambda":       lambda,
+			"intercept":    model.Intercept(),
+			"coefficients": coefs,
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// parseInserts accepts one insert object or a JSON array of them.
+func parseInserts(body []byte) ([]insertReq, error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var reqs []insertReq
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			return nil, fmt.Errorf("bad insert array: %v", err)
+		}
+		return reqs, nil
+	}
+	var one insertReq
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, fmt.Errorf("bad insert body: %v", err)
+	}
+	return []insertReq{one}, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

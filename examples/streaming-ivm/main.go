@@ -1,12 +1,16 @@
-// Streaming maintenance: keep the covariance matrix of a feature-
-// extraction join fresh under live inserts with F-IVM (Section 5.2,
-// Figure 4 right) — the model can be refreshed after every bulk of
-// inserts at millisecond cost instead of daily retraining.
+// Streaming maintenance as a service: borg.Server keeps the covariance
+// matrix of a feature-extraction join fresh under live inserts with
+// F-IVM (Section 5.2, Figure 4 right) while serving snapshot-consistent
+// statistics — and freshly trained models — to concurrent readers.
+// Inserts flow through a batching queue applied by one writer goroutine;
+// every read is one atomic snapshot load that never blocks the writer.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"borg"
 )
@@ -21,36 +25,65 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stream, err := q.StreamCovariance([]string{"units", "price", "area"})
+	srv, err := q.Serve([]string{"units", "price", "area"}, borg.ServerOptions{
+		Strategy:      "fivm", // one ring-valued view hierarchy
+		BatchSize:     32,     // snapshots amortize over up to 32 inserts
+		FlushInterval: time.Millisecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer srv.Close()
 
-	// Dimension tuples may arrive before or after the facts referencing
-	// them; F-IVM credits waiting facts retroactively.
 	must := func(err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	must(stream.Insert("Sales", "patty", "s1", 3.0)) // no partners yet
-	fmt.Printf("after 1 dangling sale: count=%v\n", stream.Count())
 
-	must(stream.Insert("Items", "patty", 6.0))
-	must(stream.Insert("Stores", "s1", 120.0))
-	fmt.Printf("after its partners arrive: count=%v\n", stream.Count())
+	// Dimension tuples may arrive before or after the facts referencing
+	// them; F-IVM credits waiting facts retroactively.
+	must(srv.Insert("Sales", "patty", "s1", 3)) // no partners yet
+	must(srv.Insert("Items", "patty", 6.0))
+	must(srv.Insert("Stores", "s1", 120.0))
 
-	for i := 0; i < 5; i++ {
-		must(stream.Insert("Sales", "patty", "s1", float64(i)))
+	// Many clients can stream concurrently: the server's ingest queue is
+	// a multi-producer channel applied by a single writer goroutine.
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				must(srv.Insert("Sales", "patty", "s1", c+i))
+			}
+		}(c)
 	}
-	must(stream.Insert("Items", "bun", 2.0))
-	must(stream.Insert("Sales", "bun", "s1", 10.0))
+	wg.Wait()
+	must(srv.Insert("Items", "bun", 2.0))
+	must(srv.Insert("Sales", "bun", "s1", 10))
 
-	count := stream.Count()
-	meanPrice, _ := stream.Mean("price")
-	upMoment, _ := stream.SecondMoment("units", "price")
-	fmt.Printf("live statistics: count=%v  mean(price)=%.2f  SUM(units·price)=%.1f\n",
-		count, meanPrice, upMoment)
+	// Flush is a write barrier: everything enqueued above is now applied
+	// and published.
+	must(srv.Flush())
+
+	// CovarSnapshot freezes one epoch: every read below observes the
+	// same consistent state, while new inserts could keep streaming.
+	snap := srv.CovarSnapshot()
+	meanPrice, _ := snap.Mean("price")
+	upMoment, _ := snap.SecondMoment("units", "price")
+	fmt.Printf("epoch %d: count=%v  mean(price)=%.2f  SUM(units·price)=%.1f\n",
+		snap.Epoch(), snap.Count(), meanPrice, upMoment)
+
+	// A model trains on the frozen snapshot's statistics alone — no data
+	// access, no interruption of the write path.
+	model, err := snap.TrainLinReg("units", 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coefPrice, _ := model.Coefficient("price")
+	fmt.Printf("fresh model at epoch %d: units ~ %.3f + %.3f*price + ...\n",
+		snap.Epoch(), model.Intercept(), coefPrice)
 	fmt.Println("every insert updated ONE ring-valued view hierarchy —")
 	fmt.Println("all covariance aggregates were maintained simultaneously")
 }

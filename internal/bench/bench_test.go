@@ -128,3 +128,18 @@ func TestTableFormatting(t *testing.T) {
 		t.Fatalf("table malformed:\n%s", out)
 	}
 }
+
+func TestServeBenchRuns(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Budget = 100 * time.Millisecond
+	if err := ServeBenchTable(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Serving layer", "fivm", "higher-order", "first-order", "Inserts/sec"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ServeBench output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"borg/internal/datagen"
+	"borg/internal/ivm"
+	"borg/internal/serve"
+)
+
+// ServeCell is one measured serving configuration: a strategy × reader
+// count under a fixed writer load.
+type ServeCell struct {
+	Strategy      string  `json:"strategy"`
+	Readers       int     `json:"readers"`
+	Writers       int     `json:"writers"`
+	Inserts       uint64  `json:"inserts"`
+	Seconds       float64 `json:"seconds"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	Reads         uint64  `json:"reads"`
+	ReadP50Nanos  float64 `json:"read_p50_ns"`
+	ReadP99Nanos  float64 `json:"read_p99_ns"`
+	FinalEpoch    uint64  `json:"final_epoch"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// ServeReport is the machine-readable result of the serving benchmark:
+// streaming ingest throughput and concurrent snapshot-read latency for
+// the three IVM strategies at several reader counts, on the Retailer
+// insert stream. Committed runs of this report live under benchmarks/.
+type ServeReport struct {
+	Dataset       string      `json:"dataset"`
+	SF            float64     `json:"sf"`
+	Seed          uint64      `json:"seed"`
+	Features      int         `json:"features"`
+	StreamLen     int         `json:"stream_len"`
+	CPUs          int         `json:"cpus"`
+	BatchSize     int         `json:"batch_size"`
+	FlushMicros   float64     `json:"flush_interval_us"`
+	BudgetSeconds float64     `json:"budget_seconds"`
+	Cells         []ServeCell `json:"cells"`
+}
+
+// serveProbes is how many snapshot reads a reader times as one latency
+// sample: single reads are tens of nanoseconds, below timer resolution.
+const serveProbes = 256
+
+// serveReadSink receives every reader's accumulated probe values so the
+// compiler cannot eliminate the snapshot reads being timed.
+var serveReadSink atomic.Uint64
+
+// ServeBench measures the serving layer on the Retailer insert stream:
+// two writer clients stream tuples through the batching ingest queue
+// while N concurrent readers hammer snapshot reads (Count + Sum +
+// Moment), for every IVM strategy at reader counts 1 and 4. Each cell
+// reports applied inserts/sec and the p50/p99 latency of one snapshot
+// read.
+func ServeBench(o Options) (*ServeReport, error) {
+	o.defaults()
+	const writers = 2
+	cfgBatch, cfgFlush := 64, time.Millisecond
+	d := datagen.Retailer(o.Seed, o.SF)
+	stream := interleavedStream(d, o.Seed)
+	rep := &ServeReport{
+		Dataset:       d.Name,
+		SF:            o.SF,
+		Seed:          o.Seed,
+		Features:      len(d.Cont),
+		StreamLen:     len(stream),
+		CPUs:          runtime.NumCPU(),
+		BatchSize:     cfgBatch,
+		FlushMicros:   float64(cfgFlush.Microseconds()),
+		BudgetSeconds: o.Budget.Seconds(),
+	}
+	for _, strategy := range serve.Strategies() {
+		for _, readers := range []int{1, 4} {
+			cell, err := serveCell(d, stream, strategy, readers, writers, cfgBatch, cfgFlush, o)
+			if err != nil {
+				return nil, err
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// serveCell measures one strategy × reader-count configuration. Cleanup
+// is deferred so error paths never leak the reader goroutines or the
+// server's writer goroutine into later cells.
+func serveCell(d *datagen.Dataset, stream []ivm.Tuple, strategy serve.Strategy, readers, writers, cfgBatch int, cfgFlush time.Duration, o Options) (ServeCell, error) {
+	srv, err := serve.New(d.Join, d.Root, d.Cont, serve.Config{
+		Strategy:      strategy,
+		BatchSize:     cfgBatch,
+		FlushInterval: cfgFlush,
+		QueueDepth:    256,
+		Workers:       o.Workers,
+	})
+	if err != nil {
+		return ServeCell{}, err
+	}
+	defer srv.Close()
+
+	var stopWrite atomic.Bool
+	var writeErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(stream) && !stopWrite.Load(); i += writers {
+				if err := srv.Insert(stream[i]); err != nil {
+					writeErr.Store(err)
+					return
+				}
+			}
+		}(w)
+	}
+	defer func() {
+		stopWrite.Store(true)
+		wg.Wait()
+	}()
+
+	stopRead := make(chan struct{})
+	samples := make([][]float64, readers)
+	var readWg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readWg.Add(1)
+		go func(r int) {
+			defer readWg.Done()
+			var sink float64
+			defer func() { serveReadSink.Add(math.Float64bits(sink)) }()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				t0 := time.Now()
+				for p := 0; p < serveProbes; p++ {
+					s := srv.Snapshot()
+					sink += s.Count() + s.Sum(0) + s.Moment(0, 0)
+				}
+				samples[r] = append(samples[r], float64(time.Since(t0).Nanoseconds())/serveProbes)
+			}
+		}(r)
+	}
+	defer func() {
+		select {
+		case <-stopRead:
+		default:
+			close(stopRead)
+		}
+		readWg.Wait()
+	}()
+
+	// The clock stops when ingest is done (writers finished and the queue
+	// flushed), not when the budget expires: a strategy that swallows the
+	// whole stream early reports its true throughput, and the budget only
+	// caps strategies too slow to finish (as in the Figure 4 experiment).
+	doneWrite := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(doneWrite)
+	}()
+	select {
+	case <-doneWrite:
+	case <-time.After(o.Budget):
+		stopWrite.Store(true)
+		<-doneWrite
+	}
+	if err := srv.Flush(); err != nil {
+		return ServeCell{}, err
+	}
+	elapsed := time.Since(start)
+	close(stopRead)
+	readWg.Wait()
+	snap := srv.Snapshot()
+	if err := srv.Close(); err != nil {
+		return ServeCell{}, err
+	}
+	if e := writeErr.Load(); e != nil {
+		return ServeCell{}, e.(error)
+	}
+
+	var all []float64
+	var reads uint64
+	for _, s := range samples {
+		all = append(all, s...)
+		reads += uint64(len(s)) * serveProbes
+	}
+	sort.Float64s(all)
+	note := "full stream"
+	if snap.Inserts < uint64(len(stream)) {
+		note = fmt.Sprintf("budget cap after %d of %d", snap.Inserts, len(stream))
+	}
+	return ServeCell{
+		Strategy:      strategy.String(),
+		Readers:       readers,
+		Writers:       writers,
+		Inserts:       snap.Inserts,
+		Seconds:       elapsed.Seconds(),
+		InsertsPerSec: float64(snap.Inserts) / elapsed.Seconds(),
+		Reads:         reads,
+		ReadP50Nanos:  percentile(all, 0.50),
+		ReadP99Nanos:  percentile(all, 0.99),
+		FinalEpoch:    snap.Epoch,
+		Note:          note,
+	}, nil
+}
+
+// percentile reads the p-quantile from an ascending-sorted sample set.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ServeBenchTable runs the serving benchmark and renders it as a table,
+// or as indented JSON when o.JSON is set (the format committed under
+// benchmarks/).
+func ServeBenchTable(o Options) error {
+	o.defaults()
+	rep, err := ServeBench(o)
+	if err != nil {
+		return err
+	}
+	if o.JSON {
+		enc := json.NewEncoder(o.Out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	var rows [][]string
+	for _, c := range rep.Cells {
+		rows = append(rows, []string{
+			c.Strategy, fmt.Sprintf("%d", c.Readers),
+			fmt.Sprintf("%d", c.Inserts),
+			fmt.Sprintf("%.0f/s", c.InsertsPerSec),
+			fmt.Sprintf("%.0f ns", c.ReadP50Nanos),
+			fmt.Sprintf("%.0f ns", c.ReadP99Nanos),
+			fmt.Sprintf("%d", c.Reads),
+			c.Note,
+		})
+	}
+	nWriters := 0
+	if len(rep.Cells) > 0 {
+		nWriters = rep.Cells[0].Writers
+	}
+	printTable(o.Out, fmt.Sprintf("Serving layer: %s stream, %d writers, batch %d (%d CPUs)",
+		rep.Dataset, nWriters, rep.BatchSize, rep.CPUs),
+		[]string{"Strategy", "Readers", "Inserts", "Inserts/sec", "Read p50", "Read p99", "Reads", "Note"}, rows)
+	return nil
+}

@@ -53,6 +53,10 @@ type Runtime struct {
 	// explicitly to make results bitwise reproducible across different
 	// worker counts.
 	MorselSize int
+	// Pool, when non-nil, supplies long-lived worker goroutines for
+	// parallel scans instead of spawning fresh ones per scan. It never
+	// changes what a scan computes — only where its workers run.
+	Pool *Pool
 }
 
 // Serial is the runtime of the classic single-threaded scan.
@@ -122,18 +126,19 @@ func Scan[S any](rt Runtime, n int, newState func() S, body func(s S, lo, hi int
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= nm {
-					return
-				}
-				lo, hi := bounds(i, size, n)
-				out[i] = body(newState(), lo, hi)
+	task := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= nm {
+				return
 			}
-		}()
+			lo, hi := bounds(i, size, n)
+			out[i] = body(newState(), lo, hi)
+		}
+	}
+	for g := 0; g < workers; g++ {
+		rt.Pool.run(task)
 	}
 	wg.Wait()
 	return out

@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolScanEquivalence: attaching a Pool changes where scan workers
+// run, never what a scan computes.
+func TestPoolScanEquivalence(t *testing.T) {
+	const n = 10_000
+	val := func(r int) (float64, bool) { return float64(r%7) + 0.25, r%3 != 0 }
+	want := Sum(Runtime{Workers: 1}, n, val)
+
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, workers := range []int{1, 2, 4, 8} {
+		rt := Runtime{Workers: workers, MorselSize: 128, Pool: pool}
+		if got := Sum(rt, n, val); got != want {
+			t.Fatalf("Workers=%d with pool: got %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestPoolNestedScans: a scan body that itself scans must not deadlock
+// on pool capacity — busy pools fall back to fresh goroutines.
+func TestPoolNestedScans(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	rt := Runtime{Workers: 4, MorselSize: 8, Pool: pool}
+	outer := Sum(rt, 64, func(r int) (float64, bool) {
+		v := Sum(rt, 64, func(q int) (float64, bool) { return 1, true })
+		return v, true
+	})
+	if outer != 64*64 {
+		t.Fatalf("nested pooled scans: got %v, want %v", outer, 64*64)
+	}
+}
+
+// TestPoolConcurrentScans: many goroutines sharing one pool each get
+// complete, correct scans.
+func TestPoolConcurrentScans(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	rt := Runtime{Workers: 3, MorselSize: 64, Pool: pool}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := Sum(rt, 5000, func(r int) (float64, bool) { return 2, true })
+			if got != 10000 {
+				errs <- "wrong sum"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

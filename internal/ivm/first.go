@@ -3,6 +3,7 @@ package ivm
 import (
 	"borg/internal/exec"
 	"borg/internal/query"
+	"borg/internal/ring"
 )
 
 // FirstOrder is classical first-order IVM: delta processing with no
@@ -110,3 +111,6 @@ func (m *FirstOrder) Sum(i int) float64 { return m.result[m.ix.sum(i)] }
 
 // Moment implements Maintainer.
 func (m *FirstOrder) Moment(i, j int) float64 { return m.result[m.ix.moment(i, j)] }
+
+// Snapshot implements Maintainer.
+func (m *FirstOrder) Snapshot() *ring.Covar { return m.ix.covar(m.result) }

@@ -116,5 +116,8 @@ func (m *FIVM) Sum(i int) float64 { return m.result.Sum[i] }
 // Moment implements Maintainer.
 func (m *FIVM) Moment(i, j int) float64 { return m.result.Q[i*m.ring.N+j] }
 
+// Snapshot implements Maintainer: a deep copy of the root triple.
+func (m *FIVM) Snapshot() *ring.Covar { return m.result.Clone() }
+
 // Result exposes the maintained covariance triple (read-only).
 func (m *FIVM) Result() *ring.Covar { return m.result }

@@ -3,6 +3,7 @@ package ivm
 import (
 	"borg/internal/exec"
 	"borg/internal/query"
+	"borg/internal/ring"
 )
 
 // HigherOrder is DBToaster-style higher-order IVM: delta processing with
@@ -119,3 +120,6 @@ func (m *HigherOrder) Sum(i int) float64 { return m.result[m.ix.sum(i)] }
 
 // Moment implements Maintainer.
 func (m *HigherOrder) Moment(i, j int) float64 { return m.result[m.ix.moment(i, j)] }
+
+// Snapshot implements Maintainer.
+func (m *HigherOrder) Snapshot() *ring.Covar { return m.ix.covar(m.result) }

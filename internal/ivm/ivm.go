@@ -32,6 +32,7 @@ import (
 	"borg/internal/exec"
 	"borg/internal/query"
 	"borg/internal/relation"
+	"borg/internal/ring"
 )
 
 // Tuple is one streamed insert: a row for the named relation, in schema
@@ -51,6 +52,11 @@ type Maintainer interface {
 	Sum(i int) float64
 	// Moment returns the maintained SUM(x_i * x_j).
 	Moment(i, j int) float64
+	// Snapshot returns a deep copy of the maintained statistics as one
+	// covariance-ring triple. The copy shares no state with the
+	// maintainer, so callers may hand it to other goroutines while
+	// inserts continue — the copy-on-write handoff of the serving layer.
+	Snapshot() *ring.Covar
 	// Name identifies the strategy in benchmark tables.
 	Name() string
 }

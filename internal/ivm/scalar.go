@@ -1,5 +1,7 @@
 package ivm
 
+import "borg/internal/ring"
+
 // aggDef identifies one scalar aggregate of the covariance batch in
 // terms of global feature indexes:
 //
@@ -65,4 +67,18 @@ func (ix aggIndex) moment(i, j int) int {
 	}
 	// Row-major upper triangle offset of (i, j) with i<=j.
 	return ix.momBase + i*ix.n - i*(i-1)/2 + (j - i)
+}
+
+// covar packs a per-aggregate result vector (laid out as by covarAggs)
+// into one covariance-ring triple — the scalar maintainers' Snapshot.
+func (ix aggIndex) covar(result []float64) *ring.Covar {
+	c := (ring.CovarRing{N: ix.n}).Zero()
+	c.Count = result[ix.count()]
+	for i := 0; i < ix.n; i++ {
+		c.Sum[i] = result[ix.sum(i)]
+		for j := 0; j < ix.n; j++ {
+			c.Q[i*ix.n+j] = result[ix.moment(i, j)]
+		}
+	}
+	return c
 }

@@ -1,0 +1,410 @@
+// Package serve is the concurrent streaming-serving layer over the
+// incremental maintainers of internal/ivm: a long-lived session that
+// ingests tuple inserts while serving snapshot-consistent statistics
+// reads to arbitrarily many concurrent readers.
+//
+// The paper's Section 5.2 argument — shared ring payloads make continuous
+// maintenance of a model's sufficient statistics cheap enough to serve
+// fresh models while data streams in — only pays off inside a runtime
+// shaped like the workload: writes are frequent and tiny, reads want a
+// consistent view and must never block the write path. The design here
+// is the classic single-writer / copy-on-write arrangement of HTAP
+// serving systems:
+//
+//   - Ingest. Inserts enter through a buffered MPSC channel (any number
+//     of producer goroutines, backpressure when the queue is full) and
+//     are applied by ONE writer goroutine that owns the maintainer —
+//     the maintainers stay single-threaded and lock-free internally.
+//
+//   - Batching. The writer applies inserts as they arrive but publishes
+//     snapshots only every BatchSize inserts or FlushInterval of
+//     quiescence, whichever comes first, amortizing the O(n²) snapshot
+//     copy across a batch.
+//
+//   - Epoch/COW handoff. A publication deep-copies the maintained
+//     covariance triple (Maintainer.Snapshot) into an immutable Snapshot
+//     value and swaps it into an atomic pointer. A read is one atomic
+//     load; the snapshot it returns never changes, so readers never
+//     block the writer and the writer never waits for readers.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"borg/internal/exec"
+	"borg/internal/ivm"
+	"borg/internal/query"
+	"borg/internal/relation"
+	"borg/internal/ring"
+)
+
+// Strategy selects the IVM maintenance strategy of a server.
+type Strategy int
+
+const (
+	// FIVM is factorized IVM: one ring-valued view hierarchy (default).
+	FIVM Strategy = iota
+	// HigherOrder is DBToaster-style IVM: one view hierarchy per aggregate.
+	HigherOrder
+	// FirstOrder is classical delta processing with no auxiliary views.
+	FirstOrder
+)
+
+// String returns the canonical flag spelling of the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case FIVM:
+		return "fivm"
+	case HigherOrder:
+		return "higher-order"
+	case FirstOrder:
+		return "first-order"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy resolves a strategy name as used in flags and configs.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "fivm", "f-ivm", "":
+		return FIVM, nil
+	case "higher", "higher-order":
+		return HigherOrder, nil
+	case "first", "first-order":
+		return FirstOrder, nil
+	}
+	return FIVM, fmt.Errorf("serve: unknown strategy %q (want fivm, higher-order, or first-order)", name)
+}
+
+// Strategies lists all strategies, for benchmark sweeps.
+func Strategies() []Strategy { return []Strategy{FIVM, HigherOrder, FirstOrder} }
+
+// Config tunes a Server. The zero value selects F-IVM with the default
+// batching knobs.
+type Config struct {
+	// Strategy is the IVM maintenance strategy.
+	Strategy Strategy
+	// BatchSize is how many applied inserts force a snapshot
+	// publication. Default 64.
+	BatchSize int
+	// FlushInterval bounds snapshot staleness: a partial batch is
+	// published after this long. Default 1ms.
+	FlushInterval time.Duration
+	// QueueDepth is the ingest channel capacity; full queues apply
+	// backpressure to producers. Default 1024.
+	QueueDepth int
+	// Workers sizes the exec worker pool the maintainer's delta scans
+	// run on. Values below 2 select the serial kernels.
+	Workers int
+	// MorselSize pins the exec scan granularity (0 = automatic).
+	MorselSize int
+}
+
+func (c *Config) defaults() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+}
+
+// Snapshot is one published epoch: an immutable view of the maintained
+// statistics. All fields are frozen at publication time; readers may
+// share a Snapshot freely across goroutines.
+type Snapshot struct {
+	// Epoch is the publication sequence number (0 is the empty initial
+	// snapshot).
+	Epoch uint64
+	// Inserts is how many tuples had been applied when this snapshot
+	// was taken.
+	Inserts uint64
+	// Stats is the covariance triple over the maintained features.
+	// Readers must not mutate it.
+	Stats *ring.Covar
+}
+
+// Count returns SUM(1) over the join at this epoch.
+func (s *Snapshot) Count() float64 { return s.Stats.Count }
+
+// Sum returns SUM(x_i) at this epoch.
+func (s *Snapshot) Sum(i int) float64 { return s.Stats.Sum[i] }
+
+// Moment returns SUM(x_i·x_j) at this epoch.
+func (s *Snapshot) Moment(i, j int) float64 { return s.Stats.Q[i*s.Stats.N+j] }
+
+// ErrClosed is returned by operations on a closed server.
+var ErrClosed = errors.New("serve: server is closed")
+
+type op struct {
+	tuple ivm.Tuple
+	// flush, when non-nil, marks a barrier: the writer publishes the
+	// current state and acknowledges on the channel instead of applying
+	// a tuple.
+	flush chan error
+}
+
+// liveRelations is the view of a maintainer that exposes its streamed-into
+// relations; all internal/ivm maintainers implement it.
+type liveRelations interface {
+	Relation(name string) *relation.Relation
+}
+
+// runtimeSettable is implemented by maintainers whose scan kernels can be
+// pointed at an exec runtime.
+type runtimeSettable interface {
+	SetRuntime(rt exec.Runtime)
+}
+
+// Server owns one maintainer and serves it concurrently. Create with
+// New, feed with Insert (any number of goroutines), read with Snapshot
+// (any number of goroutines), and Close when done.
+type Server struct {
+	cfg      Config
+	features []string
+	m        ivm.Maintainer
+	schemas  map[string]*relation.Relation
+	pool     *exec.Pool
+
+	in       chan op
+	snap     atomic.Pointer[Snapshot]
+	stop     chan struct{}
+	finished chan struct{}
+	stopOnce sync.Once
+
+	// Writer-goroutine state; published to other goroutines only through
+	// snap and the finished channel.
+	inserts  uint64
+	epoch    uint64
+	pending  int
+	applyErr error
+}
+
+// New starts a server maintaining the covariance statistics of the given
+// features over an initially empty copy of the join's relations, rooted
+// at the named relation.
+func New(j *query.Join, root string, features []string, cfg Config) (*Server, error) {
+	cfg.defaults()
+	var m ivm.Maintainer
+	var err error
+	switch cfg.Strategy {
+	case FIVM:
+		m, err = ivm.NewFIVM(j, root, features)
+	case HigherOrder:
+		m, err = ivm.NewHigherOrder(j, root, features)
+	case FirstOrder:
+		m, err = ivm.NewFirstOrder(j, root, features)
+	default:
+		err = fmt.Errorf("serve: unknown strategy %v", cfg.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		features: append([]string(nil), features...),
+		m:        m,
+		schemas:  make(map[string]*relation.Relation, len(j.Relations)),
+		in:       make(chan op, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	live := m.(liveRelations)
+	for _, r := range j.Relations {
+		s.schemas[r.Name] = live.Relation(r.Name)
+	}
+	if cfg.Workers >= 2 {
+		s.pool = exec.NewPool(cfg.Workers)
+	}
+	if rs, ok := m.(runtimeSettable); ok {
+		rs.SetRuntime(exec.Runtime{Workers: cfg.Workers, MorselSize: cfg.MorselSize, Pool: s.pool})
+	}
+	s.snap.Store(&Snapshot{Stats: (ring.CovarRing{N: len(features)}).Zero()})
+	go s.run()
+	return s, nil
+}
+
+// Features returns the maintained feature names, in snapshot index order.
+func (s *Server) Features() []string { return s.features }
+
+// Schema returns the live relation with the given name, or nil. Callers
+// may use its schema metadata and dictionaries (to resolve attribute
+// types and intern categorical values); its rows belong to the writer
+// goroutine and must not be read.
+func (s *Server) Schema(name string) *relation.Relation { return s.schemas[name] }
+
+// Insert enqueues one tuple insert. It validates the tuple's shape
+// synchronously, then blocks only when the ingest queue is full
+// (backpressure). The insert is visible to readers once a snapshot
+// covering it is published.
+func (s *Server) Insert(t ivm.Tuple) error {
+	r, ok := s.schemas[t.Rel]
+	if !ok {
+		return fmt.Errorf("serve: unknown relation %s", t.Rel)
+	}
+	if len(t.Values) != r.NumAttrs() {
+		return fmt.Errorf("serve: tuple for %s has %d values, want %d", t.Rel, len(t.Values), r.NumAttrs())
+	}
+	// Check for closure first: when the server is already closed, the
+	// blocking select below could still win the (buffered) send case.
+	select {
+	case <-s.stop:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-s.stop:
+		return ErrClosed
+	case s.in <- op{tuple: t}:
+		return nil
+	}
+}
+
+// Snapshot returns the current published epoch: one atomic load, never
+// blocking the writer. The result is immutable.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// QueueLen reports how many inserts are queued but not yet applied.
+func (s *Server) QueueLen() int { return len(s.in) }
+
+// Flush is a write barrier: it waits until every insert enqueued before
+// the call is applied and published, and returns the first maintenance
+// error if any occurred.
+func (s *Server) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case <-s.stop:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-s.stop:
+		return ErrClosed
+	case s.in <- op{flush: ack}:
+	}
+	select {
+	case err := <-ack:
+		return err
+	case <-s.finished:
+		// The writer's shutdown drain may have completed this barrier
+		// just before exiting; prefer its acknowledgment over ErrClosed.
+		select {
+		case err := <-ack:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// Close stops the writer after draining already-queued inserts,
+// publishes a final snapshot, and releases the worker pool. It returns
+// the first maintenance error, if any. Close is idempotent. Inserts
+// racing with Close may be rejected with ErrClosed or silently dropped;
+// producers that need every insert applied call Flush before Close.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.finished
+		if s.pool != nil {
+			s.pool.Close()
+		}
+	})
+	<-s.finished
+	return s.applyErr
+}
+
+// run is the writer goroutine: the only goroutine that touches the
+// maintainer after New returns.
+func (s *Server) run() {
+	defer close(s.finished)
+	timer := time.NewTimer(s.cfg.FlushInterval)
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	armed := false
+	for {
+		select {
+		case <-s.stop:
+			for {
+				select {
+				case o := <-s.in:
+					s.apply(o)
+				default:
+					s.publish()
+					return
+				}
+			}
+		case o := <-s.in:
+			s.apply(o)
+			// Greedy drain: everything already queued joins this batch,
+			// so a loaded server publishes once per BatchSize inserts
+			// rather than once per channel wakeup.
+			more := true
+			for more && s.pending < s.cfg.BatchSize {
+				select {
+				case o2 := <-s.in:
+					s.apply(o2)
+				default:
+					more = false
+				}
+			}
+			if s.pending >= s.cfg.BatchSize {
+				s.publish()
+				if armed {
+					if !timer.Stop() {
+						select {
+						case <-timer.C:
+						default:
+						}
+					}
+					armed = false
+				}
+			} else if s.pending > 0 && !armed {
+				timer.Reset(s.cfg.FlushInterval)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			s.publish()
+		}
+	}
+}
+
+// apply executes one queued op on the writer goroutine.
+func (s *Server) apply(o op) {
+	if o.flush != nil {
+		s.publish()
+		o.flush <- s.applyErr
+		return
+	}
+	if err := s.m.Insert(o.tuple); err != nil {
+		if s.applyErr == nil {
+			s.applyErr = err
+		}
+		return
+	}
+	s.inserts++
+	s.pending++
+}
+
+// publish swaps in a fresh snapshot covering every applied insert. It is
+// a no-op when nothing changed since the last publication.
+func (s *Server) publish() {
+	if s.pending == 0 {
+		return
+	}
+	s.epoch++
+	s.snap.Store(&Snapshot{Epoch: s.epoch, Inserts: s.inserts, Stats: s.m.Snapshot()})
+	s.pending = 0
+}

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"borg/internal/ivm"
+	"borg/internal/query"
+	"borg/internal/relation"
+	"borg/internal/xrand"
+)
+
+// salesSchema builds a three-relation star with INTEGER-valued continuous
+// attributes and a deterministic tuple stream over it. Integer values
+// keep every maintained sum and product exactly representable, so the
+// final statistics are bitwise identical regardless of the interleaving
+// the concurrent writers produce.
+func salesSchema(seed uint64, nSales, nItems, nStores int) (*query.Join, []ivm.Tuple, []string) {
+	db := relation.NewDatabase()
+	sales := db.NewRelation("Sales", []relation.Attribute{
+		{Name: "item", Type: relation.Category},
+		{Name: "store", Type: relation.Category},
+		{Name: "units", Type: relation.Double},
+	})
+	items := db.NewRelation("Items", []relation.Attribute{
+		{Name: "item", Type: relation.Category},
+		{Name: "price", Type: relation.Double},
+	})
+	stores := db.NewRelation("Stores", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "area", Type: relation.Double},
+	})
+	src := xrand.New(seed)
+	var stream []ivm.Tuple
+	for i := 0; i < nItems; i++ {
+		stream = append(stream, ivm.Tuple{Rel: "Items", Values: []relation.Value{
+			relation.CatVal(int32(i)), relation.FloatVal(float64(1 + src.Intn(9))),
+		}})
+	}
+	for s := 0; s < nStores; s++ {
+		stream = append(stream, ivm.Tuple{Rel: "Stores", Values: []relation.Value{
+			relation.CatVal(int32(s)), relation.FloatVal(float64(10 * (1 + src.Intn(20)))),
+		}})
+	}
+	for r := 0; r < nSales; r++ {
+		stream = append(stream, ivm.Tuple{Rel: "Sales", Values: []relation.Value{
+			relation.CatVal(int32(src.Intn(nItems + 2))), // some dangling
+			relation.CatVal(int32(src.Intn(nStores))),
+			relation.FloatVal(float64(src.Intn(12))),
+		}})
+	}
+	src.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	return query.NewJoin(sales, items, stores), stream, []string{"units", "price", "area"}
+}
+
+// TestServerMatchesSerialReplay is the concurrency certificate of the
+// serving layer: K concurrent writers and M concurrent readers under the
+// race detector, with the final snapshot bitwise-equal to a serial batch
+// replay through a maintainer of the same strategy.
+func TestServerMatchesSerialReplay(t *testing.T) {
+	const writers, readers = 4, 3
+	for _, strategy := range Strategies() {
+		t.Run(strategy.String(), func(t *testing.T) {
+			nSales := 600
+			if strategy == FirstOrder {
+				nSales = 150 // full delta joins; keep the race run quick
+			}
+			j, stream, features := salesSchema(42, nSales, 12, 5)
+			srv, err := New(j, "Sales", features, Config{
+				Strategy:      strategy,
+				BatchSize:     17,
+				FlushInterval: 200 * time.Microsecond,
+				QueueDepth:    64,
+				Workers:       2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(stream); i += writers {
+						if err := srv.Insert(stream[i]); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			stopRead := make(chan struct{})
+			var readWg sync.WaitGroup
+			var reads atomic.Uint64
+			for r := 0; r < readers; r++ {
+				readWg.Add(1)
+				go func() {
+					defer readWg.Done()
+					var lastEpoch, lastInserts uint64
+					for {
+						select {
+						case <-stopRead:
+							return
+						default:
+						}
+						s := srv.Snapshot()
+						if s.Epoch < lastEpoch {
+							t.Error("epoch went backwards")
+							return
+						}
+						if s.Inserts < lastInserts {
+							t.Error("inserts went backwards")
+							return
+						}
+						if s.Stats.N != len(features) {
+							t.Errorf("snapshot width %d, want %d", s.Stats.N, len(features))
+							return
+						}
+						// A snapshot is immutable: re-reading it later
+						// must give the same values.
+						c := s.Count()
+						if s.Count() != c {
+							t.Error("snapshot mutated under reader")
+							return
+						}
+						lastEpoch, lastInserts = s.Epoch, s.Inserts
+						reads.Add(1)
+					}
+				}()
+			}
+
+			wg.Wait()
+			if err := srv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			close(stopRead)
+			readWg.Wait()
+			got := srv.Snapshot()
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got.Inserts != uint64(len(stream)) {
+				t.Fatalf("snapshot covers %d inserts, want %d", got.Inserts, len(stream))
+			}
+			if reads.Load() == 0 {
+				t.Fatal("readers never read")
+			}
+
+			// Serial batch replay, in stream order (any order gives the
+			// same bits: all values are integers).
+			ref, err := newMaintainer(strategy, j, "Sales", features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range stream {
+				if err := ref.Insert(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := ref.Snapshot()
+			if got.Stats.Count != want.Count {
+				t.Fatalf("count: got %v, want %v", got.Stats.Count, want.Count)
+			}
+			for i := range features {
+				if got.Stats.Sum[i] != want.Sum[i] {
+					t.Fatalf("sum[%d]: got %v, want %v", i, got.Stats.Sum[i], want.Sum[i])
+				}
+				for k := range features {
+					if got.Moment(i, k) != want.Q[i*want.N+k] {
+						t.Fatalf("moment[%d,%d]: got %v, want %v", i, k, got.Moment(i, k), want.Q[i*want.N+k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// newMaintainer mirrors the Server's strategy dispatch for reference
+// replays in tests.
+func newMaintainer(st Strategy, j *query.Join, root string, features []string) (ivm.Maintainer, error) {
+	switch st {
+	case FIVM:
+		return ivm.NewFIVM(j, root, features)
+	case HigherOrder:
+		return ivm.NewHigherOrder(j, root, features)
+	case FirstOrder:
+		return ivm.NewFirstOrder(j, root, features)
+	}
+	return nil, fmt.Errorf("unknown strategy %v", st)
+}
+
+// TestFlushBarrier: Flush publishes everything enqueued before it.
+func TestFlushBarrier(t *testing.T) {
+	j, stream, features := salesSchema(7, 100, 8, 4)
+	srv, err := New(j, "Sales", features, Config{BatchSize: 1 << 20, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, tp := range stream {
+		if err := srv.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Snapshot().Inserts; got != uint64(len(stream)) {
+		t.Fatalf("after flush: snapshot covers %d inserts, want %d", got, len(stream))
+	}
+}
+
+// TestFlushIntervalPublishes: a partial batch becomes visible without an
+// explicit barrier once the flush interval elapses.
+func TestFlushIntervalPublishes(t *testing.T) {
+	j, stream, features := salesSchema(9, 50, 8, 4)
+	srv, err := New(j, "Sales", features, Config{BatchSize: 1 << 20, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, tp := range stream[:10] {
+		if err := srv.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().Inserts != 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never caught up: covers %d of 10 inserts", srv.Snapshot().Inserts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestInsertValidation: shape errors surface synchronously at enqueue.
+func TestInsertValidation(t *testing.T) {
+	j, _, features := salesSchema(11, 10, 4, 2)
+	srv, err := New(j, "Sales", features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Insert(ivm.Tuple{Rel: "Nope"}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if err := srv.Insert(ivm.Tuple{Rel: "Items", Values: []relation.Value{relation.CatVal(0)}}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+// TestClosedServer: operations on a closed server fail with ErrClosed,
+// and Close is idempotent.
+func TestClosedServer(t *testing.T) {
+	j, stream, features := salesSchema(13, 10, 4, 2)
+	srv, err := New(j, "Sales", features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Insert(stream[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert after Close: got %v, want ErrClosed", err)
+	}
+	if err := srv.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close: got %v, want ErrClosed", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestParseStrategy covers the flag spellings.
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{
+		"": FIVM, "fivm": FIVM, "f-ivm": FIVM,
+		"higher": HigherOrder, "higher-order": HigherOrder,
+		"first": FirstOrder, "first-order": FirstOrder,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}

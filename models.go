@@ -316,17 +316,7 @@ type StreamingCovariance struct {
 // StreamCovariance creates an F-IVM maintainer over an initially empty
 // copy of the query's relations.
 func (q *Query) StreamCovariance(features []string) (*StreamingCovariance, error) {
-	root := q.Root
-	if root == "" {
-		best := q.join.Relations[0]
-		for _, r := range q.join.Relations[1:] {
-			if r.NumRows() > best.NumRows() {
-				best = r
-			}
-		}
-		root = best.Name
-	}
-	m, err := ivm.NewFIVM(q.join, root, features)
+	m, err := ivm.NewFIVM(q.join, q.rootOrLargest(), features)
 	if err != nil {
 		return nil, err
 	}
@@ -345,25 +335,9 @@ func (s *StreamingCovariance) Insert(rel string, values ...any) error {
 	if r == nil {
 		return fmt.Errorf("borg: unknown relation %s", rel)
 	}
-	row := make([]relation.Value, len(values))
-	if len(values) != r.NumAttrs() {
-		return fmt.Errorf("borg: %s has %d attributes, got %d values", rel, r.NumAttrs(), len(values))
-	}
-	for i, v := range values {
-		col := r.Col(i)
-		switch x := v.(type) {
-		case float64:
-			row[i] = relation.FloatVal(x)
-		case int:
-			row[i] = relation.FloatVal(float64(x))
-		case string:
-			if col.Type != relation.Category {
-				return fmt.Errorf("borg: attribute %s is continuous, got string", r.Attrs()[i].Name)
-			}
-			row[i] = relation.CatVal(col.Dict.Code(x))
-		default:
-			return fmt.Errorf("borg: unsupported value type %T", v)
-		}
+	row, err := coerceRow(r, values)
+	if err != nil {
+		return err
 	}
 	return s.m.Insert(ivm.Tuple{Rel: rel, Values: row})
 }

@@ -1,0 +1,216 @@
+package borg
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"borg/internal/ivm"
+	"borg/internal/ml"
+	"borg/internal/ring"
+	"borg/internal/serve"
+)
+
+// internMu guards dictionary interning across all servers: same-named
+// categorical attributes share one Dict database-wide (and with the
+// source database), so concurrent Insert callers — even on different
+// servers over the same database — must not race on it. Steady-state
+// conversions (values already interned) take only the read lock, so
+// concurrent producers do not serialize on known categories.
+var internMu sync.RWMutex
+
+// ServerOptions tunes a Server. The zero value selects F-IVM maintenance
+// with the default batching knobs.
+type ServerOptions struct {
+	// Strategy is the IVM maintenance strategy: "fivm" (default, one
+	// ring-valued view hierarchy), "higher-order" (one view hierarchy
+	// per aggregate), or "first-order" (no views, full delta joins).
+	Strategy string
+	// BatchSize is how many applied inserts force a snapshot
+	// publication (default 64).
+	BatchSize int
+	// FlushInterval bounds snapshot staleness: a partial batch is
+	// published after this long (default 1ms).
+	FlushInterval time.Duration
+	// QueueDepth is the ingest queue capacity; full queues apply
+	// backpressure to Insert callers (default 1024).
+	QueueDepth int
+	// Workers sizes the worker pool the maintainer's delta scans run
+	// on; values below 2 select the serial kernels.
+	Workers int
+}
+
+// Server is the concurrent streaming-serving layer: a long-lived session
+// that owns an initially empty copy of the query's relations plus an IVM
+// maintainer, ingests inserts through a batching queue applied by a
+// single writer goroutine, and serves snapshot-consistent statistics and
+// model reads to any number of concurrent readers. Reads are one atomic
+// pointer load — they never block the writer, and the writer never waits
+// for readers (epoch/copy-on-write handoff).
+type Server struct {
+	inner    *serve.Server
+	features []string
+}
+
+// Serve starts a server maintaining the covariance statistics of the
+// given continuous features over an initially empty copy of the query's
+// relations. Close it when done.
+func (q *Query) Serve(features []string, opt ServerOptions) (*Server, error) {
+	strategy, err := serve.ParseStrategy(opt.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Workers == 0 {
+		// The query's parallelism config is the facade-wide default;
+		// pass ServerOptions{Workers: 1} for explicitly serial kernels.
+		opt.Workers = q.Workers
+	}
+	inner, err := serve.New(q.join, q.rootOrLargest(), features, serve.Config{
+		Strategy:      strategy,
+		BatchSize:     opt.BatchSize,
+		FlushInterval: opt.FlushInterval,
+		QueueDepth:    opt.QueueDepth,
+		Workers:       opt.Workers,
+		MorselSize:    q.MorselSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner, features: append([]string(nil), features...)}, nil
+}
+
+// Insert enqueues one tuple insert into the named relation. Values
+// follow the Relation.Append conventions (float64/int for continuous,
+// string for categorical). Insert is safe for any number of concurrent
+// callers; it blocks only when the ingest queue is full.
+func (s *Server) Insert(rel string, values ...any) error {
+	r := s.inner.Schema(rel)
+	if r == nil {
+		return fmt.Errorf("borg: unknown relation %s", rel)
+	}
+	row, err := coerceRow(r, values)
+	if err != nil {
+		return err
+	}
+	return s.inner.Insert(ivm.Tuple{Rel: rel, Values: row})
+}
+
+// Flush is a write barrier: it returns once every insert enqueued before
+// the call is applied and visible in the current snapshot.
+func (s *Server) Flush() error { return s.inner.Flush() }
+
+// Close drains already-queued inserts, publishes a final snapshot, and
+// stops the writer. Producers that need every insert applied call Flush
+// first. Close is idempotent.
+func (s *Server) Close() error { return s.inner.Close() }
+
+// ServerStats is a point-in-time health view of a server.
+type ServerStats struct {
+	// Epoch is the published snapshot sequence number.
+	Epoch uint64
+	// Inserts counts tuples applied as of the current snapshot.
+	Inserts uint64
+	// Queued counts inserts enqueued but not yet applied.
+	Queued int
+	// Count is SUM(1) over the join at the current snapshot.
+	Count float64
+}
+
+// Stats reports the server's current epoch, applied-insert count, queue
+// depth, and join cardinality.
+func (s *Server) Stats() ServerStats {
+	snap := s.inner.Snapshot()
+	return ServerStats{Epoch: snap.Epoch, Inserts: snap.Inserts, Queued: s.inner.QueueLen(), Count: snap.Count()}
+}
+
+// Count returns SUM(1) over the join at the current snapshot.
+func (s *Server) Count() float64 { return s.inner.Snapshot().Count() }
+
+// Mean returns the mean of a maintained feature at the current snapshot
+// (0 while the join is empty).
+func (s *Server) Mean(attr string) (float64, error) {
+	return s.CovarSnapshot().Mean(attr)
+}
+
+// SecondMoment returns SUM(a·b) at the current snapshot.
+func (s *Server) SecondMoment(a, b string) (float64, error) {
+	return s.CovarSnapshot().SecondMoment(a, b)
+}
+
+// TrainLinReg trains a ridge linear regression of the response on the
+// remaining maintained features, entirely from the current snapshot's
+// statistics — no data access, no interruption of the write path.
+func (s *Server) TrainLinReg(response string, lambda float64) (*LinearRegression, error) {
+	return s.CovarSnapshot().TrainLinReg(response, lambda)
+}
+
+// CovarSnapshot freezes the current epoch: an immutable view of the
+// maintained statistics on which any number of reads and trainings can
+// run while inserts continue.
+func (s *Server) CovarSnapshot() *ServerSnapshot {
+	return &ServerSnapshot{snap: s.inner.Snapshot(), features: s.features}
+}
+
+// ServerSnapshot is one published epoch of a Server: every read on it
+// observes the same consistent state.
+type ServerSnapshot struct {
+	snap     *serve.Snapshot
+	features []string
+}
+
+// Epoch returns the snapshot's publication sequence number.
+func (s *ServerSnapshot) Epoch() uint64 { return s.snap.Epoch }
+
+// Inserts returns how many tuples had been applied at this epoch.
+func (s *ServerSnapshot) Inserts() uint64 { return s.snap.Inserts }
+
+// Count returns SUM(1) over the join at this epoch.
+func (s *ServerSnapshot) Count() float64 { return s.snap.Count() }
+
+// Mean returns the mean of a maintained feature at this epoch (0 while
+// the join is empty).
+func (s *ServerSnapshot) Mean(attr string) (float64, error) {
+	i, err := s.featureIndex(attr)
+	if err != nil {
+		return 0, err
+	}
+	if s.snap.Count() == 0 {
+		return 0, nil
+	}
+	return s.snap.Sum(i) / s.snap.Count(), nil
+}
+
+// SecondMoment returns SUM(a·b) at this epoch.
+func (s *ServerSnapshot) SecondMoment(a, b string) (float64, error) {
+	i, err := s.featureIndex(a)
+	if err != nil {
+		return 0, err
+	}
+	j, err := s.featureIndex(b)
+	if err != nil {
+		return 0, err
+	}
+	return s.snap.Moment(i, j), nil
+}
+
+// Covar exposes the epoch's raw covariance triple (read-only).
+func (s *ServerSnapshot) Covar() *ring.Covar { return s.snap.Stats }
+
+// TrainLinReg trains a ridge linear regression of the response on the
+// remaining maintained features from this epoch's statistics.
+func (s *ServerSnapshot) TrainLinReg(response string, lambda float64) (*LinearRegression, error) {
+	sigma, err := ml.SigmaFromCovar(s.features, response, s.snap.Stats)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearRegression{model: ml.TrainLinRegGD(sigma, lambda, 50000, 1e-10), sigma: sigma}, nil
+}
+
+func (s *ServerSnapshot) featureIndex(attr string) (int, error) {
+	for i, f := range s.features {
+		if f == attr {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("borg: %s is not a maintained feature", attr)
+}
