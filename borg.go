@@ -31,6 +31,7 @@ package borg
 
 import (
 	"fmt"
+	"math"
 
 	"borg/internal/core"
 	"borg/internal/datagen"
@@ -100,12 +101,13 @@ func (r *Relation) Append(values ...any) error {
 	return nil
 }
 
-// coerceRow converts facade values (float64/int for continuous, string
-// for categorical) into relation values in schema order — the single
-// conversion path shared by Relation.Append, StreamingCovariance.Insert,
-// and Server.Insert. Categorical strings are interned under the shared
-// dictionary lock so that Server.Insert — the one entry point documented
-// as safe for concurrent callers — can convert in parallel; Append and
+// coerceRow converts facade values (any common Go numeric type for
+// continuous, string for categorical) into relation values in schema
+// order — the single conversion path shared by Relation.Append,
+// StreamingCovariance.Insert, and Server.Insert/Delete/Update.
+// Categorical strings are interned under the shared dictionary lock so
+// that the Server entry points — the ones documented as safe for
+// concurrent callers — can convert in parallel; Append and
 // StreamingCovariance.Insert remain single-writer APIs (their row
 // mutation happens outside any lock).
 func coerceRow(r *relation.Relation, values []any) ([]relation.Value, error) {
@@ -115,20 +117,21 @@ func coerceRow(r *relation.Relation, values []any) ([]relation.Value, error) {
 	row := make([]relation.Value, len(values))
 	for i, v := range values {
 		col := r.Col(i)
-		switch x := v.(type) {
-		case float64:
+		if f, ok := asFloat(v); ok {
 			if col.Type != relation.Double {
-				return nil, fmt.Errorf("borg: attribute %s is categorical, got float", r.Attrs()[i].Name)
+				return nil, fmt.Errorf("borg: attribute %s is categorical (want a string), got %T", r.Attrs()[i].Name, v)
 			}
-			row[i] = relation.FloatVal(x)
-		case int:
-			if col.Type != relation.Double {
-				return nil, fmt.Errorf("borg: attribute %s is categorical, got int", r.Attrs()[i].Name)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				// A NaN poisons every maintained sum and, being ≠ to
+				// itself, could never be matched by a later Delete.
+				return nil, fmt.Errorf("borg: attribute %s: non-finite value %v is not storable", r.Attrs()[i].Name, f)
 			}
-			row[i] = relation.FloatVal(float64(x))
-		case string:
+			row[i] = relation.FloatVal(f)
+			continue
+		}
+		if x, ok := v.(string); ok {
 			if col.Type != relation.Category {
-				return nil, fmt.Errorf("borg: attribute %s is continuous, got string", r.Attrs()[i].Name)
+				return nil, fmt.Errorf("borg: attribute %s is continuous (want a number), got %T", r.Attrs()[i].Name, v)
 			}
 			internMu.RLock()
 			code, known := col.Dict.Lookup(x)
@@ -139,11 +142,48 @@ func coerceRow(r *relation.Relation, values []any) ([]relation.Value, error) {
 				internMu.Unlock()
 			}
 			row[i] = relation.CatVal(code)
-		default:
-			return nil, fmt.Errorf("borg: unsupported value type %T for attribute %s", v, r.Attrs()[i].Name)
+			continue
 		}
+		want := "a number"
+		if col.Type == relation.Category {
+			want = "a string"
+		}
+		return nil, fmt.Errorf("borg: unsupported value type %T for attribute %s (want %s)", v, r.Attrs()[i].Name, want)
 	}
 	return row, nil
+}
+
+// asFloat widens any common Go numeric type to float64. Large uint64 /
+// int64 values lose precision past 2⁵³ exactly as a float64 column
+// would store them.
+func asFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int16:
+		return float64(x), true
+	case int8:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case uint32:
+		return float64(x), true
+	case uint16:
+		return float64(x), true
+	case uint8:
+		return float64(x), true
+	}
+	return 0, false
 }
 
 // Query is a natural join of relations — the feature-extraction query of

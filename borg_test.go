@@ -1,6 +1,7 @@
 package borg
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -301,5 +302,68 @@ func TestFieldHelpers(t *testing.T) {
 	}
 	if !strings.HasPrefix(Cat("g").Name, "g") {
 		t.Fatal("name lost")
+	}
+}
+
+func TestCoerceRowNumericWidening(t *testing.T) {
+	db := NewDatabase()
+	r := db.AddRelation("R", Cat("k"), Num("x"))
+	// Every common Go numeric type lands in a continuous attribute.
+	for i, v := range []any{
+		float64(1), float32(2.5), int(3), int64(4), int32(5), int16(6), int8(7),
+		uint(8), uint64(9), uint32(10), uint16(11), uint8(12),
+	} {
+		if err := r.Append(fmt.Sprintf("k%d", i), v); err != nil {
+			t.Fatalf("%T into continuous rejected: %v", v, err)
+		}
+	}
+	if r.Rows() != 12 {
+		t.Fatalf("Rows = %d, want 12", r.Rows())
+	}
+
+	// The error for a numeric value in a categorical slot names the
+	// actual offending Go type and the expected kind — not the
+	// misleading old "is categorical, got float".
+	err := r.Append(int64(9), 1.0)
+	if err == nil {
+		t.Fatal("int64 into categorical accepted")
+	}
+	for _, frag := range []string{"int64", "categorical", "string"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+	err = r.Append("a", "b")
+	if err == nil {
+		t.Fatal("string into continuous accepted")
+	}
+	for _, frag := range []string{"string", "continuous", "number"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+	err = r.Append("a", struct{}{})
+	if err == nil {
+		t.Fatal("struct accepted")
+	}
+	if !strings.Contains(err.Error(), "struct {}") || !strings.Contains(err.Error(), "number") {
+		t.Fatalf("unsupported-type error %q does not name the type and expected kind", err)
+	}
+}
+
+func TestCoerceRowRejectsNonFinite(t *testing.T) {
+	db := NewDatabase()
+	r := db.AddRelation("R", Cat("k"), Num("x"))
+	for _, v := range []any{math.NaN(), math.Inf(1), math.Inf(-1), float32(float64(math.Inf(1)))} {
+		err := r.Append("a", v)
+		if err == nil {
+			t.Fatalf("non-finite %v accepted", v)
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("error %q does not say non-finite", err)
+		}
+	}
+	if r.Rows() != 0 {
+		t.Fatalf("Rows = %d after rejected appends, want 0", r.Rows())
 	}
 }

@@ -1,12 +1,20 @@
 // Command borg-perfgate is the CI performance-regression gate: it
-// compares a fresh `borg-bench -fig exec -json` run against the
-// committed baseline (benchmarks/baseline.json) and fails when any
-// worker-count cell slowed down beyond the tolerance.
+// compares fresh `borg-bench -json` runs against the committed
+// baselines under benchmarks/ and fails when any cell slowed down
+// beyond the tolerance. Two reports are gated:
+//
+//   - the exec-runtime baseline (`-fig exec`, per worker-count cell,
+//     compared on best wall time), and
+//   - the serving benchmark (`-fig serve`, per strategy × readers ×
+//     insert/delete-mix cell, compared on applied ops/sec — so both
+//     insert and retraction throughput are regression-gated).
 //
 // Usage:
 //
-//	borg-bench -fig exec -json > fresh.json
-//	borg-perfgate -baseline benchmarks/baseline.json -fresh fresh.json
+//	borg-bench -fig exec -json > exec-fresh.json
+//	borg-bench -fig serve -json > serve-fresh.json
+//	borg-perfgate -baseline benchmarks/baseline.json -fresh exec-fresh.json \
+//	              -serve-baseline benchmarks/serve.json -serve-fresh serve-fresh.json
 //
 // The tolerance is deliberately generous — CI runners are noisy and the
 // gate exists to catch order-of-magnitude regressions (a serialized hot
@@ -37,8 +45,10 @@ import (
 )
 
 func main() {
-	baselinePath := flag.String("baseline", "benchmarks/baseline.json", "committed baseline report")
-	freshPath := flag.String("fresh", "", "fresh report to gate (required)")
+	baselinePath := flag.String("baseline", "benchmarks/baseline.json", "committed exec baseline report")
+	freshPath := flag.String("fresh", "", "fresh exec report to gate")
+	serveBaselinePath := flag.String("serve-baseline", "benchmarks/serve.json", "committed serving baseline report")
+	serveFreshPath := flag.String("serve-fresh", "", "fresh serving report to gate")
 	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
 	flag.Parse()
 
@@ -53,19 +63,35 @@ func main() {
 		}
 		*maxRatio = v
 	}
-	if *freshPath == "" {
-		fatal(fmt.Errorf("-fresh is required"))
+	if *freshPath == "" && *serveFreshPath == "" {
+		fatal(fmt.Errorf("at least one of -fresh or -serve-fresh is required"))
 	}
-	base, err := load(*baselinePath)
+	failed := false
+	if *freshPath != "" {
+		failed = gateExec(*baselinePath, *freshPath, *maxRatio) || failed
+	}
+	if *serveFreshPath != "" {
+		failed = gateServe(*serveBaselinePath, *serveFreshPath, *maxRatio) || failed
+	}
+	if failed {
+		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
+	}
+	fmt.Println("perfgate: pass")
+}
+
+// gateExec compares the exec-runtime report per worker-count cell on
+// best wall time. Returns true when any cell regressed.
+func gateExec(baselinePath, freshPath string, maxRatio float64) bool {
+	base, err := load(baselinePath)
 	if err != nil {
 		fatal(err)
 	}
-	fresh, err := load(*freshPath)
+	fresh, err := load(freshPath)
 	if err != nil {
 		fatal(err)
 	}
 	if base.SF != fresh.SF || base.Seed != fresh.Seed || base.Dataset != fresh.Dataset {
-		fatal(fmt.Errorf("reports are not comparable: baseline is %s sf=%v seed=%d, fresh is %s sf=%v seed=%d",
+		fatal(fmt.Errorf("exec reports are not comparable: baseline is %s sf=%v seed=%d, fresh is %s sf=%v seed=%d",
 			base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed))
 	}
 
@@ -73,8 +99,8 @@ func main() {
 	for _, r := range fresh.Runs {
 		freshByWorkers[r.Workers] = r
 	}
-	fmt.Printf("perfgate: baseline %s (%d cpus) vs fresh (%d cpus), tolerance %.2fx\n",
-		*baselinePath, base.CPUs, fresh.CPUs, *maxRatio)
+	fmt.Printf("perfgate: exec baseline %s (%d cpus) vs fresh (%d cpus), tolerance %.2fx\n",
+		baselinePath, base.CPUs, fresh.CPUs, maxRatio)
 	failed := false
 	for _, b := range base.Runs {
 		f, ok := freshByWorkers[b.Workers]
@@ -83,7 +109,7 @@ func main() {
 			failed = true
 			continue
 		}
-		allowed := *maxRatio * parallelismPenalty(b.Workers, base.CPUs, fresh.CPUs)
+		allowed := maxRatio * parallelismPenalty(b.Workers, base.CPUs, fresh.CPUs)
 		ratio := f.BestMS / b.BestMS
 		verdict := "ok"
 		if ratio > allowed {
@@ -93,10 +119,70 @@ func main() {
 		fmt.Printf("  workers=%d  base %.1f ms  fresh %.1f ms  ratio %.2fx  allowed %.2fx  %s\n",
 			b.Workers, b.BestMS, f.BestMS, ratio, allowed, verdict)
 	}
-	if failed {
-		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
+	return failed
+}
+
+// gateServe compares the serving report per strategy × readers × mix
+// cell on applied ops/sec — the cell set includes the 90/10
+// insert/delete mix, so retraction throughput is gated exactly like
+// insert throughput. Returns true when any cell regressed.
+func gateServe(baselinePath, freshPath string, maxRatio float64) bool {
+	base, err := loadServe(baselinePath)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Println("perfgate: pass")
+	fresh, err := loadServe(freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	if base.SF != fresh.SF || base.Seed != fresh.Seed || base.Dataset != fresh.Dataset {
+		fatal(fmt.Errorf("serve reports are not comparable: baseline is %s sf=%v seed=%d, fresh is %s sf=%v seed=%d",
+			base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed))
+	}
+
+	type key struct {
+		strategy   string
+		readers    int
+		deleteFrac float64
+	}
+	freshByKey := make(map[key]bench.ServeCell, len(fresh.Cells))
+	for _, c := range fresh.Cells {
+		freshByKey[key{c.Strategy, c.Readers, c.DeleteFrac}] = c
+	}
+	fmt.Printf("perfgate: serve baseline %s (%d cpus) vs fresh (%d cpus), tolerance %.2fx\n",
+		baselinePath, base.CPUs, fresh.CPUs, maxRatio)
+	failed := false
+	for _, b := range base.Cells {
+		label := fmt.Sprintf("%s readers=%d del=%.0f%%", b.Strategy, b.Readers, 100*b.DeleteFrac)
+		f, ok := freshByKey[key{b.Strategy, b.Readers, b.DeleteFrac}]
+		if !ok {
+			fmt.Printf("  %-36s MISSING from fresh report\n", label)
+			failed = true
+			continue
+		}
+		// The cell's client load is writers + readers concurrent
+		// goroutines; a host that cannot run them in parallel gets the
+		// usual slack.
+		allowed := maxRatio * parallelismPenalty(b.Writers+b.Readers, base.CPUs, fresh.CPUs)
+		ratio := opsPerSec(b) / opsPerSec(f)
+		verdict := "ok"
+		if ratio > allowed {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %-36s base %.0f ops/s  fresh %.0f ops/s  ratio %.2fx  allowed %.2fx  %s\n",
+			label, opsPerSec(b), opsPerSec(f), ratio, allowed, verdict)
+	}
+	return failed
+}
+
+// opsPerSec reads a cell's applied-op throughput, falling back to the
+// insert rate for reports written before the churn cells existed.
+func opsPerSec(c bench.ServeCell) float64 {
+	if c.OpsPerSec > 0 {
+		return c.OpsPerSec
+	}
+	return c.InsertsPerSec
 }
 
 // parallelismPenalty is the extra slowdown allowed when the fresh host
@@ -124,6 +210,21 @@ func load(path string) (*bench.ExecBaselineReport, error) {
 	}
 	if len(rep.Runs) == 0 {
 		return nil, fmt.Errorf("%s: no runs recorded", path)
+	}
+	return &rep, nil
+}
+
+func loadServe(path string) (*bench.ServeReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no cells recorded", path)
 	}
 	return &rep, nil
 }

@@ -3,10 +3,10 @@
 //
 //	Sales(item, store, units)   Items(item, price)   Stores(store, area)
 //
-// Tuples stream in through POST /insert while GET /stats and GET /model
-// serve snapshot-consistent statistics and freshly trained models to any
-// number of concurrent clients — inserts never block reads and reads
-// never block inserts.
+// Tuples stream in through POST /insert (inserts, deletes, and updates)
+// while GET /stats and GET /model serve snapshot-consistent statistics
+// and freshly trained models to any number of concurrent clients —
+// writes never block reads and reads never block writes.
 //
 // Usage:
 //
@@ -14,15 +14,25 @@
 //
 // API:
 //
-//	POST /insert   {"rel": "Sales", "values": ["patty", "s1", 3]}
-//	               or a JSON array of such objects; values follow the
-//	               schema (strings for categorical, numbers for
-//	               continuous). Responds {"queued": n}.
-//	GET  /stats    {"epoch", "inserts", "queued", "count", "means": {...}}
+//	POST /insert    {"rel": "Sales", "values": ["patty", "s1", 3]}
+//	                or a JSON array of such objects; values follow the
+//	                schema (strings for categorical, numbers for
+//	                continuous). Each object may carry "op": "insert"
+//	                (default), "delete" (retract one equal-valued
+//	                tuple), or "update" (retract "values", insert
+//	                "new"). Responds {"queued": n}; if some array rows
+//	                fail: 207 with per-row errors; if all fail: 400.
+//	DELETE /insert  same body; every row is treated as a delete.
+//	GET  /stats     {"epoch", "inserts", "deletes", "queued", "count",
+//	                 "means": {...}, "last_error": null | "..."}
+//	                last_error reports the first asynchronous
+//	                maintenance failure (e.g. a delete whose target was
+//	                never live), which cannot be reported on the insert
+//	                response.
 //	GET  /model?response=units&lambda=0.001
-//	               {"epoch", "count", "response", "intercept",
-//	                "coefficients": {...}}
-//	GET  /healthz  200 {"status": "ok"}
+//	                {"epoch", "count", "response", "intercept",
+//	                 "coefficients": {...}}
+//	GET  /healthz   200 {"status": "ok"}
 package main
 
 import (
@@ -49,6 +59,35 @@ var features = []string{"units", "price", "area"}
 type insertReq struct {
 	Rel    string `json:"rel"`
 	Values []any  `json:"values"`
+	// Op selects the operation: "insert" (default), "delete", or
+	// "update" (retract Values, insert New).
+	Op  string `json:"op,omitempty"`
+	New []any  `json:"new,omitempty"`
+}
+
+// apply routes one request row to the server. forceDelete is the
+// DELETE-method path, where every row retracts regardless of Op.
+func (r insertReq) apply(srv *borg.Server, forceDelete bool) error {
+	op := r.Op
+	if forceDelete {
+		if op != "" && op != "delete" {
+			return fmt.Errorf("op %q not allowed on DELETE /insert", op)
+		}
+		op = "delete"
+	}
+	switch op {
+	case "", "insert":
+		return srv.Insert(r.Rel, r.Values...)
+	case "delete":
+		return srv.Delete(r.Rel, r.Values...)
+	case "update":
+		if r.New == nil {
+			return fmt.Errorf("update for %s is missing the \"new\" values", r.Rel)
+		}
+		return srv.Update(r.Rel, r.Values, r.New)
+	default:
+		return fmt.Errorf("unknown op %q (want insert, delete, or update)", op)
+	}
 }
 
 func main() {
@@ -121,6 +160,23 @@ func selfCheck(srv *borg.Server, h http.Handler) error {
 		h.ServeHTTP(rec, req)
 		return rec.Code, rec.Body.String()
 	}
+	count := func() (float64, error) {
+		if err := srv.Flush(); err != nil {
+			return 0, err
+		}
+		code, body := do("GET", "/stats", "")
+		if code != http.StatusOK {
+			return 0, fmt.Errorf("stats: %d %s", code, body)
+		}
+		var stats struct {
+			Count   float64 `json:"count"`
+			Deletes uint64  `json:"deletes"`
+		}
+		if err := json.Unmarshal([]byte(body), &stats); err != nil {
+			return 0, fmt.Errorf("stats body: %v", err)
+		}
+		return stats.Count, nil
+	}
 	if code, body := do("POST", "/insert", `[
 		{"rel": "Items", "values": ["patty", 6]},
 		{"rel": "Stores", "values": ["s1", 120]},
@@ -129,21 +185,8 @@ func selfCheck(srv *borg.Server, h http.Handler) error {
 	]`); code != http.StatusOK {
 		return fmt.Errorf("insert: %d %s", code, body)
 	}
-	if err := srv.Flush(); err != nil {
-		return err
-	}
-	code, body := do("GET", "/stats", "")
-	if code != http.StatusOK {
-		return fmt.Errorf("stats: %d %s", code, body)
-	}
-	var stats struct {
-		Count float64 `json:"count"`
-	}
-	if err := json.Unmarshal([]byte(body), &stats); err != nil {
-		return fmt.Errorf("stats body: %v", err)
-	}
-	if stats.Count != 2 {
-		return fmt.Errorf("stats count = %v, want 2", stats.Count)
+	if c, err := count(); err != nil || c != 2 {
+		return fmt.Errorf("count after inserts = %v, want 2 (%v)", c, err)
 	}
 	if code, body := do("GET", "/model?response=units&lambda=0.001", ""); code != http.StatusOK {
 		return fmt.Errorf("model: %d %s", code, body)
@@ -154,39 +197,114 @@ func selfCheck(srv *borg.Server, h http.Handler) error {
 	if code, body := do("POST", "/insert", `{"rel": "Nope", "values": []}`); code != http.StatusUnprocessableEntity {
 		return fmt.Errorf("bad insert accepted: %d %s", code, body)
 	}
+
+	// Retraction path: an op:"delete" row, an op:"update" correction,
+	// and the DELETE method all maintain the same statistics.
+	if code, body := do("POST", "/insert", `{"rel": "Sales", "values": ["patty", "s1", 5], "op": "delete"}`); code != http.StatusOK {
+		return fmt.Errorf("delete op: %d %s", code, body)
+	}
+	if c, err := count(); err != nil || c != 1 {
+		return fmt.Errorf("count after delete = %v, want 1 (%v)", c, err)
+	}
+	if code, body := do("POST", "/insert", `{"rel": "Sales", "values": ["patty", "s1", 3], "op": "update", "new": ["patty", "s1", 7]}`); code != http.StatusOK {
+		return fmt.Errorf("update op: %d %s", code, body)
+	}
+	if c, err := count(); err != nil || c != 1 {
+		return fmt.Errorf("count after update = %v, want 1 (%v)", c, err)
+	}
+	if m, err := srv.Mean("units"); err != nil || m != 7 {
+		return fmt.Errorf("mean(units) after update = %v, want 7 (%v)", m, err)
+	}
+	if code, body := do("DELETE", "/insert", `{"rel": "Sales", "values": ["patty", "s1", 7]}`); code != http.StatusOK {
+		return fmt.Errorf("DELETE method: %d %s", code, body)
+	}
+	if c, err := count(); err != nil || c != 0 {
+		return fmt.Errorf("count after DELETE = %v, want 0 (%v)", c, err)
+	}
+	if code, body := do("DELETE", "/insert", `{"rel": "Sales", "values": ["x", "y", 1], "op": "insert"}`); code != http.StatusUnprocessableEntity {
+		return fmt.Errorf("insert op on DELETE method accepted: %d %s", code, body)
+	}
+
+	// Array status semantics: partial failure is 207 with per-row
+	// errors, total failure is 400 — never a blanket 200.
+	code, body := do("POST", "/insert", `[
+		{"rel": "Items", "values": ["bun", 2]},
+		{"rel": "Nope", "values": []}
+	]`)
+	if code != http.StatusMultiStatus {
+		return fmt.Errorf("partial-failure array: %d %s, want 207", code, body)
+	}
+	var partial struct {
+		Queued int `json:"queued"`
+		Failed int `json:"failed"`
+		Errors []struct {
+			Index int    `json:"index"`
+			Error string `json:"error"`
+		} `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(body), &partial); err != nil {
+		return fmt.Errorf("partial-failure body: %v", err)
+	}
+	if partial.Queued != 1 || partial.Failed != 1 || len(partial.Errors) != 1 || partial.Errors[0].Index != 1 {
+		return fmt.Errorf("partial-failure payload wrong: %s", body)
+	}
+	if code, body := do("POST", "/insert", `[{"rel": "Nope", "values": []}, {"rel": "Sales", "values": []}]`); code != http.StatusBadRequest {
+		return fmt.Errorf("all-failed array: %d %s, want 400", code, body)
+	}
 	return nil
 }
 
-// newHandler wires the three endpoints over a running server.
+// newHandler wires the endpoints over a running server.
 func newHandler(srv *borg.Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		reqs, err := parseInserts(body)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		// Array bodies are applied item by item, not atomically: on a
-		// mid-array failure the response reports how many items were
-		// already queued, so clients retry only the remainder.
-		for i, req := range reqs {
-			if err := srv.Insert(req.Rel, req.Values...); err != nil {
-				w.Header().Set("Content-Type", "application/json")
-				w.WriteHeader(http.StatusUnprocessableEntity)
-				_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "queued": i})
+	ingest := func(forceDelete bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
 				return
 			}
+			reqs, isArray, err := parseInserts(body)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			// Array bodies are applied item by item, not atomically:
+			// every row is attempted and the response carries per-row
+			// errors, so clients retry exactly the failed rows. The
+			// status distinguishes total failure (400), partial failure
+			// (207), and success (200); a failing single-object body
+			// stays 422 as before.
+			type rowErr struct {
+				Index int    `json:"index"`
+				Error string `json:"error"`
+			}
+			var errs []rowErr
+			for i, req := range reqs {
+				if err := req.apply(srv, forceDelete); err != nil {
+					errs = append(errs, rowErr{Index: i, Error: err.Error()})
+				}
+			}
+			queued := len(reqs) - len(errs)
+			switch {
+			case len(errs) == 0:
+				writeJSON(w, http.StatusOK, map[string]any{"queued": queued})
+			case !isArray:
+				writeJSON(w, http.StatusUnprocessableEntity, map[string]any{"error": errs[0].Error, "queued": 0})
+			case queued == 0:
+				writeJSON(w, http.StatusBadRequest, map[string]any{"queued": 0, "failed": len(errs), "errors": errs})
+			default:
+				writeJSON(w, http.StatusMultiStatus, map[string]any{"queued": queued, "failed": len(errs), "errors": errs})
+			}
 		}
-		writeJSON(w, map[string]any{"queued": len(reqs)})
-	})
+	}
+	mux.HandleFunc("POST /insert", ingest(false))
+	mux.HandleFunc("DELETE /insert", ingest(true))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		// One snapshot load feeds every per-epoch field, so the counters
+		// are mutually consistent; only "queued" is an inherently live
+		// reading taken alongside.
 		snap := srv.CovarSnapshot()
-		st := srv.Stats()
 		means := make(map[string]float64, len(features))
 		for _, f := range features {
 			m, err := snap.Mean(f)
@@ -196,12 +314,18 @@ func newHandler(srv *borg.Server) http.Handler {
 			}
 			means[f] = m
 		}
-		writeJSON(w, map[string]any{
-			"epoch":   snap.Epoch(),
-			"inserts": snap.Inserts(),
-			"queued":  st.Queued,
-			"count":   snap.Count(),
-			"means":   means,
+		var lastErr any
+		if err := srv.Err(); err != nil {
+			lastErr = err.Error()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":      snap.Epoch(),
+			"inserts":    snap.Inserts(),
+			"deletes":    snap.Deletes(),
+			"queued":     srv.Stats().Queued,
+			"count":      snap.Count(),
+			"means":      means,
+			"last_error": lastErr,
 		})
 	})
 	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
@@ -239,7 +363,7 @@ func newHandler(srv *borg.Server) http.Handler {
 			}
 			coefs[f] = c
 		}
-		writeJSON(w, map[string]any{
+		writeJSON(w, http.StatusOK, map[string]any{
 			"epoch":        snap.Epoch(),
 			"count":        snap.Count(),
 			"response":     response,
@@ -249,35 +373,35 @@ func newHandler(srv *borg.Server) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
 }
 
-// parseInserts accepts one insert object or a JSON array of them.
-func parseInserts(body []byte) ([]insertReq, error) {
+// parseInserts accepts one op object or a JSON array of them, reporting
+// which shape the body had (array bodies get per-row error reporting).
+func parseInserts(body []byte) ([]insertReq, bool, error) {
 	trimmed := bytes.TrimLeft(body, " \t\r\n")
 	if len(trimmed) > 0 && trimmed[0] == '[' {
 		var reqs []insertReq
 		if err := json.Unmarshal(body, &reqs); err != nil {
-			return nil, fmt.Errorf("bad insert array: %v", err)
+			return nil, true, fmt.Errorf("bad insert array: %v", err)
 		}
-		return reqs, nil
+		return reqs, true, nil
 	}
 	var one insertReq
 	if err := json.Unmarshal(body, &one); err != nil {
-		return nil, fmt.Errorf("bad insert body: %v", err)
+		return nil, false, fmt.Errorf("bad insert body: %v", err)
 	}
-	return []insertReq{one}, nil
+	return []insertReq{one}, false, nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

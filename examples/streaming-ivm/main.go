@@ -1,8 +1,9 @@
 // Streaming maintenance as a service: borg.Server keeps the covariance
-// matrix of a feature-extraction join fresh under live inserts with
-// F-IVM (Section 5.2, Figure 4 right) while serving snapshot-consistent
+// matrix of a feature-extraction join fresh under live inserts,
+// corrections (updates), and expirations (deletes) with F-IVM
+// (Section 5.2, Figure 4 right) while serving snapshot-consistent
 // statistics — and freshly trained models — to concurrent readers.
-// Inserts flow through a batching queue applied by one writer goroutine;
+// Ops flow through a batching queue applied by one writer goroutine;
 // every read is one atomic snapshot load that never blocks the writer.
 package main
 
@@ -63,9 +64,22 @@ func main() {
 	must(srv.Insert("Items", "bun", 2.0))
 	must(srv.Insert("Sales", "bun", "s1", 10))
 
+	// Corrections and expirations are first-class: an Update retracts
+	// the old tuple and inserts its replacement back to back (no
+	// snapshot ever shows neither or both), and a Delete retracts one
+	// equal-valued tuple — the F-IVM views shrink by propagating the
+	// same ring element negated.
+	must(srv.Update("Sales",
+		[]any{"bun", "s1", 10},  // the mis-keyed original ...
+		[]any{"bun", "s1", 12})) // ... corrected to 12 units
+	must(srv.Delete("Sales", "patty", "s1", 3)) // expired: retracted by value
+
 	// Flush is a write barrier: everything enqueued above is now applied
 	// and published.
 	must(srv.Flush())
+	st := srv.Stats()
+	fmt.Printf("after churn: %d inserts, %d deletes applied, queue empty=%v\n",
+		st.Inserts, st.Deletes, st.Queued == 0)
 
 	// CovarSnapshot freezes one epoch: every read below observes the
 	// same consistent state, while new inserts could keep streaming.

@@ -137,7 +137,7 @@ func TestServeBenchRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Serving layer", "fivm", "higher-order", "first-order", "Inserts/sec"} {
+	for _, want := range []string{"Serving layer", "fivm", "higher-order", "first-order", "Ops/sec", "90/10 ins/del", "insert-only"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ServeBench output missing %q:\n%s", want, out)
 		}

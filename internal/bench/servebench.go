@@ -13,22 +13,32 @@ import (
 	"borg/internal/datagen"
 	"borg/internal/ivm"
 	"borg/internal/serve"
+	"borg/internal/xrand"
 )
 
 // ServeCell is one measured serving configuration: a strategy × reader
-// count under a fixed writer load.
+// count × insert/delete mix under a fixed writer load.
 type ServeCell struct {
-	Strategy      string  `json:"strategy"`
-	Readers       int     `json:"readers"`
-	Writers       int     `json:"writers"`
+	Strategy string `json:"strategy"`
+	Readers  int    `json:"readers"`
+	Writers  int    `json:"writers"`
+	// DeleteFrac is the fraction of applied ops that are retractions
+	// (0 = the insert-only workload, 0.1 = the 90/10 churn mix).
+	DeleteFrac    float64 `json:"delete_frac,omitempty"`
 	Inserts       uint64  `json:"inserts"`
+	Deletes       uint64  `json:"deletes,omitempty"`
 	Seconds       float64 `json:"seconds"`
 	InsertsPerSec float64 `json:"inserts_per_sec"`
-	Reads         uint64  `json:"reads"`
-	ReadP50Nanos  float64 `json:"read_p50_ns"`
-	ReadP99Nanos  float64 `json:"read_p99_ns"`
-	FinalEpoch    uint64  `json:"final_epoch"`
-	Note          string  `json:"note,omitempty"`
+	// Ops / OpsPerSec count every applied op (inserts + deletes): the
+	// throughput the perf gate tracks, identical to inserts/sec for the
+	// insert-only cells.
+	Ops          uint64  `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Reads        uint64  `json:"reads"`
+	ReadP50Nanos float64 `json:"read_p50_ns"`
+	ReadP99Nanos float64 `json:"read_p99_ns"`
+	FinalEpoch   uint64  `json:"final_epoch"`
+	Note         string  `json:"note,omitempty"`
 }
 
 // ServeReport is the machine-readable result of the serving benchmark:
@@ -56,12 +66,53 @@ const serveProbes = 256
 // compiler cannot eliminate the snapshot reads being timed.
 var serveReadSink atomic.Uint64
 
-// ServeBench measures the serving layer on the Retailer insert stream:
-// two writer clients stream tuples through the batching ingest queue
-// while N concurrent readers hammer snapshot reads (Count + Sum +
-// Moment), for every IVM strategy at reader counts 1 and 4. Each cell
-// reports applied inserts/sec and the p50/p99 latency of one snapshot
-// read.
+// benchOp is one producer-side operation of the serving benchmark:
+// either an insert or the retraction of a tuple the same producer
+// inserted earlier (per-producer FIFO makes the delete race-free).
+type benchOp struct {
+	del bool
+	t   ivm.Tuple
+}
+
+// churnOps partitions the insert stream round-robin across the writers
+// and injects deletes so that deleteFrac of all applied ops are
+// retractions — each targeting a uniformly random live tuple of the
+// SAME writer's partition, the correction/expiration pattern of an
+// update-heavy workload.
+func churnOps(stream []ivm.Tuple, writers int, deleteFrac float64, seed uint64) [][]benchOp {
+	ops := make([][]benchOp, writers)
+	if deleteFrac <= 0 {
+		for i, t := range stream {
+			w := i % writers
+			ops[w] = append(ops[w], benchOp{t: t})
+		}
+		return ops
+	}
+	// One delete per insert with probability p keeps the applied-op mix
+	// at deleteFrac: p/(1+p) = deleteFrac.
+	p := deleteFrac / (1 - deleteFrac)
+	src := xrand.New(seed ^ 0x9E3779B97F4A7C15)
+	live := make([][]ivm.Tuple, writers)
+	for i, t := range stream {
+		w := i % writers
+		ops[w] = append(ops[w], benchOp{t: t})
+		live[w] = append(live[w], t)
+		if src.Float64() < p && len(live[w]) > 0 {
+			j := src.Intn(len(live[w]))
+			ops[w] = append(ops[w], benchOp{del: true, t: live[w][j]})
+			live[w][j] = live[w][len(live[w])-1]
+			live[w] = live[w][:len(live[w])-1]
+		}
+	}
+	return ops
+}
+
+// ServeBench measures the serving layer on the Retailer stream: two
+// writer clients stream tuples through the batching ingest queue while
+// N concurrent readers hammer snapshot reads (Count + Sum + Moment),
+// for every IVM strategy at reader counts 1 and 4 on the insert-only
+// workload plus a 90/10 insert/delete churn mix. Each cell reports
+// applied ops/sec and the p50/p99 latency of one snapshot read.
 func ServeBench(o Options) (*ServeReport, error) {
 	o.defaults()
 	const writers = 2
@@ -79,9 +130,15 @@ func ServeBench(o Options) (*ServeReport, error) {
 		FlushMicros:   float64(cfgFlush.Microseconds()),
 		BudgetSeconds: o.Budget.Seconds(),
 	}
+	mixes := []struct {
+		readers    int
+		deleteFrac float64
+	}{
+		{1, 0}, {4, 0}, {1, 0.1},
+	}
 	for _, strategy := range serve.Strategies() {
-		for _, readers := range []int{1, 4} {
-			cell, err := serveCell(d, stream, strategy, readers, writers, cfgBatch, cfgFlush, o)
+		for _, mix := range mixes {
+			cell, err := serveCell(d, stream, strategy, mix.readers, writers, mix.deleteFrac, cfgBatch, cfgFlush, o)
 			if err != nil {
 				return nil, err
 			}
@@ -91,10 +148,10 @@ func ServeBench(o Options) (*ServeReport, error) {
 	return rep, nil
 }
 
-// serveCell measures one strategy × reader-count configuration. Cleanup
-// is deferred so error paths never leak the reader goroutines or the
-// server's writer goroutine into later cells.
-func serveCell(d *datagen.Dataset, stream []ivm.Tuple, strategy serve.Strategy, readers, writers, cfgBatch int, cfgFlush time.Duration, o Options) (ServeCell, error) {
+// serveCell measures one strategy × reader-count × mix configuration.
+// Cleanup is deferred so error paths never leak the reader goroutines
+// or the server's writer goroutine into later cells.
+func serveCell(d *datagen.Dataset, stream []ivm.Tuple, strategy serve.Strategy, readers, writers int, deleteFrac float64, cfgBatch int, cfgFlush time.Duration, o Options) (ServeCell, error) {
 	srv, err := serve.New(d.Join, d.Root, d.Cont, serve.Config{
 		Strategy:      strategy,
 		BatchSize:     cfgBatch,
@@ -107,21 +164,33 @@ func serveCell(d *datagen.Dataset, stream []ivm.Tuple, strategy serve.Strategy, 
 	}
 	defer srv.Close()
 
+	ops := churnOps(stream, writers, deleteFrac, o.Seed)
+	totalOps := 0
+	for _, ws := range ops {
+		totalOps += len(ws)
+	}
+
 	var stopWrite atomic.Bool
 	var writeErr atomic.Value
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(ws []benchOp) {
 			defer wg.Done()
-			for i := w; i < len(stream) && !stopWrite.Load(); i += writers {
-				if err := srv.Insert(stream[i]); err != nil {
+			for i := 0; i < len(ws) && !stopWrite.Load(); i++ {
+				var err error
+				if ws[i].del {
+					err = srv.Delete(ws[i].t)
+				} else {
+					err = srv.Insert(ws[i].t)
+				}
+				if err != nil {
 					writeErr.Store(err)
 					return
 				}
 			}
-		}(w)
+		}(ops[w])
 	}
 	defer func() {
 		stopWrite.Store(true)
@@ -197,17 +266,22 @@ func serveCell(d *datagen.Dataset, stream []ivm.Tuple, strategy serve.Strategy, 
 		reads += uint64(len(s)) * serveProbes
 	}
 	sort.Float64s(all)
+	applied := snap.Inserts + snap.Deletes
 	note := "full stream"
-	if snap.Inserts < uint64(len(stream)) {
-		note = fmt.Sprintf("budget cap after %d of %d", snap.Inserts, len(stream))
+	if applied < uint64(totalOps) {
+		note = fmt.Sprintf("budget cap after %d of %d ops", applied, totalOps)
 	}
 	return ServeCell{
 		Strategy:      strategy.String(),
 		Readers:       readers,
 		Writers:       writers,
+		DeleteFrac:    deleteFrac,
 		Inserts:       snap.Inserts,
+		Deletes:       snap.Deletes,
 		Seconds:       elapsed.Seconds(),
 		InsertsPerSec: float64(snap.Inserts) / elapsed.Seconds(),
+		Ops:           applied,
+		OpsPerSec:     float64(applied) / elapsed.Seconds(),
 		Reads:         reads,
 		ReadP50Nanos:  percentile(all, 0.50),
 		ReadP99Nanos:  percentile(all, 0.99),
@@ -241,10 +315,14 @@ func ServeBenchTable(o Options) error {
 	}
 	var rows [][]string
 	for _, c := range rep.Cells {
+		mix := "insert-only"
+		if c.DeleteFrac > 0 {
+			mix = fmt.Sprintf("%.0f/%.0f ins/del", 100*(1-c.DeleteFrac), 100*c.DeleteFrac)
+		}
 		rows = append(rows, []string{
-			c.Strategy, fmt.Sprintf("%d", c.Readers),
-			fmt.Sprintf("%d", c.Inserts),
-			fmt.Sprintf("%.0f/s", c.InsertsPerSec),
+			c.Strategy, fmt.Sprintf("%d", c.Readers), mix,
+			fmt.Sprintf("%d", c.Ops),
+			fmt.Sprintf("%.0f/s", c.OpsPerSec),
 			fmt.Sprintf("%.0f ns", c.ReadP50Nanos),
 			fmt.Sprintf("%.0f ns", c.ReadP99Nanos),
 			fmt.Sprintf("%d", c.Reads),
@@ -257,6 +335,6 @@ func ServeBenchTable(o Options) error {
 	}
 	printTable(o.Out, fmt.Sprintf("Serving layer: %s stream, %d writers, batch %d (%d CPUs)",
 		rep.Dataset, nWriters, rep.BatchSize, rep.CPUs),
-		[]string{"Strategy", "Readers", "Inserts", "Inserts/sec", "Read p50", "Read p99", "Reads", "Note"}, rows)
+		[]string{"Strategy", "Readers", "Mix", "Ops", "Ops/sec", "Read p50", "Read p99", "Reads", "Note"}, rows)
 	return nil
 }

@@ -61,6 +61,33 @@ func (m *FirstOrder) Insert(t Tuple) error {
 	return nil
 }
 
+// Delete implements Maintainer: the retracted tuple's current
+// contribution is recomputed exactly as on the insert path — one full
+// delta-query evaluation per aggregate against the other base relations
+// (which a delete in relation n never scans n itself, so the doomed row
+// cannot feed its own delta) — and climbs negated. The row then leaves
+// the live relation and indexes.
+func (m *FirstOrder) Delete(t Tuple) error {
+	n, row, err := m.locate(t)
+	if err != nil {
+		return err
+	}
+	for a := range m.aggs {
+		partial := localEval(n, row, m.aggs[a])
+		for ci, c := range n.children {
+			partial *= m.down(c, n.childKey(ci, row), m.aggs[a])
+			if partial == 0 {
+				break
+			}
+		}
+		if partial != 0 {
+			m.up(n, n.parentKey(row), a, -partial)
+		}
+	}
+	m.removeRow(n, row)
+	return nil
+}
+
 // down recomputes aggregate a over the subtree rooted at n, restricted to
 // rows matching key — a fresh scan of the base relation (the defining
 // trait of first-order maintenance), run through the exec sum-where

@@ -68,13 +68,50 @@ func (m *FIVM) Insert(t Tuple) error {
 	return nil
 }
 
+// Delete implements Maintainer: one ring-valued retraction. The
+// tuple's current contribution — lift(t) ⨂ the child views, exactly
+// the insert delta — is propagated Neg-lifted, so a single pass
+// restores every view payload and the root triple simultaneously. A
+// missing child view means the tuple never contributed (it was waiting
+// for a join partner), so only the physical removal remains.
+func (m *FIVM) Delete(t Tuple) error {
+	n, row, err := m.locate(t)
+	if err != nil {
+		return err
+	}
+	delta := m.ring.Lift(n.featIdx, n.vals(row))
+	contributed := true
+	for ci, c := range n.children {
+		cv, ok := m.views[c][n.childKey(ci, row)]
+		if !ok {
+			contributed = false
+			break
+		}
+		delta = m.ring.Mul(delta, cv)
+	}
+	key := n.parentKey(row)
+	m.removeRow(n, row)
+	if contributed {
+		m.propagate(n, key, m.ring.Neg(delta))
+	}
+	return nil
+}
+
 // propagate merges δ into n's view at the given key and climbs towards
 // the root through the parent's index on n's join key.
 func (m *FIVM) propagate(n *node, key uint64, delta *ring.Covar) {
 	v := m.views[n]
 	if cur, ok := v[key]; ok {
 		cur.AddInPlace(delta)
-	} else {
+		// A retraction that drains a key's support leaves the exact
+		// additive identity (integer-exact data cancels bitwise); prune
+		// it so view memory tracks the live database, not the churn
+		// history. Missing and present-zero entries are interchangeable
+		// to every reader: both multiply a delta to nothing.
+		if cur.IsZero() {
+			delete(v, key)
+		}
+	} else if !delta.IsZero() {
 		v[key] = delta.Clone()
 	}
 	p := n.parent

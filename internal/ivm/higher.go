@@ -78,12 +78,55 @@ func (m *HigherOrder) Insert(t Tuple) error {
 	return nil
 }
 
+// Delete implements Maintainer: one negated delta propagation per
+// aggregate. The retracted tuple's current contribution to each view is
+// the same product the insert path forms — local factors times the
+// child views — so propagating its negation restores every view and the
+// root to the state without the tuple. A missing child view means the
+// tuple never contributed (it was waiting for a join partner), so only
+// the physical removal remains.
+func (m *HigherOrder) Delete(t Tuple) error {
+	n, row, err := m.locate(t)
+	if err != nil {
+		return err
+	}
+	key := n.parentKey(row)
+	for a := range m.aggs {
+		delta := localEval(n, row, m.aggs[a])
+		zero := false
+		for ci, c := range n.children {
+			cv, ok := m.views[c][a][n.childKey(ci, row)]
+			if !ok {
+				zero = true
+				break
+			}
+			delta *= cv
+		}
+		if zero {
+			continue
+		}
+		m.propagate(n, a, key, -delta)
+	}
+	m.removeRow(n, row)
+	return nil
+}
+
 // propagate merges a scalar delta into aggregate a's view at node n and
 // climbs to the root. The fanout over the parent's matching tuples is
 // the exec grouped-fold kernel, grouping contributions by the parent's
 // own upward key.
 func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
-	m.views[n][a][key] += delta
+	vs := m.views[n][a]
+	// Prune entries that reach exactly zero (a retraction draining the
+	// key's support cancels bitwise on integer-exact data): missing and
+	// present-zero are interchangeable to every reader — both zero the
+	// multiplicative delta — and pruning keeps view memory proportional
+	// to the live database under sustained churn.
+	if nv := vs[key] + delta; nv == 0 {
+		delete(vs, key)
+	} else {
+		vs[key] = nv
+	}
 	p := n.parent
 	if p == nil {
 		m.result[a] += delta

@@ -1,7 +1,8 @@
 // Package ivm implements incremental maintenance of the covariance
-// matrix — the sufficient statistics of linear regression — under tuple
-// inserts into the relations of a feature-extraction join, in the three
-// designs compared by Figure 4 (right) of the paper:
+// matrix — the sufficient statistics of linear regression — under
+// general deltas (tuple inserts AND deletes; an update is the pair) on
+// the relations of a feature-extraction join, in the three designs
+// compared by Figure 4 (right) of the paper:
 //
 //   - First-order IVM (classical delta processing): no intermediate
 //     views. Every insert evaluates its full delta query against the
@@ -20,6 +21,14 @@
 // All three maintainers expose the same interface and are tested for
 // equivalence against batch recomputation.
 //
+// Deletes reuse each strategy's insert machinery with the contribution
+// negated: the covariance ring supports retraction algebraically
+// (CovarRing.Neg), a scalar aggregate delta just flips sign, and a
+// first-order delta query is the same join evaluated with weight -1.
+// The live join-tree state shrinks for real — rows leave the relations
+// by swap-delete and the hash indexes drop their ids — so memory tracks
+// the live database, not the churn history.
+//
 // Scope note (documented substitution): the maintained statistics cover
 // the continuous features, which matches the F-IVM covariance experiment;
 // categorical interactions would add group-keyed ring payloads and change
@@ -28,6 +37,7 @@ package ivm
 
 import (
 	"fmt"
+	"math"
 
 	"borg/internal/exec"
 	"borg/internal/query"
@@ -35,17 +45,27 @@ import (
 	"borg/internal/ring"
 )
 
-// Tuple is one streamed insert: a row for the named relation, in schema
-// order.
+// Tuple is one streamed row for the named relation, in schema order. The
+// same value identifies a row on the insert and the delete path: a
+// delete retracts one occurrence of an equal-valued row (multiset
+// semantics), so producers never need to hold internal row ids.
 type Tuple struct {
 	Rel    string
 	Values []relation.Value
 }
 
 // Maintainer is the common interface of the three IVM strategies.
+// General deltas — inserts and deletes with negative multiplicities
+// under the covariance ring — are supported by every strategy; an
+// update is a delete followed by an insert, composed by the layers
+// above (internal/serve applies the pair atomically on its writer).
 type Maintainer interface {
 	// Insert applies one tuple insert and updates the maintained result.
 	Insert(t Tuple) error
+	// Delete retracts one occurrence of an equal-valued tuple previously
+	// inserted, updating the maintained result with the negated
+	// contribution. It fails if no matching tuple is live.
+	Delete(t Tuple) error
 	// Count returns the maintained SUM(1) over the join.
 	Count() float64
 	// Sum returns the maintained SUM(x_i) for feature i.
@@ -75,14 +95,17 @@ type node struct {
 	children      []*node
 	childKeyCols  [][]int
 	childIndexes  []*relation.Index
-	// selfIndex indexes this relation's rows by the key towards the
-	// parent; first-order maintenance navigates downward through it.
-	selfIndex *relation.Index
 
 	// featIdx/featCols: global feature indexes owned by this node and
 	// their columns in rel.
 	featIdx  []int
 	featCols []int
+
+	// rowIdx locates live rows by a hash of their full value tuple, so a
+	// delete resolves its target in O(1) expected time instead of
+	// scanning the relation. Buckets hold candidate ids; hash collisions
+	// are resolved by exact value comparison.
+	rowIdx *relation.Index
 }
 
 // base is the shared state of all maintainers: a live database (initially
@@ -118,11 +141,10 @@ func newBase(j *query.Join, root string, features []string) (*base, error) {
 	owner := make(map[string]*node)
 	var build func(tn *query.TreeNode, parent *node) *node
 	build = func(tn *query.TreeNode, parent *node) *node {
-		n := &node{tn: tn, rel: tn.Rel, parent: parent}
+		n := &node{tn: tn, rel: tn.Rel, parent: parent, rowIdx: relation.NewIndex(nil)}
 		for _, a := range tn.JoinAttrs {
 			n.parentKeyCols = append(n.parentKeyCols, tn.Rel.AttrIndex(a))
 		}
-		n.selfIndex = relation.NewIndex(n.parentKeyCols)
 		for _, at := range tn.Rel.Attrs() {
 			if _, taken := owner[at.Name]; !taken {
 				owner[at.Name] = n
@@ -175,8 +197,114 @@ func (b *base) append(t Tuple) (*node, int, error) {
 		key := n.rel.KeyFunc(n.childKeyCols[ci])(row)
 		n.childIndexes[ci].Insert(key, int32(row))
 	}
-	n.selfIndex.Insert(n.parentKey(row), int32(row))
+	n.rowIdx.Insert(rowHashAt(n.rel, row), int32(row))
 	return n, row, nil
+}
+
+// locate resolves a delete target: the node for t.Rel and the id of one
+// live row whose values equal t.Values (any one, under multiset
+// semantics). The caller must read everything it needs from the row and
+// then removeRow it before the next mutation.
+func (b *base) locate(t Tuple) (*node, int, error) {
+	n, ok := b.byName[t.Rel]
+	if !ok {
+		return nil, 0, fmt.Errorf("ivm: unknown relation %s", t.Rel)
+	}
+	if len(t.Values) != n.rel.NumAttrs() {
+		return nil, 0, fmt.Errorf("ivm: tuple for %s has %d values, want %d", t.Rel, len(t.Values), n.rel.NumAttrs())
+	}
+	for _, id := range n.rowIdx.Rows(rowHashVals(n.rel, t.Values)) {
+		if rowEquals(n.rel, int(id), t.Values) {
+			return n, int(id), nil
+		}
+	}
+	return nil, 0, fmt.Errorf("ivm: delete: no live tuple in %s matches the given values", t.Rel)
+}
+
+// removeRow deletes the row from its relation and every index of its
+// node. The relation compacts by swap-delete (relation.SwapDeleteRow),
+// so the row formerly last is renumbered to the freed slot and all of
+// its index entries — child-edge indexes and the row locator — are
+// re-pointed here, keeping ids dense without tombstone liveness checks
+// on the scan paths. Both indexes bucket by selective keys (child join
+// keys, full-row hashes), so the fixup is O(bucket), not O(relation).
+func (b *base) removeRow(n *node, row int) {
+	last := n.rel.NumRows() - 1
+	for ci := range n.children {
+		n.childIndexes[ci].Remove(n.childKey(ci, row), int32(row))
+	}
+	n.rowIdx.Remove(rowHashAt(n.rel, row), int32(row))
+	if row != last {
+		for ci := range n.children {
+			k := n.childKey(ci, last)
+			n.childIndexes[ci].Remove(k, int32(last))
+			n.childIndexes[ci].Insert(k, int32(row))
+		}
+		h := rowHashAt(n.rel, last)
+		n.rowIdx.Remove(h, int32(last))
+		n.rowIdx.Insert(h, int32(row))
+	}
+	n.rel.SwapDeleteRow(row)
+}
+
+// normBits maps a float to the bit pattern rows are matched and hashed
+// by: -0.0 folds into +0.0 (they compare equal, so they must hash
+// equal), and everything else — including any NaN payload the facade's
+// finiteness check did not see — keeps its exact bits. Matching on bits
+// rather than == means even a directly injected NaN row stays
+// locatable for retraction instead of being immortal (NaN != NaN).
+func normBits(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	return math.Float64bits(f)
+}
+
+// rowHashVals hashes a full value tuple (FNV-1a over the cells).
+func rowHashVals(rel *relation.Relation, vals []relation.Value) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < rel.NumAttrs(); i++ {
+		var x uint64
+		if rel.Col(i).Type == relation.Double {
+			x = normBits(vals[i].F)
+		} else {
+			x = uint64(uint32(vals[i].C))
+		}
+		h = (h ^ x) * 1099511628211
+	}
+	return h
+}
+
+// rowHashAt hashes the stored row `row` consistently with rowHashVals.
+func rowHashAt(rel *relation.Relation, row int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < rel.NumAttrs(); i++ {
+		var x uint64
+		c := rel.Col(i)
+		if c.Type == relation.Double {
+			x = normBits(c.F[row])
+		} else {
+			x = uint64(uint32(c.C[row]))
+		}
+		h = (h ^ x) * 1099511628211
+	}
+	return h
+}
+
+// rowEquals compares the stored row against a value tuple cell by cell,
+// on the same normalized bit patterns the hash uses.
+func rowEquals(rel *relation.Relation, row int, vals []relation.Value) bool {
+	for i := 0; i < rel.NumAttrs(); i++ {
+		c := rel.Col(i)
+		if c.Type == relation.Double {
+			if normBits(c.F[row]) != normBits(vals[i].F) {
+				return false
+			}
+		} else if c.C[row] != vals[i].C {
+			return false
+		}
+	}
+	return true
 }
 
 // Relation returns the live (streamed-into) relation with the given

@@ -1,0 +1,347 @@
+package ivm
+
+import (
+	"testing"
+
+	"borg/internal/query"
+	"borg/internal/relation"
+	"borg/internal/xrand"
+)
+
+// intStar builds a two-dimension star schema whose continuous attributes
+// only ever hold small INTEGER values: every maintained sum and product
+// is exactly representable in float64, so the retraction tests below can
+// demand BITWISE equality against batch recomputation — a delete must
+// subtract exactly what the insert added, in any interleaving.
+func intStar() (*relation.Database, *query.Join) {
+	db := relation.NewDatabase()
+	db.NewRelation("Fact", []relation.Attribute{
+		{Name: "k0", Type: relation.Category},
+		{Name: "k1", Type: relation.Category},
+		{Name: "fx", Type: relation.Double},
+		{Name: "fy", Type: relation.Double},
+	})
+	db.NewRelation("Dim0", []relation.Attribute{
+		{Name: "k0", Type: relation.Category},
+		{Name: "d0x", Type: relation.Double},
+	})
+	db.NewRelation("Dim1", []relation.Attribute{
+		{Name: "k1", Type: relation.Category},
+		{Name: "d1x", Type: relation.Double},
+	})
+	return db, query.NewJoin(db.Relations()...)
+}
+
+var intStarFeatures = []string{"fx", "fy", "d0x", "d1x"}
+
+// randomTuple draws a fresh integer-valued tuple for one of the three
+// relations; key domains are slightly larger than the dimension
+// populations, so dangling rows occur.
+func randomTuple(src *xrand.Source) Tuple {
+	switch src.Intn(3) {
+	case 0:
+		return Tuple{Rel: "Fact", Values: []relation.Value{
+			relation.CatVal(int32(src.Intn(8))),
+			relation.CatVal(int32(src.Intn(6))),
+			relation.FloatVal(float64(src.Intn(10))),
+			relation.FloatVal(float64(src.Intn(7)) - 3),
+		}}
+	case 1:
+		return Tuple{Rel: "Dim0", Values: []relation.Value{
+			relation.CatVal(int32(src.Intn(6))),
+			relation.FloatVal(float64(src.Intn(9)) - 4),
+		}}
+	default:
+		return Tuple{Rel: "Dim1", Values: []relation.Value{
+			relation.CatVal(int32(src.Intn(5))),
+			relation.FloatVal(float64(src.Intn(5))),
+		}}
+	}
+}
+
+// survivorJoin rebuilds the surviving multiset as a fresh database (same
+// schemas, shared dictionaries) for engine-based batch recomputation.
+func survivorJoin(db *relation.Database, live []Tuple) *query.Join {
+	clones := make(map[string]*relation.Relation)
+	var rels []*relation.Relation
+	for _, r := range db.Relations() {
+		c := r.CloneEmpty()
+		clones[r.Name] = c
+		rels = append(rels, c)
+	}
+	for _, t := range live {
+		clones[t.Rel].AppendRow(t.Values...)
+	}
+	return query.NewJoin(rels...)
+}
+
+// checkBitwise demands exact equality of every maintained statistic.
+func checkBitwise(t *testing.T, m Maintainer, features []string, cnt float64, sums []float64, moms [][]float64, when string) {
+	t.Helper()
+	if m.Count() != cnt {
+		t.Fatalf("%s @ %s: Count = %v, want exactly %v", m.Name(), when, m.Count(), cnt)
+	}
+	for i := range features {
+		if m.Sum(i) != sums[i] {
+			t.Fatalf("%s @ %s: Sum(%d) = %v, want exactly %v", m.Name(), when, i, m.Sum(i), sums[i])
+		}
+		for k := range features {
+			if m.Moment(i, k) != moms[i][k] {
+				t.Fatalf("%s @ %s: Moment(%d,%d) = %v, want exactly %v", m.Name(), when, i, k, m.Moment(i, k), moms[i][k])
+			}
+		}
+	}
+}
+
+// TestRetractionsMatchBatchRecompute is the retraction certificate of
+// all three strategies: a random interleaving of inserts, deletes, and
+// updates (delete+insert pairs) must leave the maintained statistics
+// bitwise-equal to a batch recomputation — through the classical engine
+// — over only the surviving rows, at several churn checkpoints.
+func TestRetractionsMatchBatchRecompute(t *testing.T) {
+	db, j := intStar()
+	ms := maintainers(t, j, "Fact", intStarFeatures)
+	src := xrand.New(77)
+
+	var live []Tuple
+	apply := func(op func(m Maintainer) error) {
+		t.Helper()
+		for _, m := range ms {
+			if err := op(m); err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+		}
+	}
+	const steps = 600
+	for step := 0; step < steps; step++ {
+		switch r := src.Intn(10); {
+		case r < 6 || len(live) == 0: // 60% inserts
+			tu := randomTuple(src)
+			apply(func(m Maintainer) error { return m.Insert(tu) })
+			live = append(live, tu)
+		case r < 8: // 20% deletes
+			i := src.Intn(len(live))
+			tu := live[i]
+			apply(func(m Maintainer) error { return m.Delete(tu) })
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default: // 20% updates: retract a live row, insert its replacement
+			i := src.Intn(len(live))
+			old := live[i]
+			nu := randomTuple(src)
+			apply(func(m Maintainer) error {
+				if err := m.Delete(old); err != nil {
+					return err
+				}
+				return m.Insert(nu)
+			})
+			live[i] = nu
+		}
+		if step%150 == 149 || step == steps-1 {
+			cnt, sums, moms := groundTruth(t, survivorJoin(db, live), intStarFeatures)
+			for _, m := range ms {
+				checkBitwise(t, m, intStarFeatures, cnt, sums, moms, "checkpoint")
+			}
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("degenerate run: churn deleted everything")
+	}
+}
+
+// TestDeleteToEmptyAndReinsert drives every strategy through a full
+// drain: all rows deleted (statistics exactly zero — no floating-point
+// residue), then the same stream re-inserted (statistics exactly equal
+// to a maintainer that never saw the churn).
+func TestDeleteToEmptyAndReinsert(t *testing.T) {
+	_, j := intStar()
+	src := xrand.New(5)
+	var stream []Tuple
+	for i := 0; i < 120; i++ {
+		stream = append(stream, randomTuple(src))
+	}
+	for _, m := range maintainers(t, j, "Fact", intStarFeatures) {
+		for _, tu := range stream {
+			if err := m.Insert(tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Delete in a scrambled order, not insertion order.
+		perm := src.Perm(len(stream))
+		for _, i := range perm {
+			if err := m.Delete(stream[i]); err != nil {
+				t.Fatalf("%s: delete %d: %v", m.Name(), i, err)
+			}
+		}
+		zeroSums := make([]float64, len(intStarFeatures))
+		zeroMoms := make([][]float64, len(intStarFeatures))
+		for i := range zeroMoms {
+			zeroMoms[i] = make([]float64, len(intStarFeatures))
+		}
+		checkBitwise(t, m, intStarFeatures, 0, zeroSums, zeroMoms, "drained")
+		if s := m.Snapshot(); s.Count != 0 {
+			t.Fatalf("%s: drained snapshot count %v", m.Name(), s.Count)
+		}
+
+		// Re-insert after delete-to-empty: the maintainer must behave as
+		// if freshly constructed.
+		fresh, err := NewFIVM(j, "Fact", intStarFeatures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range stream {
+			if err := m.Insert(tu); err != nil {
+				t.Fatalf("%s: re-insert: %v", m.Name(), err)
+			}
+			if err := fresh.Insert(tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkBitwise(t, m, intStarFeatures, fresh.Count(),
+			[]float64{fresh.Sum(0), fresh.Sum(1), fresh.Sum(2), fresh.Sum(3)},
+			[][]float64{
+				{fresh.Moment(0, 0), fresh.Moment(0, 1), fresh.Moment(0, 2), fresh.Moment(0, 3)},
+				{fresh.Moment(1, 0), fresh.Moment(1, 1), fresh.Moment(1, 2), fresh.Moment(1, 3)},
+				{fresh.Moment(2, 0), fresh.Moment(2, 1), fresh.Moment(2, 2), fresh.Moment(2, 3)},
+				{fresh.Moment(3, 0), fresh.Moment(3, 1), fresh.Moment(3, 2), fresh.Moment(3, 3)},
+			}, "re-inserted")
+	}
+}
+
+// TestDeleteDanglingAndDimension: deleting a tuple that never found a
+// join partner changes nothing; deleting a dimension tuple retracts the
+// full fanout of facts it was supporting; a late re-insert restores it.
+func TestDeleteDanglingAndDimension(t *testing.T) {
+	_, j := intStar()
+	fact := func(k0, k1 int32, fx, fy float64) Tuple {
+		return Tuple{Rel: "Fact", Values: []relation.Value{
+			relation.CatVal(k0), relation.CatVal(k1), relation.FloatVal(fx), relation.FloatVal(fy),
+		}}
+	}
+	dim0 := func(k0 int32, x float64) Tuple {
+		return Tuple{Rel: "Dim0", Values: []relation.Value{relation.CatVal(k0), relation.FloatVal(x)}}
+	}
+	dim1 := func(k1 int32, x float64) Tuple {
+		return Tuple{Rel: "Dim1", Values: []relation.Value{relation.CatVal(k1), relation.FloatVal(x)}}
+	}
+	for _, m := range maintainers(t, j, "Fact", intStarFeatures) {
+		must := func(err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+		}
+		must(m.Insert(fact(1, 1, 2, 3)))
+		must(m.Insert(fact(1, 1, 4, 5)))
+		must(m.Insert(fact(9, 9, 7, 7))) // forever dangling
+		must(m.Insert(dim0(1, 10)))
+		must(m.Insert(dim1(1, 20)))
+		if m.Count() != 2 {
+			t.Fatalf("%s: count %v, want 2", m.Name(), m.Count())
+		}
+		// Deleting the dangling fact is pure bookkeeping.
+		must(m.Delete(fact(9, 9, 7, 7)))
+		if m.Count() != 2 {
+			t.Fatalf("%s: count %v after dangling delete, want 2", m.Name(), m.Count())
+		}
+		// Deleting the dimension tuple retracts both joined facts at once.
+		must(m.Delete(dim0(1, 10)))
+		if m.Count() != 0 {
+			t.Fatalf("%s: count %v after dimension delete, want 0", m.Name(), m.Count())
+		}
+		if m.Sum(0) != 0 || m.Moment(0, 2) != 0 {
+			t.Fatalf("%s: residue after dimension delete: sum=%v moment=%v", m.Name(), m.Sum(0), m.Moment(0, 2))
+		}
+		// Late re-arrival credits the waiting facts again.
+		must(m.Insert(dim0(1, 10)))
+		if m.Count() != 2 || m.Sum(0) != 6 {
+			t.Fatalf("%s: count %v sum %v after re-arrival, want 2 and 6", m.Name(), m.Count(), m.Sum(0))
+		}
+	}
+}
+
+// TestDeleteErrors: deletes of unknown relations, wrong arity, and
+// values that match no live row fail loudly and leave state untouched.
+func TestDeleteErrors(t *testing.T) {
+	_, j := intStar()
+	for _, m := range maintainers(t, j, "Fact", intStarFeatures) {
+		if err := m.Delete(Tuple{Rel: "Ghost"}); err == nil {
+			t.Fatalf("%s: unknown relation accepted", m.Name())
+		}
+		if err := m.Delete(Tuple{Rel: "Fact", Values: []relation.Value{{}}}); err == nil {
+			t.Fatalf("%s: arity mismatch accepted", m.Name())
+		}
+		tu := Tuple{Rel: "Dim0", Values: []relation.Value{relation.CatVal(3), relation.FloatVal(4)}}
+		if err := m.Delete(tu); err == nil {
+			t.Fatalf("%s: delete from empty relation accepted", m.Name())
+		}
+		if err := m.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+		near := Tuple{Rel: "Dim0", Values: []relation.Value{relation.CatVal(3), relation.FloatVal(5)}}
+		if err := m.Delete(near); err == nil {
+			t.Fatalf("%s: delete of non-matching values accepted", m.Name())
+		}
+		// Multiset semantics: two equal rows need two deletes.
+		if err := m.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Delete(tu); err != nil {
+			t.Fatalf("%s: first delete: %v", m.Name(), err)
+		}
+		if err := m.Delete(tu); err != nil {
+			t.Fatalf("%s: second delete: %v", m.Name(), err)
+		}
+		if err := m.Delete(tu); err == nil {
+			t.Fatalf("%s: third delete of a doubly-inserted tuple accepted", m.Name())
+		}
+	}
+}
+
+// TestViewsPrunedUnderChurn: deleting a key's last supporting rows must
+// remove its view entries, not leave zero-valued residents — view
+// memory tracks the live database, not the churn history.
+func TestViewsPrunedUnderChurn(t *testing.T) {
+	_, j := intStar()
+	src := xrand.New(11)
+	var stream []Tuple
+	for i := 0; i < 200; i++ {
+		stream = append(stream, randomTuple(src))
+	}
+	f, err := NewFIVM(j, "Fact", intStarFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHigherOrder(j, "Fact", intStarFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range stream {
+		if err := f.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range src.Perm(len(stream)) {
+		if err := f.Delete(stream[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Delete(stream[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n, v := range f.views {
+		if len(v) != 0 {
+			t.Fatalf("F-IVM: %d zero view entries survive at %s after delete-to-empty", len(v), n.rel.Name)
+		}
+	}
+	for n, vs := range h.views {
+		for a, v := range vs {
+			if len(v) != 0 {
+				t.Fatalf("higher-order: %d zero view entries survive at %s (agg %d)", len(v), n.rel.Name, a)
+			}
+		}
+	}
+}

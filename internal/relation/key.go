@@ -67,6 +67,28 @@ func (ix *Index) Insert(k uint64, id int32) {
 	ix.m[k] = append(ix.m[k], id)
 }
 
+// Remove forgets that row id carries key k, reporting whether the entry
+// existed. The bucket is compacted by swap-delete (order within a bucket
+// is not meaningful to any caller) and dropped entirely when it empties,
+// so a long-lived index under churn does not accumulate dead keys.
+func (ix *Index) Remove(k uint64, id int32) bool {
+	rows := ix.m[k]
+	for i, r := range rows {
+		if r != id {
+			continue
+		}
+		rows[i] = rows[len(rows)-1]
+		rows = rows[:len(rows)-1]
+		if len(rows) == 0 {
+			delete(ix.m, k)
+		} else {
+			ix.m[k] = rows
+		}
+		return true
+	}
+	return false
+}
+
 // Rows returns the row ids with key k (nil if none). The slice must not
 // be modified.
 func (ix *Index) Rows(k uint64) []int32 { return ix.m[k] }

@@ -213,6 +213,32 @@ func (r *Relation) Grow(n int) int {
 	return start
 }
 
+// SwapDeleteRow removes row i in O(1) by moving the last row into its
+// slot and shrinking every column by one. Row ids are NOT stable across
+// a call: the row formerly at NumRows()-1 is renumbered to i. Callers
+// that keep row ids in side structures (hash indexes, views) must
+// re-point the moved row's entries — see the incremental maintainers in
+// internal/ivm for the fixup protocol. This is the swap-delete design
+// (rather than tombstones): scans stay dense and never test liveness,
+// which keeps the delete cost on the index-maintenance path instead of
+// taxing every subsequent read.
+func (r *Relation) SwapDeleteRow(i int) {
+	last := r.rows - 1
+	if i < 0 || i > last {
+		panic(fmt.Sprintf("relation %s: SwapDeleteRow(%d) of %d rows", r.Name, i, r.rows))
+	}
+	for c := range r.cols {
+		if r.cols[c].Type == Double {
+			r.cols[c].F[i] = r.cols[c].F[last]
+			r.cols[c].F = r.cols[c].F[:last]
+		} else {
+			r.cols[c].C[i] = r.cols[c].C[last]
+			r.cols[c].C = r.cols[c].C[:last]
+		}
+	}
+	r.rows = last
+}
+
 // Truncate drops all rows but keeps schema and dictionaries.
 func (r *Relation) Truncate() {
 	for i := range r.cols {

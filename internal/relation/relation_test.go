@@ -287,3 +287,104 @@ func TestTotalRows(t *testing.T) {
 		t.Fatalf("TotalRows = %d, want 7", db.TotalRows())
 	}
 }
+
+func TestSwapDeleteRow(t *testing.T) {
+	r := New("sales", toySchema())
+	d := r.ColByName("item").Dict
+	s := r.ColByName("store").Dict
+	for i, row := range []struct {
+		item  string
+		price float64
+		store string
+	}{
+		{"patty", 6, "s1"}, {"bun", 2, "s2"}, {"onion", 1, "s1"}, {"sausage", 4, "s3"},
+	} {
+		r.AppendRow(CatVal(d.Code(row.item)), FloatVal(row.price), CatVal(s.Code(row.store)))
+		if r.NumRows() != i+1 {
+			t.Fatalf("NumRows = %d, want %d", r.NumRows(), i+1)
+		}
+	}
+
+	// Deleting a middle row moves the last row into its slot.
+	r.SwapDeleteRow(1)
+	if r.NumRows() != 3 {
+		t.Fatalf("NumRows after delete = %d, want 3", r.NumRows())
+	}
+	if got := d.Name(r.Cat(0, 1)); got != "sausage" {
+		t.Fatalf("moved row item = %q, want sausage", got)
+	}
+	if got := r.Float(1, 1); got != 4 {
+		t.Fatalf("moved row price = %v, want 4", got)
+	}
+
+	// Deleting the last row is a plain shrink.
+	r.SwapDeleteRow(r.NumRows() - 1)
+	if r.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", r.NumRows())
+	}
+	if got := d.Name(r.Cat(0, 0)); got != "patty" {
+		t.Fatalf("row 0 item = %q, want patty", got)
+	}
+
+	// Delete down to empty, then append again: the relation stays usable.
+	r.SwapDeleteRow(0)
+	r.SwapDeleteRow(0)
+	if r.NumRows() != 0 {
+		t.Fatalf("NumRows = %d, want 0", r.NumRows())
+	}
+	r.AppendRow(CatVal(d.Code("bun")), FloatVal(2), CatVal(s.Code("s2")))
+	if r.NumRows() != 1 || d.Name(r.Cat(0, 0)) != "bun" {
+		t.Fatal("append after delete-to-empty failed")
+	}
+}
+
+func TestSwapDeleteRowPanics(t *testing.T) {
+	r := New("r", toySchema())
+	for _, i := range []int{-1, 0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SwapDeleteRow(%d) of empty relation did not panic", i)
+				}
+			}()
+			r.SwapDeleteRow(i)
+		}()
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	ix := NewIndex([]int{0})
+	ix.Insert(7, 0)
+	ix.Insert(7, 1)
+	ix.Insert(9, 2)
+
+	if !ix.Remove(7, 0) {
+		t.Fatal("Remove(7, 0) reported missing")
+	}
+	if rows := ix.Rows(7); len(rows) != 1 || rows[0] != 1 {
+		t.Fatalf("Rows(7) = %v, want [1]", rows)
+	}
+	// Removing an absent id (wrong id, wrong key) reports false and
+	// leaves the index untouched.
+	if ix.Remove(7, 5) || ix.Remove(42, 1) {
+		t.Fatal("Remove of absent entry reported success")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+	// Draining a bucket drops the key entirely.
+	if !ix.Remove(7, 1) {
+		t.Fatal("Remove(7, 1) reported missing")
+	}
+	if ix.Rows(7) != nil {
+		t.Fatalf("Rows(7) = %v after draining, want nil", ix.Rows(7))
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after draining key 7, want 1", ix.Len())
+	}
+	// Re-inserting under a drained key works.
+	ix.Insert(7, 4)
+	if rows := ix.Rows(7); len(rows) != 1 || rows[0] != 4 {
+		t.Fatalf("Rows(7) after re-insert = %v, want [4]", rows)
+	}
+}

@@ -161,6 +161,29 @@ func (r CovarRing) LiftInto(dst *Covar, idx []int, vals []float64) {
 	}
 }
 
+// IsZero reports whether a is exactly the additive identity. Count is
+// checked first: it is a (float64-exact) combination count, so any
+// element with live support exits on the first compare and the full
+// O(n²) scan only runs for candidates that really drained to zero —
+// which is what lets the IVM maintainers prune dead view entries
+// without taxing the insert hot path.
+func (a *Covar) IsZero() bool {
+	if a.Count != 0 {
+		return false
+	}
+	for _, v := range a.Sum {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range a.Q {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of a.
 func (a *Covar) Clone() *Covar {
 	out := &Covar{N: a.N, Count: a.Count, Sum: make([]float64, len(a.Sum)), Q: make([]float64, len(a.Q))}

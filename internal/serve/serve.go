@@ -1,7 +1,9 @@
 // Package serve is the concurrent streaming-serving layer over the
 // incremental maintainers of internal/ivm: a long-lived session that
-// ingests tuple inserts while serving snapshot-consistent statistics
-// reads to arbitrarily many concurrent readers.
+// ingests tuple inserts, deletes, and updates while serving snapshot-
+// consistent statistics reads to arbitrarily many concurrent readers —
+// the hybrid transactional/analytical shape where corrections and
+// expirations stream in alongside new data.
 //
 // The paper's Section 5.2 argument — shared ring payloads make continuous
 // maintenance of a model's sufficient statistics cheap enough to serve
@@ -11,13 +13,15 @@
 // is the classic single-writer / copy-on-write arrangement of HTAP
 // serving systems:
 //
-//   - Ingest. Inserts enter through a buffered MPSC channel (any number
-//     of producer goroutines, backpressure when the queue is full) and
-//     are applied by ONE writer goroutine that owns the maintainer —
-//     the maintainers stay single-threaded and lock-free internally.
+//   - Ingest. Ops (inserts, deletes, updates) enter through a buffered
+//     MPSC channel (any number of producer goroutines, backpressure
+//     when the queue is full) and are applied by ONE writer goroutine
+//     that owns the maintainer — the maintainers stay single-threaded
+//     and lock-free internally. An update is a delete+insert pair the
+//     writer applies back to back, so no snapshot splits it.
 //
-//   - Batching. The writer applies inserts as they arrive but publishes
-//     snapshots only every BatchSize inserts or FlushInterval of
+//   - Batching. The writer applies ops as they arrive but publishes
+//     snapshots only every BatchSize ops or FlushInterval of
 //     quiescence, whichever comes first, amortizing the O(n²) snapshot
 //     copy across a batch.
 //
@@ -88,8 +92,8 @@ func Strategies() []Strategy { return []Strategy{FIVM, HigherOrder, FirstOrder} 
 type Config struct {
 	// Strategy is the IVM maintenance strategy.
 	Strategy Strategy
-	// BatchSize is how many applied inserts force a snapshot
-	// publication. Default 64.
+	// BatchSize is how many applied ops (inserts, deletes, updates)
+	// force a snapshot publication. Default 64.
 	BatchSize int
 	// FlushInterval bounds snapshot staleness: a partial batch is
 	// published after this long. Default 1ms.
@@ -123,9 +127,12 @@ type Snapshot struct {
 	// Epoch is the publication sequence number (0 is the empty initial
 	// snapshot).
 	Epoch uint64
-	// Inserts is how many tuples had been applied when this snapshot
-	// was taken.
+	// Inserts is how many tuple inserts had been applied when this
+	// snapshot was taken (the insert half of an update counts here).
 	Inserts uint64
+	// Deletes is how many tuple deletes had been applied when this
+	// snapshot was taken (the retraction half of an update counts here).
+	Deletes uint64
 	// Stats is the covariance triple over the maintained features.
 	// Readers must not mutate it.
 	Stats *ring.Covar
@@ -143,8 +150,20 @@ func (s *Snapshot) Moment(i, j int) float64 { return s.Stats.Q[i*s.Stats.N+j] }
 // ErrClosed is returned by operations on a closed server.
 var ErrClosed = errors.New("serve: server is closed")
 
+// opKind discriminates the queued operations the writer applies.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opUpdate
+)
+
 type op struct {
+	kind  opKind
 	tuple ivm.Tuple
+	// old is the tuple an update retracts before inserting tuple.
+	old ivm.Tuple
 	// flush, when non-nil, marks a barrier: the writer publishes the
 	// current state and acknowledges on the channel instead of applying
 	// a tuple.
@@ -179,9 +198,30 @@ type Server struct {
 	finished chan struct{}
 	stopOnce sync.Once
 
+	// closeMu gates enqueues against Close: a producer sends while
+	// holding the read lock, Close flips closed under the write lock
+	// BEFORE signalling the writer to stop — so every op that was
+	// accepted (queued incremented, channel send committed) is
+	// guaranteed to be seen by the writer's shutdown drain, never
+	// silently dropped with a stale queued count.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// lastErr publishes the writer's first maintenance error to
+	// readers (Err), so asynchronous delete/update failures are
+	// observable without a Flush barrier.
+	lastErr atomic.Pointer[error]
+
+	// queued counts tuple ops (inserts, deletes, updates) enqueued but
+	// not yet covered by a published snapshot — including the batch the
+	// writer is currently applying, so QueueLen()==0 really does mean
+	// the snapshot is current.
+	queued atomic.Int64
+
 	// Writer-goroutine state; published to other goroutines only through
 	// snap and the finished channel.
 	inserts  uint64
+	deletes  uint64
 	epoch    uint64
 	pending  int
 	applyErr error
@@ -245,6 +285,39 @@ func (s *Server) Schema(name string) *relation.Relation { return s.schemas[name]
 // (backpressure). The insert is visible to readers once a snapshot
 // covering it is published.
 func (s *Server) Insert(t ivm.Tuple) error {
+	if err := s.check(t); err != nil {
+		return err
+	}
+	return s.enqueue(op{kind: opInsert, tuple: t})
+}
+
+// Delete enqueues the retraction of one previously inserted tuple
+// (matched by value, multiset semantics). Like Insert it validates the
+// shape synchronously; a delete whose target is not live when the
+// writer applies it surfaces as a maintenance error through Flush and
+// Close.
+func (s *Server) Delete(t ivm.Tuple) error {
+	if err := s.check(t); err != nil {
+		return err
+	}
+	return s.enqueue(op{kind: opDelete, tuple: t})
+}
+
+// Update enqueues a delete of old followed by an insert of new, applied
+// back to back by the writer goroutine so no published snapshot ever
+// shows the join without one or the other.
+func (s *Server) Update(old, new ivm.Tuple) error {
+	if err := s.check(old); err != nil {
+		return err
+	}
+	if err := s.check(new); err != nil {
+		return err
+	}
+	return s.enqueue(op{kind: opUpdate, tuple: new, old: old})
+}
+
+// check validates a tuple's relation and arity against the schemas.
+func (s *Server) check(t ivm.Tuple) error {
 	r, ok := s.schemas[t.Rel]
 	if !ok {
 		return fmt.Errorf("serve: unknown relation %s", t.Rel)
@@ -252,49 +325,67 @@ func (s *Server) Insert(t ivm.Tuple) error {
 	if len(t.Values) != r.NumAttrs() {
 		return fmt.Errorf("serve: tuple for %s has %d values, want %d", t.Rel, len(t.Values), r.NumAttrs())
 	}
-	// Check for closure first: when the server is already closed, the
-	// blocking select below could still win the (buffered) send case.
-	select {
-	case <-s.stop:
+	return nil
+}
+
+// enqueue hands one tuple op to the writer, accounting it as queued
+// until a publication covers it (or its application fails). The send
+// happens under the close read-lock: the writer cannot be stopped while
+// any enqueue is in flight, so an accepted op is always applied (the
+// shutdown drain empties the channel) and the queued counter never
+// leaks. Backpressure is preserved — a full channel blocks here, and
+// the still-running writer drains it.
+func (s *Server) enqueue(o op) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
 		return ErrClosed
-	default:
 	}
-	select {
-	case <-s.stop:
-		return ErrClosed
-	case s.in <- op{tuple: t}:
-		return nil
+	s.queued.Add(1)
+	s.in <- o
+	return nil
+}
+
+// Err reports the first maintenance error the writer has encountered
+// (nil while healthy). Asynchronous failures — a delete whose target
+// was never live, an update half-applied — surface here immediately,
+// without waiting for a Flush barrier; Flush and Close return the same
+// error.
+func (s *Server) Err() error {
+	if p := s.lastErr.Load(); p != nil {
+		return *p
 	}
+	return nil
 }
 
 // Snapshot returns the current published epoch: one atomic load, never
 // blocking the writer. The result is immutable.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
-// QueueLen reports how many inserts are queued but not yet applied.
-func (s *Server) QueueLen() int { return len(s.in) }
+// QueueLen reports how many tuple ops are enqueued or applied but not
+// yet covered by a published snapshot. Unlike a bare channel length it
+// includes the batch the writer is currently holding, so QueueLen()==0
+// implies the snapshot reflects every accepted op.
+func (s *Server) QueueLen() int { return int(s.queued.Load()) }
 
-// Flush is a write barrier: it waits until every insert enqueued before
+// Flush is a write barrier: it waits until every op enqueued before
 // the call is applied and published, and returns the first maintenance
 // error if any occurred.
 func (s *Server) Flush() error {
 	ack := make(chan error, 1)
-	select {
-	case <-s.stop:
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
 		return ErrClosed
-	default:
 	}
-	select {
-	case <-s.stop:
-		return ErrClosed
-	case s.in <- op{flush: ack}:
-	}
+	s.in <- op{flush: ack}
+	s.closeMu.RUnlock()
 	select {
 	case err := <-ack:
 		return err
 	case <-s.finished:
-		// The writer's shutdown drain may have completed this barrier
-		// just before exiting; prefer its acknowledgment over ErrClosed.
+		// The writer's shutdown drain completes barriers that were
+		// enqueued before Close; prefer its acknowledgment.
 		select {
 		case err := <-ack:
 			return err
@@ -304,13 +395,16 @@ func (s *Server) Flush() error {
 	}
 }
 
-// Close stops the writer after draining already-queued inserts,
-// publishes a final snapshot, and releases the worker pool. It returns
-// the first maintenance error, if any. Close is idempotent. Inserts
-// racing with Close may be rejected with ErrClosed or silently dropped;
-// producers that need every insert applied call Flush before Close.
+// Close stops the writer after draining already-queued ops, publishes a
+// final snapshot, and releases the worker pool. It returns the first
+// maintenance error, if any. Close is idempotent. An op racing with
+// Close is either rejected with ErrClosed or fully applied and drained
+// — never accepted and then silently dropped.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() {
+		s.closeMu.Lock()
+		s.closed = true
+		s.closeMu.Unlock()
 		close(s.stop)
 		<-s.finished
 		if s.pool != nil {
@@ -388,23 +482,53 @@ func (s *Server) apply(o op) {
 		o.flush <- s.applyErr
 		return
 	}
-	if err := s.m.Insert(o.tuple); err != nil {
-		if s.applyErr == nil {
-			s.applyErr = err
+	var err error
+	changed := false
+	switch o.kind {
+	case opInsert:
+		if err = s.m.Insert(o.tuple); err == nil {
+			s.inserts++
+			changed = true
 		}
-		return
+	case opDelete:
+		if err = s.m.Delete(o.tuple); err == nil {
+			s.deletes++
+			changed = true
+		}
+	case opUpdate:
+		// Strict update: when the retraction target is not live, the
+		// replacement is NOT inserted either (no silent upsert).
+		if err = s.m.Delete(o.old); err == nil {
+			s.deletes++
+			changed = true
+			if err = s.m.Insert(o.tuple); err == nil {
+				s.inserts++
+			}
+		}
 	}
-	s.inserts++
-	s.pending++
+	if err != nil && s.applyErr == nil {
+		s.applyErr = err
+		e := err
+		s.lastErr.Store(&e)
+	}
+	if changed {
+		// The op (or its applied half) must reach a snapshot before it
+		// leaves the queue accounting.
+		s.pending++
+	} else {
+		// A fully failed op will never be covered by a snapshot.
+		s.queued.Add(-1)
+	}
 }
 
-// publish swaps in a fresh snapshot covering every applied insert. It is
-// a no-op when nothing changed since the last publication.
+// publish swaps in a fresh snapshot covering every applied op. It is a
+// no-op when nothing changed since the last publication.
 func (s *Server) publish() {
 	if s.pending == 0 {
 		return
 	}
 	s.epoch++
-	s.snap.Store(&Snapshot{Epoch: s.epoch, Inserts: s.inserts, Stats: s.m.Snapshot()})
+	s.snap.Store(&Snapshot{Epoch: s.epoch, Inserts: s.inserts, Deletes: s.deletes, Stats: s.m.Snapshot()})
+	s.queued.Add(-int64(s.pending))
 	s.pending = 0
 }

@@ -292,3 +292,263 @@ func TestParseStrategy(t *testing.T) {
 		t.Fatal("bogus strategy accepted")
 	}
 }
+
+// churnOp is one producer-side operation of the churn test.
+type churnOp struct {
+	kind int // 0 insert, 1 delete, 2 update
+	t    ivm.Tuple
+	old  ivm.Tuple
+}
+
+// churnStreams partitions an insert stream round-robin across `writers`
+// producers and injects deletes (~15%) and updates (~10%) into each
+// partition, always retracting a tuple the SAME producer inserted
+// earlier — channel FIFO per sender then guarantees the writer
+// goroutine sees every insert before its retraction, so no interleaving
+// can delete a tuple that is not live yet. Returns the per-writer op
+// streams and the surviving tuple multiset.
+func churnStreams(stream []ivm.Tuple, writers int, seed uint64) ([][]churnOp, []ivm.Tuple) {
+	src := xrand.New(seed)
+	ops := make([][]churnOp, writers)
+	live := make([][]ivm.Tuple, writers)
+	bump := func(t ivm.Tuple) ivm.Tuple {
+		// An integer-valued variant of t: same categorical keys, last
+		// continuous attribute shifted — the shape of a correction.
+		nv := append([]relation.Value(nil), t.Values...)
+		nv[len(nv)-1] = relation.FloatVal(nv[len(nv)-1].F + 1)
+		return ivm.Tuple{Rel: t.Rel, Values: nv}
+	}
+	for i, t := range stream {
+		w := i % writers
+		ops[w] = append(ops[w], churnOp{kind: 0, t: t})
+		live[w] = append(live[w], t)
+		switch r := src.Intn(100); {
+		case r < 15 && len(live[w]) > 0:
+			j := src.Intn(len(live[w]))
+			ops[w] = append(ops[w], churnOp{kind: 1, t: live[w][j]})
+			live[w][j] = live[w][len(live[w])-1]
+			live[w] = live[w][:len(live[w])-1]
+		case r < 25 && len(live[w]) > 0:
+			j := src.Intn(len(live[w]))
+			old := live[w][j]
+			nu := bump(old)
+			ops[w] = append(ops[w], churnOp{kind: 2, t: nu, old: old})
+			live[w][j] = nu
+		}
+	}
+	var survivors []ivm.Tuple
+	for _, l := range live {
+		survivors = append(survivors, l...)
+	}
+	return ops, survivors
+}
+
+// TestServerChurnMatchesSerialReplay is the retraction certificate of
+// the serving layer: K concurrent producers issuing mixed inserts,
+// deletes, and updates, with M concurrent readers, under the race
+// detector — and the final snapshot bitwise-equal to a serial replay of
+// only the SURVIVING tuples (integer-exact data, so any interleaving
+// gives the same bits).
+func TestServerChurnMatchesSerialReplay(t *testing.T) {
+	const writers, readers = 4, 3
+	for _, strategy := range Strategies() {
+		t.Run(strategy.String(), func(t *testing.T) {
+			nSales := 500
+			if strategy == FirstOrder {
+				nSales = 120 // full delta joins per op; keep the race run quick
+			}
+			j, stream, features := salesSchema(1234, nSales, 12, 5)
+			ops, survivors := churnStreams(stream, writers, 4321)
+			var wantInserts, wantDeletes uint64
+			for _, ws := range ops {
+				for _, o := range ws {
+					if o.kind != 1 {
+						wantInserts++ // inserts and the insert half of updates
+					}
+					if o.kind != 0 {
+						wantDeletes++ // deletes and the retraction half of updates
+					}
+				}
+			}
+			srv, err := New(j, "Sales", features, Config{
+				Strategy:      strategy,
+				BatchSize:     17,
+				FlushInterval: 200 * time.Microsecond,
+				QueueDepth:    64,
+				Workers:       2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for _, o := range ops[w] {
+						var err error
+						switch o.kind {
+						case 0:
+							err = srv.Insert(o.t)
+						case 1:
+							err = srv.Delete(o.t)
+						case 2:
+							err = srv.Update(o.old, o.t)
+						}
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			stopRead := make(chan struct{})
+			var readWg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				readWg.Add(1)
+				go func() {
+					defer readWg.Done()
+					var lastEpoch uint64
+					for {
+						select {
+						case <-stopRead:
+							return
+						default:
+						}
+						s := srv.Snapshot()
+						if s.Epoch < lastEpoch {
+							t.Error("epoch went backwards")
+							return
+						}
+						if s.Deletes > s.Inserts {
+							t.Error("more deletes than inserts ever applied")
+							return
+						}
+						lastEpoch = s.Epoch
+					}
+				}()
+			}
+
+			wg.Wait()
+			if err := srv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			close(stopRead)
+			readWg.Wait()
+			got := srv.Snapshot()
+			if q := srv.QueueLen(); q != 0 {
+				t.Fatalf("QueueLen = %d after Flush, want 0", q)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got.Deletes != wantDeletes {
+				t.Fatalf("snapshot covers %d deletes, want %d", got.Deletes, wantDeletes)
+			}
+			if got.Inserts != wantInserts {
+				t.Fatalf("snapshot covers %d inserts, want %d", got.Inserts, wantInserts)
+			}
+
+			// Serial replay of only the surviving tuples.
+			ref, err := newMaintainer(strategy, j, "Sales", features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range survivors {
+				if err := ref.Insert(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := ref.Snapshot()
+			if got.Stats.Count != want.Count {
+				t.Fatalf("count: got %v, want %v", got.Stats.Count, want.Count)
+			}
+			for i := range features {
+				if got.Stats.Sum[i] != want.Sum[i] {
+					t.Fatalf("sum[%d]: got %v, want %v", i, got.Stats.Sum[i], want.Sum[i])
+				}
+				for k := range features {
+					if got.Moment(i, k) != want.Q[i*want.N+k] {
+						t.Fatalf("moment[%d,%d]: got %v, want %v", i, k, got.Moment(i, k), want.Q[i*want.N+k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueueLenCoversInFlight: ops the writer has drained from the
+// channel but not yet published stay visible in QueueLen, so
+// QueueLen()==0 implies the snapshot is current (the PR-3 fix for the
+// mid-batch underreport).
+func TestQueueLenCoversInFlight(t *testing.T) {
+	j, stream, features := salesSchema(21, 60, 8, 4)
+	srv, err := New(j, "Sales", features, Config{BatchSize: 1 << 20, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const n = 40
+	for _, tp := range stream[:n] {
+		if err := srv.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the writer time to drain the channel into its (unpublishable:
+	// BatchSize and FlushInterval are huge) batch. A channel-length
+	// QueueLen would now report 0 with the snapshot still empty.
+	time.Sleep(20 * time.Millisecond)
+	if got := srv.QueueLen(); got != n {
+		t.Fatalf("QueueLen = %d with %d unpublished ops in flight, want %d", got, n, n)
+	}
+	if snap := srv.Snapshot(); snap.Inserts != 0 {
+		t.Fatalf("snapshot already covers %d inserts, want 0 before any publication", snap.Inserts)
+	}
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d after Flush, want 0", got)
+	}
+	if snap := srv.Snapshot(); snap.Inserts != n {
+		t.Fatalf("snapshot covers %d inserts after Flush, want %d", snap.Inserts, n)
+	}
+}
+
+// TestDeleteValidationAndStrictness: shape errors surface synchronously;
+// a delete whose target was never inserted is a maintenance error that
+// Flush reports, and it leaves the queue accounting.
+func TestDeleteValidationAndStrictness(t *testing.T) {
+	j, stream, features := salesSchema(23, 10, 4, 2)
+	srv, err := New(j, "Sales", features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Delete(ivm.Tuple{Rel: "Nope"}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if err := srv.Update(stream[0], ivm.Tuple{Rel: "Items", Values: []relation.Value{relation.CatVal(0)}}); err == nil {
+		t.Fatal("wrong-arity update accepted")
+	}
+	// Deleting a tuple that is not live is asynchronous failure: the op
+	// is accepted (shape is fine) but the writer reports it via Err and
+	// Flush.
+	if err := srv.Delete(stream[0]); err != nil {
+		t.Fatalf("shape-valid delete rejected synchronously: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Err never surfaced the failed delete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Flush(); err == nil {
+		t.Fatal("Flush did not surface the failed delete")
+	}
+	if got := srv.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d after failed delete, want 0", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"borg/internal/ivm"
 	"borg/internal/ml"
+	"borg/internal/relation"
 	"borg/internal/ring"
 	"borg/internal/serve"
 )
@@ -76,28 +77,72 @@ func (q *Query) Serve(features []string, opt ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{inner: inner, features: append([]string(nil), features...)}, nil
+	return &Server{inner: inner, features: inner.Features()}, nil
 }
 
 // Insert enqueues one tuple insert into the named relation. Values
-// follow the Relation.Append conventions (float64/int for continuous,
-// string for categorical). Insert is safe for any number of concurrent
-// callers; it blocks only when the ingest queue is full.
+// follow the Relation.Append conventions (any Go numeric type for
+// continuous, string for categorical). Insert is safe for any number of
+// concurrent callers; it blocks only when the ingest queue is full.
 func (s *Server) Insert(rel string, values ...any) error {
-	r := s.inner.Schema(rel)
-	if r == nil {
-		return fmt.Errorf("borg: unknown relation %s", rel)
-	}
-	row, err := coerceRow(r, values)
+	row, err := s.coerce(rel, values)
 	if err != nil {
 		return err
 	}
 	return s.inner.Insert(ivm.Tuple{Rel: rel, Values: row})
 }
 
-// Flush is a write barrier: it returns once every insert enqueued before
+// Delete enqueues the retraction of one previously inserted tuple,
+// identified by value (multiset semantics: one equal-valued occurrence
+// is removed). Values follow the same conventions as Insert. Like
+// Insert it is safe for concurrent callers; a delete whose target is
+// not live when applied surfaces as a maintenance error via Flush and
+// Close. Callers that need insert-before-delete ordering issue both
+// from the same goroutine — the ingest queue preserves per-producer
+// order.
+func (s *Server) Delete(rel string, values ...any) error {
+	row, err := s.coerce(rel, values)
+	if err != nil {
+		return err
+	}
+	return s.inner.Delete(ivm.Tuple{Rel: rel, Values: row})
+}
+
+// Update enqueues a correction: the tuple equal to oldValues is
+// retracted and the newValues tuple inserted, applied back to back by
+// the writer so no published snapshot shows the join with neither (or
+// both). The update is strict — when no live tuple matches oldValues,
+// nothing is inserted and the error surfaces via Flush/Close.
+func (s *Server) Update(rel string, oldValues, newValues []any) error {
+	oldRow, err := s.coerce(rel, oldValues)
+	if err != nil {
+		return err
+	}
+	newRow, err := s.coerce(rel, newValues)
+	if err != nil {
+		return err
+	}
+	return s.inner.Update(ivm.Tuple{Rel: rel, Values: oldRow}, ivm.Tuple{Rel: rel, Values: newRow})
+}
+
+// coerce resolves the relation schema and converts one facade value row.
+func (s *Server) coerce(rel string, values []any) ([]relation.Value, error) {
+	r := s.inner.Schema(rel)
+	if r == nil {
+		return nil, fmt.Errorf("borg: unknown relation %s", rel)
+	}
+	return coerceRow(r, values)
+}
+
+// Flush is a write barrier: it returns once every op enqueued before
 // the call is applied and visible in the current snapshot.
 func (s *Server) Flush() error { return s.inner.Flush() }
+
+// Err reports the first maintenance error the writer has encountered
+// (nil while healthy) — the way asynchronous failures like a delete
+// whose target was never live become observable without a Flush
+// barrier. Flush and Close return the same error.
+func (s *Server) Err() error { return s.inner.Err() }
 
 // Close drains already-queued inserts, publishes a final snapshot, and
 // stops the writer. Producers that need every insert applied call Flush
@@ -108,19 +153,31 @@ func (s *Server) Close() error { return s.inner.Close() }
 type ServerStats struct {
 	// Epoch is the published snapshot sequence number.
 	Epoch uint64
-	// Inserts counts tuples applied as of the current snapshot.
+	// Inserts counts tuple inserts applied as of the current snapshot
+	// (the insert half of an update counts here).
 	Inserts uint64
-	// Queued counts inserts enqueued but not yet applied.
+	// Deletes counts tuple deletes applied as of the current snapshot
+	// (the retraction half of an update counts here).
+	Deletes uint64
+	// Queued counts ops enqueued or applied but not yet covered by a
+	// published snapshot — including the batch the writer is currently
+	// holding, so Queued==0 means the snapshot is current.
 	Queued int
 	// Count is SUM(1) over the join at the current snapshot.
 	Count float64
 }
 
-// Stats reports the server's current epoch, applied-insert count, queue
+// Stats reports the server's current epoch, applied op counts, queue
 // depth, and join cardinality.
 func (s *Server) Stats() ServerStats {
 	snap := s.inner.Snapshot()
-	return ServerStats{Epoch: snap.Epoch, Inserts: snap.Inserts, Queued: s.inner.QueueLen(), Count: snap.Count()}
+	return ServerStats{
+		Epoch:   snap.Epoch,
+		Inserts: snap.Inserts,
+		Deletes: snap.Deletes,
+		Queued:  s.inner.QueueLen(),
+		Count:   snap.Count(),
+	}
 }
 
 // Count returns SUM(1) over the join at the current snapshot.
@@ -161,8 +218,11 @@ type ServerSnapshot struct {
 // Epoch returns the snapshot's publication sequence number.
 func (s *ServerSnapshot) Epoch() uint64 { return s.snap.Epoch }
 
-// Inserts returns how many tuples had been applied at this epoch.
+// Inserts returns how many tuple inserts had been applied at this epoch.
 func (s *ServerSnapshot) Inserts() uint64 { return s.snap.Inserts }
+
+// Deletes returns how many tuple deletes had been applied at this epoch.
+func (s *ServerSnapshot) Deletes() uint64 { return s.snap.Deletes }
 
 // Count returns SUM(1) over the join at this epoch.
 func (s *ServerSnapshot) Count() float64 { return s.snap.Count() }

@@ -260,3 +260,153 @@ func TestServerConcurrentBitwise(t *testing.T) {
 		})
 	}
 }
+
+// TestServerChurnFacade drives the public facade through a mixed
+// insert/delete/update workload — corrections and expirations alongside
+// new data — and demands that the model trained on the post-churn
+// snapshot matches LMFAO batch training on a database holding only the
+// surviving rows.
+func TestServerChurnFacade(t *testing.T) {
+	features := []string{"units", "price", "area"}
+	for _, strategy := range []string{"fivm", "higher-order", "first-order"} {
+		t.Run(strategy, func(t *testing.T) {
+			stream := serverStream(250, 10, 5)
+
+			db := serverSchema(t)
+			q, err := db.Query()
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := q.Serve(features, ServerOptions{
+				Strategy:      strategy,
+				BatchSize:     16,
+				FlushInterval: 200 * time.Microsecond,
+				Workers:       2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Single producer with deterministic churn: ~20% of Sales
+			// rows expire (delete), ~10% are corrected (update). Deletes
+			// and updates always target a previously inserted tuple, so
+			// the per-producer FIFO guarantees they find it live.
+			state := uint64(0xDEADBEEFCAFE)
+			next := func(n int) int {
+				state = state*6364136223846793005 + 1442695040888963407
+				return int(state>>33) % n
+			}
+			var live []serverTuple
+			var surviving []serverTuple
+			for _, tp := range stream {
+				if err := srv.Insert(tp.rel, tp.values...); err != nil {
+					t.Fatal(err)
+				}
+				if tp.rel == "Sales" {
+					live = append(live, tp)
+				} else {
+					surviving = append(surviving, tp) // dimensions never churn here
+				}
+				if len(live) == 0 {
+					continue
+				}
+				switch r := next(100); {
+				case r < 20:
+					i := next(len(live))
+					if err := srv.Delete(live[i].rel, live[i].values...); err != nil {
+						t.Fatal(err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				case r < 30:
+					i := next(len(live))
+					old := live[i]
+					nu := serverTuple{rel: old.rel, values: append([]any(nil), old.values...)}
+					nu.values[2] = old.values[2].(int) + 1 // corrected units
+					if err := srv.Update(nu.rel, old.values, nu.values); err != nil {
+						t.Fatal(err)
+					}
+					live[i] = nu
+				}
+			}
+			surviving = append(surviving, live...)
+
+			if err := srv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			st := srv.Stats()
+			if st.Deletes == 0 {
+				t.Fatal("degenerate run: churn produced no deletes")
+			}
+			if st.Queued != 0 {
+				t.Fatalf("Queued = %d after Flush, want 0", st.Queued)
+			}
+			snap := srv.CovarSnapshot()
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Engine-independent recompute over only the survivors:
+			// bitwise (integer data).
+			count, sums, moments := recomputeBatch(surviving, features)
+			if got := snap.Count(); got != count {
+				t.Fatalf("count: got %v, want %v", got, count)
+			}
+			for i, f := range features {
+				for k, g := range features {
+					gm, err := snap.SecondMoment(f, g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gm != moments[i][k] {
+						t.Fatalf("moment(%s,%s): got %v, want %v", f, g, gm, moments[i][k])
+					}
+				}
+				m, err := snap.Mean(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := sums[i] / count; m != want {
+					t.Fatalf("mean(%s): got %v, want %v", f, m, want)
+				}
+			}
+
+			// LMFAO batch training on a database of only the survivors
+			// must agree with the model trained on the churned snapshot.
+			ref := serverSchema(t)
+			for _, tp := range surviving {
+				if err := ref.Relation(tp.rel).Append(tp.values...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rq, err := ref.Query()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mSnap, err := snap.TrainLinReg("units", 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mBatch, err := rq.LinearRegression(Features{Continuous: []string{"price", "area"}}, "units", 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mSnap.Intercept()-mBatch.Intercept()) > 1e-9 {
+				t.Fatalf("intercept: snapshot %v vs batch %v", mSnap.Intercept(), mBatch.Intercept())
+			}
+			for _, f := range []string{"price", "area"} {
+				a, err := mSnap.Coefficient(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := mBatch.Coefficient(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(a-b) > 1e-9 {
+					t.Fatalf("coefficient(%s): snapshot %v vs batch %v", f, a, b)
+				}
+			}
+		})
+	}
+}
