@@ -1,20 +1,26 @@
 // Command borg-perfgate is the CI performance-regression gate: it
 // compares fresh `borg-bench -json` runs against the committed
 // baselines under benchmarks/ and fails when any cell slowed down
-// beyond the tolerance. Two reports are gated:
+// beyond the tolerance. Three reports are gated:
 //
 //   - the exec-runtime baseline (`-fig exec`, per worker-count cell,
-//     compared on best wall time), and
+//     compared on best wall time),
 //   - the serving benchmark (`-fig serve`, per strategy × readers ×
 //     insert/delete-mix cell, compared on applied ops/sec — so both
-//     insert and retraction throughput are regression-gated).
+//     insert and retraction throughput are regression-gated), and
+//   - the sharded-serving benchmark (`-fig shard`, per strategy ×
+//     shard-count × variant × mix cell, compared on applied ops/sec —
+//     covering the shard router, the ring-merged read path, and the
+//     Shards=1 fast-path devolution).
 //
 // Usage:
 //
 //	borg-bench -fig exec -json > exec-fresh.json
 //	borg-bench -fig serve -json > serve-fresh.json
+//	borg-bench -fig shard -json > shard-fresh.json
 //	borg-perfgate -baseline benchmarks/baseline.json -fresh exec-fresh.json \
-//	              -serve-baseline benchmarks/serve.json -serve-fresh serve-fresh.json
+//	              -serve-baseline benchmarks/serve.json -serve-fresh serve-fresh.json \
+//	              -shard-baseline benchmarks/shard.json -shard-fresh shard-fresh.json
 //
 // The tolerance is deliberately generous — CI runners are noisy and the
 // gate exists to catch order-of-magnitude regressions (a serialized hot
@@ -49,6 +55,8 @@ func main() {
 	freshPath := flag.String("fresh", "", "fresh exec report to gate")
 	serveBaselinePath := flag.String("serve-baseline", "benchmarks/serve.json", "committed serving baseline report")
 	serveFreshPath := flag.String("serve-fresh", "", "fresh serving report to gate")
+	shardBaselinePath := flag.String("shard-baseline", "benchmarks/shard.json", "committed sharded-serving baseline report")
+	shardFreshPath := flag.String("shard-fresh", "", "fresh sharded-serving report to gate")
 	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
 	flag.Parse()
 
@@ -63,8 +71,8 @@ func main() {
 		}
 		*maxRatio = v
 	}
-	if *freshPath == "" && *serveFreshPath == "" {
-		fatal(fmt.Errorf("at least one of -fresh or -serve-fresh is required"))
+	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" {
+		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, or -shard-fresh is required"))
 	}
 	failed := false
 	if *freshPath != "" {
@@ -72,6 +80,9 @@ func main() {
 	}
 	if *serveFreshPath != "" {
 		failed = gateServe(*serveBaselinePath, *serveFreshPath, *maxRatio) || failed
+	}
+	if *shardFreshPath != "" {
+		failed = gateShard(*shardBaselinePath, *shardFreshPath, *maxRatio) || failed
 	}
 	if failed {
 		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
@@ -82,18 +93,15 @@ func main() {
 // gateExec compares the exec-runtime report per worker-count cell on
 // best wall time. Returns true when any cell regressed.
 func gateExec(baselinePath, freshPath string, maxRatio float64) bool {
-	base, err := load(baselinePath)
+	base, err := loadReport[bench.ExecBaselineReport](baselinePath, func(r *bench.ExecBaselineReport) int { return len(r.Runs) })
 	if err != nil {
 		fatal(err)
 	}
-	fresh, err := load(freshPath)
+	fresh, err := loadReport[bench.ExecBaselineReport](freshPath, func(r *bench.ExecBaselineReport) int { return len(r.Runs) })
 	if err != nil {
 		fatal(err)
 	}
-	if base.SF != fresh.SF || base.Seed != fresh.Seed || base.Dataset != fresh.Dataset {
-		fatal(fmt.Errorf("exec reports are not comparable: baseline is %s sf=%v seed=%d, fresh is %s sf=%v seed=%d",
-			base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed))
-	}
+	ensureComparable("exec", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
 
 	freshByWorkers := make(map[int]bench.ExecBaselineRun, len(fresh.Runs))
 	for _, r := range fresh.Runs {
@@ -122,58 +130,116 @@ func gateExec(baselinePath, freshPath string, maxRatio float64) bool {
 	return failed
 }
 
-// gateServe compares the serving report per strategy × readers × mix
-// cell on applied ops/sec — the cell set includes the 90/10
-// insert/delete mix, so retraction throughput is gated exactly like
-// insert throughput. Returns true when any cell regressed.
-func gateServe(baselinePath, freshPath string, maxRatio float64) bool {
-	base, err := loadServe(baselinePath)
-	if err != nil {
-		fatal(err)
-	}
-	fresh, err := loadServe(freshPath)
-	if err != nil {
-		fatal(err)
-	}
-	if base.SF != fresh.SF || base.Seed != fresh.Seed || base.Dataset != fresh.Dataset {
-		fatal(fmt.Errorf("serve reports are not comparable: baseline is %s sf=%v seed=%d, fresh is %s sf=%v seed=%d",
-			base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed))
-	}
+// throughputCell is one gated cell of an ops/sec-based report: key
+// matches baseline and fresh cells, label is the printed name, ops the
+// per-cell metric, and clients the concurrent-goroutine load used for
+// the parallelism penalty.
+type throughputCell struct {
+	key     string
+	label   string
+	ops     float64
+	clients int
+}
 
-	type key struct {
-		strategy   string
-		readers    int
-		deleteFrac float64
+// gateThroughput compares fresh against base per cell on applied
+// ops/sec (a cell regresses when base/fresh exceeds the allowed ratio).
+// Shared by the serving and sharded-serving gates. Returns true when
+// any cell regressed or is missing from the fresh report.
+func gateThroughput(kind, baselinePath string, baseCPUs, freshCPUs int, maxRatio float64, base, fresh []throughputCell) bool {
+	freshByKey := make(map[string]throughputCell, len(fresh))
+	for _, c := range fresh {
+		freshByKey[c.key] = c
 	}
-	freshByKey := make(map[key]bench.ServeCell, len(fresh.Cells))
-	for _, c := range fresh.Cells {
-		freshByKey[key{c.Strategy, c.Readers, c.DeleteFrac}] = c
+	width := 0
+	for _, b := range base {
+		if len(b.label) > width {
+			width = len(b.label)
+		}
 	}
-	fmt.Printf("perfgate: serve baseline %s (%d cpus) vs fresh (%d cpus), tolerance %.2fx\n",
-		baselinePath, base.CPUs, fresh.CPUs, maxRatio)
+	fmt.Printf("perfgate: %s baseline %s (%d cpus) vs fresh (%d cpus), tolerance %.2fx\n",
+		kind, baselinePath, baseCPUs, freshCPUs, maxRatio)
 	failed := false
-	for _, b := range base.Cells {
-		label := fmt.Sprintf("%s readers=%d del=%.0f%%", b.Strategy, b.Readers, 100*b.DeleteFrac)
-		f, ok := freshByKey[key{b.Strategy, b.Readers, b.DeleteFrac}]
+	for _, b := range base {
+		f, ok := freshByKey[b.key]
 		if !ok {
-			fmt.Printf("  %-36s MISSING from fresh report\n", label)
+			fmt.Printf("  %-*s MISSING from fresh report\n", width, b.label)
 			failed = true
 			continue
 		}
-		// The cell's client load is writers + readers concurrent
-		// goroutines; a host that cannot run them in parallel gets the
-		// usual slack.
-		allowed := maxRatio * parallelismPenalty(b.Writers+b.Readers, base.CPUs, fresh.CPUs)
-		ratio := opsPerSec(b) / opsPerSec(f)
+		allowed := maxRatio * parallelismPenalty(b.clients, baseCPUs, freshCPUs)
+		ratio := b.ops / f.ops
 		verdict := "ok"
 		if ratio > allowed {
 			verdict = "FAIL"
 			failed = true
 		}
-		fmt.Printf("  %-36s base %.0f ops/s  fresh %.0f ops/s  ratio %.2fx  allowed %.2fx  %s\n",
-			label, opsPerSec(b), opsPerSec(f), ratio, allowed, verdict)
+		fmt.Printf("  %-*s base %.0f ops/s  fresh %.0f ops/s  ratio %.2fx  allowed %.2fx  %s\n",
+			width, b.label, b.ops, f.ops, ratio, allowed, verdict)
 	}
 	return failed
+}
+
+// gateServe compares the serving report per strategy × readers × mix
+// cell on applied ops/sec — the cell set includes the 90/10
+// insert/delete mix, so retraction throughput is gated exactly like
+// insert throughput. Returns true when any cell regressed.
+func gateServe(baselinePath, freshPath string, maxRatio float64) bool {
+	base, err := loadReport[bench.ServeReport](baselinePath, func(r *bench.ServeReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport[bench.ServeReport](freshPath, func(r *bench.ServeReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	ensureComparable("serve", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	// The cell's client load is writers + readers concurrent goroutines;
+	// a host that cannot run them in parallel gets the usual slack.
+	cells := func(cs []bench.ServeCell) []throughputCell {
+		out := make([]throughputCell, len(cs))
+		for i, c := range cs {
+			out[i] = throughputCell{
+				key:     fmt.Sprintf("%s|%d|%g", c.Strategy, c.Readers, c.DeleteFrac),
+				label:   fmt.Sprintf("%s readers=%d del=%.0f%%", c.Strategy, c.Readers, 100*c.DeleteFrac),
+				ops:     opsPerSec(c),
+				clients: c.Writers + c.Readers,
+			}
+		}
+		return out
+	}
+	return gateThroughput("serve", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
+}
+
+// gateShard compares the sharded-serving report per strategy ×
+// shard-count × variant × mix cell on applied ops/sec. The cell set
+// spans shards 1, 2, and 4 plus the plain-server baseline, so a
+// regression in the shard router, the merged read path, or the Shards=1
+// fast path all trip the gate. Returns true when any cell regressed.
+func gateShard(baselinePath, freshPath string, maxRatio float64) bool {
+	base, err := loadReport[bench.ShardReport](baselinePath, func(r *bench.ShardReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport[bench.ShardReport](freshPath, func(r *bench.ShardReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	ensureComparable("shard", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	// The cell's client load is the producers and readers plus one
+	// writer goroutine per shard.
+	cells := func(cs []bench.ShardCell) []throughputCell {
+		out := make([]throughputCell, len(cs))
+		for i, c := range cs {
+			out[i] = throughputCell{
+				key:     fmt.Sprintf("%s|%d|%s|%g", c.Strategy, c.Shards, c.Variant, c.DeleteFrac),
+				label:   fmt.Sprintf("%s shards=%d %s del=%.0f%%", c.Strategy, c.Shards, c.Variant, 100*c.DeleteFrac),
+				ops:     c.OpsPerSec,
+				clients: c.Writers + c.Readers + c.Shards,
+			}
+		}
+		return out
+	}
+	return gateThroughput("shard", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
 }
 
 // opsPerSec reads a cell's applied-op throughput, falling back to the
@@ -199,34 +265,30 @@ func parallelismPenalty(workers, baseCPUs, freshCPUs int) float64 {
 	return float64(pBase) / float64(pFresh)
 }
 
-func load(path string) (*bench.ExecBaselineReport, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// ensureComparable refuses to gate reports generated from different
+// datasets, scale factors, or seeds.
+func ensureComparable(kind, baseDS string, baseSF float64, baseSeed uint64, freshDS string, freshSF float64, freshSeed uint64) {
+	if baseSF != freshSF || baseSeed != freshSeed || baseDS != freshDS {
+		fatal(fmt.Errorf("%s reports are not comparable: baseline is %s sf=%v seed=%d, fresh is %s sf=%v seed=%d",
+			kind, baseDS, baseSF, baseSeed, freshDS, freshSF, freshSeed))
 	}
-	var rep bench.ExecBaselineReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
-	}
-	if len(rep.Runs) == 0 {
-		return nil, fmt.Errorf("%s: no runs recorded", path)
-	}
-	return &rep, nil
 }
 
-func loadServe(path string) (*bench.ServeReport, error) {
+// loadReport reads and decodes one benchmark report, rejecting files
+// with no recorded cells (size reports how many a report carries).
+func loadReport[T any](path string, size func(*T) int) (*T, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var rep bench.ServeReport
-	if err := json.Unmarshal(data, &rep); err != nil {
+	rep := new(T)
+	if err := json.Unmarshal(data, rep); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
-	if len(rep.Cells) == 0 {
+	if size(rep) == 0 {
 		return nil, fmt.Errorf("%s: no cells recorded", path)
 	}
-	return &rep, nil
+	return rep, nil
 }
 
 func fatal(err error) {

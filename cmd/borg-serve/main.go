@@ -1,16 +1,21 @@
 // Command borg-serve runs the streaming-serving layer as an HTTP JSON
-// service over a demo retail schema:
+// service over a multi-tenant demo retail schema:
 //
-//	Sales(item, store, units)   Items(item, price)   Stores(store, area)
+//	Sales(item, store, units)   Items(item, store, price)   Stores(store, area)
 //
-// Tuples stream in through POST /insert (inserts, deletes, and updates)
-// while GET /stats and GET /model serve snapshot-consistent statistics
-// and freshly trained models to any number of concurrent clients —
-// writes never block reads and reads never block writes.
+// Every relation carries the tenant key "store", so the service shards
+// horizontally: -shards N hash-partitions ingest by -partition-by
+// (default "store") across N independent serving shards — each with its
+// own IVM maintainer and single-writer queue — while /stats and /model
+// serve ring-merged global views. Tuples stream in through POST /insert
+// (inserts, deletes, and updates) while GET /stats and GET /model serve
+// snapshot-consistent statistics and freshly trained models to any
+// number of concurrent clients — writes never block reads and reads
+// never block writes.
 //
 // Usage:
 //
-//	borg-serve -addr :8080 -strategy fivm -batch 64 -flush 1ms
+//	borg-serve -addr :8080 -strategy fivm -batch 64 -flush 1ms -shards 4 -partition-by store
 //
 // API:
 //
@@ -24,14 +29,20 @@
 //	                fail: 207 with per-row errors; if all fail: 400.
 //	DELETE /insert  same body; every row is treated as a delete.
 //	GET  /stats     {"epoch", "inserts", "deletes", "queued", "count",
-//	                 "means": {...}, "last_error": null | "..."}
-//	                last_error reports the first asynchronous
-//	                maintenance failure (e.g. a delete whose target was
-//	                never live), which cannot be reported on the insert
+//	                 "means": {...}, "shards": [{"shard", "epoch",
+//	                 "inserts", "deletes", "queued", "count"}, ...],
+//	                 "last_error": null | "..."}
+//	                The top-level fields aggregate across shards (epoch
+//	                is the sum of shard epochs); "shards" reports each
+//	                shard's own epoch and queue depth. last_error
+//	                reports the first asynchronous maintenance failure
+//	                (e.g. a delete whose target was never live) on any
+//	                shard, which cannot be reported on the insert
 //	                response.
 //	GET  /model?response=units&lambda=0.001
 //	                {"epoch", "count", "response", "intercept",
-//	                 "coefficients": {...}}
+//	                 "coefficients": {...}} — trained on the ring-merged
+//	                statistics, identical to an unsharded model.
 //	GET  /healthz   200 {"status": "ok"}
 package main
 
@@ -67,7 +78,7 @@ type insertReq struct {
 
 // apply routes one request row to the server. forceDelete is the
 // DELETE-method path, where every row retracts regardless of Op.
-func (r insertReq) apply(srv *borg.Server, forceDelete bool) error {
+func (r insertReq) apply(srv *borg.ShardedServer, forceDelete bool) error {
 	op := r.Op
 	if forceDelete {
 		if op != "" && op != "delete" {
@@ -97,23 +108,29 @@ func main() {
 	flush := flag.Duration("flush", time.Millisecond, "max snapshot staleness for a partial batch")
 	queue := flag.Int("queue", 1024, "ingest queue depth (backpressure beyond it)")
 	workers := flag.Int("workers", 2, "exec worker pool size for maintenance scans")
+	shards := flag.Int("shards", 1, "serving shards; ingest is hash-partitioned across them and reads are ring-merged")
+	partitionBy := flag.String("partition-by", "store", "partition attribute (must appear in every relation of the join)")
 	oneShot := flag.Bool("oneshot", false, "start, self-check the endpoints, and exit (CI smoke)")
 	flag.Parse()
 
 	db := borg.NewDatabase()
 	db.AddRelation("Sales", borg.Cat("item"), borg.Cat("store"), borg.Num("units"))
-	db.AddRelation("Items", borg.Cat("item"), borg.Num("price"))
+	db.AddRelation("Items", borg.Cat("item"), borg.Cat("store"), borg.Num("price"))
 	db.AddRelation("Stores", borg.Cat("store"), borg.Num("area"))
 	q, err := db.Query()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := q.Serve(features, borg.ServerOptions{
-		Strategy:      *strategy,
-		BatchSize:     *batch,
-		FlushInterval: *flush,
-		QueueDepth:    *queue,
-		Workers:       *workers,
+	srv, err := q.ServeSharded(features, borg.ShardOptions{
+		ServerOptions: borg.ServerOptions{
+			Strategy:      *strategy,
+			BatchSize:     *batch,
+			FlushInterval: *flush,
+			QueueDepth:    *queue,
+			Workers:       *workers,
+		},
+		Shards:      *shards,
+		PartitionBy: *partitionBy,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -139,7 +156,7 @@ func main() {
 		defer done()
 		_ = httpSrv.Shutdown(shutCtx)
 	}()
-	log.Printf("borg-serve: %s strategy, listening on %s", *strategy, *addr)
+	log.Printf("borg-serve: %s strategy, %d shard(s) partitioned by %q, listening on %s", *strategy, srv.NumShards(), *partitionBy, *addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -152,8 +169,9 @@ func main() {
 }
 
 // selfCheck drives every endpoint once through the handler (no network),
-// so CI can smoke-test the whole service path in one process.
-func selfCheck(srv *borg.Server, h http.Handler) error {
+// so CI can smoke-test the whole service path in one process — at any
+// shard count, since the endpoints are shard-transparent.
+func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	do := func(method, path, body string) (int, string) {
 		req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
 		rec := httptest.NewRecorder()
@@ -171,14 +189,26 @@ func selfCheck(srv *borg.Server, h http.Handler) error {
 		var stats struct {
 			Count   float64 `json:"count"`
 			Deletes uint64  `json:"deletes"`
+			Queued  int     `json:"queued"`
+			Shards  []struct {
+				Shard  int `json:"shard"`
+				Queued int `json:"queued"`
+			} `json:"shards"`
 		}
 		if err := json.Unmarshal([]byte(body), &stats); err != nil {
 			return 0, fmt.Errorf("stats body: %v", err)
 		}
+		if len(stats.Shards) != srv.NumShards() {
+			return 0, fmt.Errorf("stats reports %d shard rows, want %d: %s", len(stats.Shards), srv.NumShards(), body)
+		}
+		// After the Flush barrier every shard's queue is drained.
+		if stats.Queued != 0 {
+			return 0, fmt.Errorf("queued = %d after flush: %s", stats.Queued, body)
+		}
 		return stats.Count, nil
 	}
 	if code, body := do("POST", "/insert", `[
-		{"rel": "Items", "values": ["patty", 6]},
+		{"rel": "Items", "values": ["patty", "s1", 6]},
 		{"rel": "Stores", "values": ["s1", 120]},
 		{"rel": "Sales", "values": ["patty", "s1", 3]},
 		{"rel": "Sales", "values": ["patty", "s1", 5]}
@@ -228,7 +258,7 @@ func selfCheck(srv *borg.Server, h http.Handler) error {
 	// Array status semantics: partial failure is 207 with per-row
 	// errors, total failure is 400 — never a blanket 200.
 	code, body := do("POST", "/insert", `[
-		{"rel": "Items", "values": ["bun", 2]},
+		{"rel": "Items", "values": ["bun", "s1", 2]},
 		{"rel": "Nope", "values": []}
 	]`)
 	if code != http.StatusMultiStatus {
@@ -254,8 +284,9 @@ func selfCheck(srv *borg.Server, h http.Handler) error {
 	return nil
 }
 
-// newHandler wires the endpoints over a running server.
-func newHandler(srv *borg.Server) http.Handler {
+// newHandler wires the endpoints over a running (possibly sharded)
+// server.
+func newHandler(srv *borg.ShardedServer) http.Handler {
 	mux := http.NewServeMux()
 	ingest := func(forceDelete bool) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -301,9 +332,10 @@ func newHandler(srv *borg.Server) http.Handler {
 	mux.HandleFunc("POST /insert", ingest(false))
 	mux.HandleFunc("DELETE /insert", ingest(true))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		// One snapshot load feeds every per-epoch field, so the counters
-		// are mutually consistent; only "queued" is an inherently live
-		// reading taken alongside.
+		// One merged snapshot feeds every aggregate field, so those
+		// counters are mutually consistent; "queued" and the per-shard
+		// rows are inherently live readings taken alongside (each shard
+		// row is itself consistent — one snapshot load per shard).
 		snap := srv.CovarSnapshot()
 		means := make(map[string]float64, len(features))
 		for _, f := range features {
@@ -314,6 +346,18 @@ func newHandler(srv *borg.Server) http.Handler {
 			}
 			means[f] = m
 		}
+		st := srv.Stats()
+		shardRows := make([]map[string]any, len(st.Shards))
+		for i, row := range st.Shards {
+			shardRows[i] = map[string]any{
+				"shard":   i,
+				"epoch":   row.Epoch,
+				"inserts": row.Inserts,
+				"deletes": row.Deletes,
+				"queued":  row.Queued,
+				"count":   row.Count,
+			}
+		}
 		var lastErr any
 		if err := srv.Err(); err != nil {
 			lastErr = err.Error()
@@ -322,9 +366,10 @@ func newHandler(srv *borg.Server) http.Handler {
 			"epoch":      snap.Epoch(),
 			"inserts":    snap.Inserts(),
 			"deletes":    snap.Deletes(),
-			"queued":     srv.Stats().Queued,
+			"queued":     st.Queued,
 			"count":      snap.Count(),
 			"means":      means,
+			"shards":     shardRows,
 			"last_error": lastErr,
 		})
 	})

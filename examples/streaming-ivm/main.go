@@ -100,4 +100,78 @@ func main() {
 		snap.Epoch(), model.Intercept(), coefPrice)
 	fmt.Println("every insert updated ONE ring-valued view hierarchy —")
 	fmt.Println("all covariance aggregates were maintained simultaneously")
+
+	sharded()
+}
+
+// sharded is the horizontally scaled variant: the same serving API over
+// N hash-partitioned shards. The covariance statistics live in a
+// commutative ring, so per-shard triples merge EXACTLY under ring
+// addition — the merged model equals the unsharded one. The one schema
+// requirement: the partition attribute ("store" here) must appear in
+// every relation of the join, so equi-join partners co-locate.
+func sharded() {
+	db := borg.NewDatabase()
+	db.AddRelation("Sales", borg.Cat("store"), borg.Cat("item"), borg.Num("units"))
+	db.AddRelation("Catalog", borg.Cat("store"), borg.Cat("item"), borg.Num("price"))
+	db.AddRelation("Stores", borg.Cat("store"), borg.Num("area"))
+
+	q, err := db.Query()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := q.ServeSharded([]string{"units", "price", "area"}, borg.ShardOptions{
+		ServerOptions: borg.ServerOptions{Strategy: "fivm", BatchSize: 16},
+		Shards:        3,       // three independent single-writer serving stacks
+		PartitionBy:   "store", // tuples route by hash(store)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One producer per tenant: each store's dimension and fact tuples
+	// hash to one shard, so ingest parallelism scales with the shard
+	// count while every shard keeps single-writer simplicity.
+	var wg sync.WaitGroup
+	for s := 0; s < 6; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			store := fmt.Sprintf("store%d", s)
+			must(srv.Insert("Stores", store, 100.0+float64(10*s)))
+			for i := 0; i < 4; i++ {
+				item := fmt.Sprintf("item%d", i)
+				must(srv.Insert("Catalog", store, item, 2.0+float64(i)))
+				must(srv.Insert("Sales", store, item, 3+s+i))
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Flush is now a two-phase GLOBAL barrier: all shard barriers
+	// enqueue concurrently, then all acknowledgments are collected.
+	must(srv.Flush())
+	st := srv.Stats()
+	fmt.Printf("\nsharded (%d shards by store): count=%v, %d inserts, queue empty=%v\n",
+		srv.NumShards(), st.Count, st.Inserts, st.Queued == 0)
+	for _, row := range st.Shards {
+		fmt.Printf("  shard carries count=%v (epoch %d)\n", row.Count, row.Epoch)
+	}
+
+	// A merged read folds the per-shard snapshots with ring addition;
+	// training sees exactly the statistics an unsharded server would.
+	shardModel, err := srv.TrainLinReg("units", 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coefPrice, _ := shardModel.Coefficient("price")
+	fmt.Printf("merged model: units ~ %.3f + %.3f*price + ... (trained on ring-merged stats)\n",
+		shardModel.Intercept(), coefPrice)
 }

@@ -36,7 +36,8 @@ type Options struct {
 	// Budget caps the per-strategy streaming time of the IVM experiment.
 	Budget time.Duration
 	// JSON switches machine-readable output on for the runners that
-	// support it (the exec-runtime baseline and the serving benchmark).
+	// support it (the exec-runtime baseline and the serving and
+	// sharded-serving benchmarks).
 	JSON bool
 }
 

@@ -143,3 +143,44 @@ func TestServeBenchRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestShardBenchRuns(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Budget = 100 * time.Millisecond
+	// One benchmark run feeds both the rendering and the cell-coverage
+	// assertions (21 cells of servers is the slow part, not the table).
+	rep, err := ShardBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderShardTable(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"Sharded serving tier", "partitioned by store", "fivm", "higher-order", "first-order",
+		"plain", "sharded", "90/10 ins/del", "insert-only", "Merged p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ShardBench output missing %q:\n%s", want, out)
+		}
+	}
+	// The full shard-count sweep is present: 1, 2, and 4 for every
+	// strategy, plus the plain fast-path baseline.
+	type key struct {
+		strategy string
+		shards   int
+		variant  string
+	}
+	seen := make(map[key]bool)
+	for _, c := range rep.Cells {
+		seen[key{c.Strategy, c.Shards, c.Variant}] = true
+	}
+	for _, s := range []string{"fivm", "higher-order", "first-order"} {
+		if !seen[key{s, 1, "plain"}] {
+			t.Fatalf("missing plain baseline cell for %s", s)
+		}
+		for _, n := range []int{1, 2, 4} {
+			if !seen[key{s, n, "sharded"}] {
+				t.Fatalf("missing sharded cell for %s at %d shards", s, n)
+			}
+		}
+	}
+}

@@ -107,6 +107,176 @@ func churnOps(stream []ivm.Tuple, writers int, deleteFrac float64, seed uint64) 
 	return ops
 }
 
+// streamTarget abstracts a system under measurement — a serve.Server or
+// the sharded tier — behind the operations the streaming harness drives.
+type streamTarget struct {
+	insert func(t ivm.Tuple) error
+	delete func(t ivm.Tuple) error
+	flush  func() error
+	close  func() error
+	// read performs one global statistics read and returns a value the
+	// sink accumulates (so the compiler cannot eliminate it).
+	read func() float64
+	// final reports (inserts, deletes, epoch) after the flush barrier.
+	final func() (uint64, uint64, uint64)
+}
+
+// streamMeasurement is the common result core of one measured cell.
+type streamMeasurement struct {
+	Inserts uint64
+	Deletes uint64
+	Seconds float64
+	Reads   uint64
+	P50     float64
+	P99     float64
+	Epoch   uint64
+	Note    string
+}
+
+// measureStream is the shared cell harness of the serving and sharded
+// benchmarks: `writers` producers stream the (churned) tuple ops while
+// `readers` goroutines time global reads in serveProbes-sized batches.
+// The clock stops when ingest is done (writers finished and the queue
+// flushed), not when the budget expires: a strategy that swallows the
+// whole stream early reports its true throughput, and the budget only
+// caps strategies too slow to finish (as in the Figure 4 experiment).
+// Cleanup is deferred so error paths never leak producer or reader
+// goroutines into later cells.
+func measureStream(tgt streamTarget, stream []ivm.Tuple, writers, readers int, deleteFrac float64, o Options) (streamMeasurement, error) {
+	defer tgt.close()
+
+	ops := churnOps(stream, writers, deleteFrac, o.Seed)
+	totalOps := 0
+	for _, ws := range ops {
+		totalOps += len(ws)
+	}
+
+	var stopWrite atomic.Bool
+	var writeErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(ws []benchOp) {
+			defer wg.Done()
+			for i := 0; i < len(ws) && !stopWrite.Load(); i++ {
+				var err error
+				if ws[i].del {
+					err = tgt.delete(ws[i].t)
+				} else {
+					err = tgt.insert(ws[i].t)
+				}
+				if err != nil {
+					writeErr.Store(err)
+					return
+				}
+			}
+		}(ops[w])
+	}
+	defer func() {
+		stopWrite.Store(true)
+		wg.Wait()
+	}()
+
+	stopRead := make(chan struct{})
+	samples := make([][]float64, readers)
+	var readWg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readWg.Add(1)
+		go func(r int) {
+			defer readWg.Done()
+			var sink float64
+			defer func() { serveReadSink.Add(math.Float64bits(sink)) }()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				t0 := time.Now()
+				for p := 0; p < serveProbes; p++ {
+					sink += tgt.read()
+				}
+				samples[r] = append(samples[r], float64(time.Since(t0).Nanoseconds())/serveProbes)
+			}
+		}(r)
+	}
+	defer func() {
+		select {
+		case <-stopRead:
+		default:
+			close(stopRead)
+		}
+		readWg.Wait()
+	}()
+
+	doneWrite := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(doneWrite)
+	}()
+	select {
+	case <-doneWrite:
+	case <-time.After(o.Budget):
+		stopWrite.Store(true)
+		<-doneWrite
+	}
+	if err := tgt.flush(); err != nil {
+		return streamMeasurement{}, err
+	}
+	elapsed := time.Since(start)
+	close(stopRead)
+	readWg.Wait()
+	inserts, deletes, epoch := tgt.final()
+	if err := tgt.close(); err != nil {
+		return streamMeasurement{}, err
+	}
+	if e := writeErr.Load(); e != nil {
+		return streamMeasurement{}, e.(error)
+	}
+
+	var all []float64
+	var reads uint64
+	for _, s := range samples {
+		all = append(all, s...)
+		reads += uint64(len(s)) * serveProbes
+	}
+	sort.Float64s(all)
+	applied := inserts + deletes
+	note := "full stream"
+	if applied < uint64(totalOps) {
+		note = fmt.Sprintf("budget cap after %d of %d ops", applied, totalOps)
+	}
+	return streamMeasurement{
+		Inserts: inserts,
+		Deletes: deletes,
+		Seconds: elapsed.Seconds(),
+		Reads:   reads,
+		P50:     percentile(all, 0.50),
+		P99:     percentile(all, 0.99),
+		Epoch:   epoch,
+		Note:    note,
+	}, nil
+}
+
+// serveTarget adapts a serve.Server to the streaming harness.
+func serveTarget(srv *serve.Server) streamTarget {
+	return streamTarget{
+		insert: srv.Insert,
+		delete: srv.Delete,
+		flush:  srv.Flush,
+		close:  srv.Close,
+		read: func() float64 {
+			s := srv.Snapshot()
+			return s.Count() + s.Sum(0) + s.Moment(0, 0)
+		},
+		final: func() (uint64, uint64, uint64) {
+			s := srv.Snapshot()
+			return s.Inserts, s.Deletes, s.Epoch
+		},
+	}
+}
+
 // ServeBench measures the serving layer on the Retailer stream: two
 // writer clients stream tuples through the batching ingest queue while
 // N concurrent readers hammer snapshot reads (Count + Sum + Moment),
@@ -148,9 +318,8 @@ func ServeBench(o Options) (*ServeReport, error) {
 	return rep, nil
 }
 
-// serveCell measures one strategy × reader-count × mix configuration.
-// Cleanup is deferred so error paths never leak the reader goroutines
-// or the server's writer goroutine into later cells.
+// serveCell measures one strategy × reader-count × mix configuration
+// through the shared streaming harness.
 func serveCell(d *datagen.Dataset, stream []ivm.Tuple, strategy serve.Strategy, readers, writers int, deleteFrac float64, cfgBatch int, cfgFlush time.Duration, o Options) (ServeCell, error) {
 	srv, err := serve.New(d.Join, d.Root, d.Cont, serve.Config{
 		Strategy:      strategy,
@@ -162,131 +331,26 @@ func serveCell(d *datagen.Dataset, stream []ivm.Tuple, strategy serve.Strategy, 
 	if err != nil {
 		return ServeCell{}, err
 	}
-	defer srv.Close()
-
-	ops := churnOps(stream, writers, deleteFrac, o.Seed)
-	totalOps := 0
-	for _, ws := range ops {
-		totalOps += len(ws)
-	}
-
-	var stopWrite atomic.Bool
-	var writeErr atomic.Value
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(ws []benchOp) {
-			defer wg.Done()
-			for i := 0; i < len(ws) && !stopWrite.Load(); i++ {
-				var err error
-				if ws[i].del {
-					err = srv.Delete(ws[i].t)
-				} else {
-					err = srv.Insert(ws[i].t)
-				}
-				if err != nil {
-					writeErr.Store(err)
-					return
-				}
-			}
-		}(ops[w])
-	}
-	defer func() {
-		stopWrite.Store(true)
-		wg.Wait()
-	}()
-
-	stopRead := make(chan struct{})
-	samples := make([][]float64, readers)
-	var readWg sync.WaitGroup
-	for r := 0; r < readers; r++ {
-		readWg.Add(1)
-		go func(r int) {
-			defer readWg.Done()
-			var sink float64
-			defer func() { serveReadSink.Add(math.Float64bits(sink)) }()
-			for {
-				select {
-				case <-stopRead:
-					return
-				default:
-				}
-				t0 := time.Now()
-				for p := 0; p < serveProbes; p++ {
-					s := srv.Snapshot()
-					sink += s.Count() + s.Sum(0) + s.Moment(0, 0)
-				}
-				samples[r] = append(samples[r], float64(time.Since(t0).Nanoseconds())/serveProbes)
-			}
-		}(r)
-	}
-	defer func() {
-		select {
-		case <-stopRead:
-		default:
-			close(stopRead)
-		}
-		readWg.Wait()
-	}()
-
-	// The clock stops when ingest is done (writers finished and the queue
-	// flushed), not when the budget expires: a strategy that swallows the
-	// whole stream early reports its true throughput, and the budget only
-	// caps strategies too slow to finish (as in the Figure 4 experiment).
-	doneWrite := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(doneWrite)
-	}()
-	select {
-	case <-doneWrite:
-	case <-time.After(o.Budget):
-		stopWrite.Store(true)
-		<-doneWrite
-	}
-	if err := srv.Flush(); err != nil {
+	m, err := measureStream(serveTarget(srv), stream, writers, readers, deleteFrac, o)
+	if err != nil {
 		return ServeCell{}, err
-	}
-	elapsed := time.Since(start)
-	close(stopRead)
-	readWg.Wait()
-	snap := srv.Snapshot()
-	if err := srv.Close(); err != nil {
-		return ServeCell{}, err
-	}
-	if e := writeErr.Load(); e != nil {
-		return ServeCell{}, e.(error)
-	}
-
-	var all []float64
-	var reads uint64
-	for _, s := range samples {
-		all = append(all, s...)
-		reads += uint64(len(s)) * serveProbes
-	}
-	sort.Float64s(all)
-	applied := snap.Inserts + snap.Deletes
-	note := "full stream"
-	if applied < uint64(totalOps) {
-		note = fmt.Sprintf("budget cap after %d of %d ops", applied, totalOps)
 	}
 	return ServeCell{
 		Strategy:      strategy.String(),
 		Readers:       readers,
 		Writers:       writers,
 		DeleteFrac:    deleteFrac,
-		Inserts:       snap.Inserts,
-		Deletes:       snap.Deletes,
-		Seconds:       elapsed.Seconds(),
-		InsertsPerSec: float64(snap.Inserts) / elapsed.Seconds(),
-		Ops:           applied,
-		OpsPerSec:     float64(applied) / elapsed.Seconds(),
-		Reads:         reads,
-		ReadP50Nanos:  percentile(all, 0.50),
-		ReadP99Nanos:  percentile(all, 0.99),
-		FinalEpoch:    snap.Epoch,
-		Note:          note,
+		Inserts:       m.Inserts,
+		Deletes:       m.Deletes,
+		Seconds:       m.Seconds,
+		InsertsPerSec: float64(m.Inserts) / m.Seconds,
+		Ops:           m.Inserts + m.Deletes,
+		OpsPerSec:     float64(m.Inserts+m.Deletes) / m.Seconds,
+		Reads:         m.Reads,
+		ReadP50Nanos:  m.P50,
+		ReadP99Nanos:  m.P99,
+		FinalEpoch:    m.Epoch,
+		Note:          m.Note,
 	}, nil
 }
 

@@ -52,7 +52,7 @@ func (d *Dataset) Features() []core.Feature {
 }
 
 // ByName generates the named dataset ("retailer", "favorita", "yelp",
-// "tpcds").
+// "tpcds", "tenant").
 func ByName(name string, seed uint64, sf float64) (*Dataset, error) {
 	switch name {
 	case "retailer":
@@ -63,6 +63,8 @@ func ByName(name string, seed uint64, sf float64) (*Dataset, error) {
 		return Yelp(seed, sf), nil
 	case "tpcds":
 		return TPCDS(seed, sf), nil
+	case "tenant":
+		return Tenant(seed, sf), nil
 	}
 	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
 }
@@ -227,6 +229,87 @@ func Retailer(seed uint64, sf float64) *Dataset {
 		Response:    "inventoryunits",
 		GridAttr:    "category",
 		StreamOrder: []string{"Item", "Stores", "Demographics", "Weather", "Inventory"},
+	}
+}
+
+// Tenant is the multi-tenant retail schema of the sharded serving tier:
+// EVERY relation carries the tenant key "store", so the join partitions
+// cleanly by store — hash-partitioned shards never split an equi-join
+// result. This is the schema shape sharding requires (and the natural
+// shape of per-tenant SaaS data): Sales(store, item, units) facts, a
+// per-store Catalog(store, item, price) — tenants price independently —
+// and Stores(store, sellarea, footfall) tenant metadata. Store traffic
+// is Zipf-skewed, so shard balance under hash partitioning is exercised
+// by hot tenants, not just uniform load.
+func Tenant(seed uint64, sf float64) *Dataset {
+	src := xrand.New(seed)
+	db := relation.NewDatabase()
+
+	nStore := scaled(64, sf, 8)
+	const nItem = 25 // per-store catalog width
+	nSales := scaled(100000, sf, 2000)
+
+	catalog := db.NewRelation("Catalog", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "item", Type: relation.Category},
+		{Name: "price", Type: relation.Double},
+	})
+	price := make([]float64, nStore*nItem)
+	for s := 0; s < nStore; s++ {
+		for i := 0; i < nItem; i++ {
+			price[s*nItem+i] = 1 + src.Float64()*40
+			catalog.AppendRow(
+				relation.CatVal(int32(s)),
+				relation.CatVal(int32(i)),
+				relation.FloatVal(price[s*nItem+i]),
+			)
+		}
+	}
+
+	stores := db.NewRelation("Stores", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "sellarea", Type: relation.Double},
+		{Name: "footfall", Type: relation.Double},
+	})
+	sellarea := make([]float64, nStore)
+	footfall := make([]float64, nStore)
+	for s := 0; s < nStore; s++ {
+		sellarea[s] = 300 + src.Float64()*2700
+		footfall[s] = 100 + src.Float64()*4900
+		stores.AppendRow(
+			relation.CatVal(int32(s)),
+			relation.FloatVal(sellarea[s]),
+			relation.FloatVal(footfall[s]),
+		)
+	}
+
+	sales := db.NewRelation("Sales", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "item", Type: relation.Category},
+		{Name: "units", Type: relation.Double},
+	})
+	storeZipf := xrand.NewZipf(src, 1.1, nStore)
+	start := sales.Grow(nSales)
+	for r := start; r < start+nSales; r++ {
+		s := int32(storeZipf.Next())
+		i := int32(src.Intn(nItem))
+		u := 25 - 0.4*price[int(s)*nItem+int(i)] + 0.003*sellarea[s] + 0.002*footfall[s] + 2*src.NormFloat64()
+		sales.Col(0).C[r] = s
+		sales.Col(1).C[r] = i
+		sales.Col(2).F[r] = u
+	}
+
+	fillDicts(db, map[string]int{"store": nStore, "item": nItem})
+	return &Dataset{
+		Name:        "Tenant",
+		DB:          db,
+		Join:        query.NewJoin(sales, catalog, stores),
+		Root:        "Sales",
+		Cont:        []string{"price", "sellarea", "footfall"},
+		Cat:         []string{"item"},
+		Response:    "units",
+		GridAttr:    "store",
+		StreamOrder: []string{"Catalog", "Stores", "Sales"},
 	}
 }
 

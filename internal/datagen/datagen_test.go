@@ -10,7 +10,10 @@ import (
 )
 
 func TestAllDatasetsWellFormed(t *testing.T) {
-	for _, d := range All(1, 0.05) {
+	// Tenant rides along: it is not part of the paper's four-dataset
+	// sweep (All), but the sharded serving tier depends on it being
+	// well-formed in exactly the same ways.
+	for _, d := range append(All(1, 0.05), Tenant(1, 0.05)) {
 		d := d
 		t.Run(d.Name, func(t *testing.T) {
 			if !d.Join.IsAcyclic() {
@@ -106,7 +109,7 @@ func TestScaleFactor(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"retailer", "favorita", "yelp", "tpcds"} {
+	for _, name := range []string{"retailer", "favorita", "yelp", "tpcds", "tenant"} {
 		d, err := ByName(name, 1, 0.02)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,426 @@
+// Package shard is the horizontally scaled serving tier: a hash-
+// partitioned array of independent serve.Server shards whose per-shard
+// statistics merge exactly under covariance-ring addition.
+//
+// The scale-out argument is the paper's algebra doing systems work.
+// Query results and model sufficient statistics live in a commutative
+// ring (internal/ring), so the statistics of a join over a disjoint
+// union of databases are the ring sum of the statistics over the parts:
+//
+//	Covar(D₁ ⊎ D₂ ⊎ … ⊎ Dₙ) = Covar(D₁) + Covar(D₂) + … + Covar(Dₙ)
+//
+// The one condition is that the parts really are disjoint UNDER THE
+// JOIN: no join result tuple may combine base tuples from two shards.
+// Partitioning every relation by the hash of one shared attribute — a
+// partition attribute that appears in every relation of the join —
+// guarantees this, because equi-join partners agree on the attribute
+// and therefore land on the same shard. Construction validates the
+// requirement and routing enforces it, so a merged read is EXACT, not
+// an approximation: Count/Mean/SecondMoment/TrainLinReg over the merge
+// are identical (up to float addition order) to a single server's.
+//
+// Each shard is a full PR-2/3 serving stack — its own IVM maintainer,
+// single-writer ingest queue, and epoch/COW snapshot — so ingest
+// parallelism scales with the shard count while every shard keeps the
+// single-writer simplicity that makes the maintainers lock-free. A
+// merged read folds the per-shard snapshots (one atomic load each) with
+// ring addition; it never blocks any writer.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"borg/internal/ivm"
+	"borg/internal/query"
+	"borg/internal/relation"
+	"borg/internal/ring"
+	"borg/internal/serve"
+)
+
+// Config tunes a sharded server. The embedded serve.Config applies to
+// every shard; the zero value of Shards selects one shard (which
+// devolves to a plain server, merge-free).
+type Config struct {
+	serve.Config
+	// Shards is the number of independent serving shards (default 1).
+	Shards int
+	// PartitionBy names the attribute tuples are hash-partitioned on. It
+	// must appear in every relation of the join, so equi-join partners
+	// never cross shards — construction fails otherwise. Required for
+	// two or more shards; optional (but still validated when set) for
+	// one.
+	PartitionBy string
+}
+
+// Server is a sharded serving tier over one feature-extraction join:
+// N independent serve.Server shards behind a hash router, with global
+// reads composed by folding per-shard snapshots under ring addition.
+// Create with New, feed with Insert/Delete/Update from any number of
+// goroutines, read with Snapshot, and Close when done.
+type Server struct {
+	shards   []*serve.Server
+	features []string
+	partBy   string
+	// partCol[rel] is the column of the partition attribute in rel;
+	// partCat[rel] whether that column is categorical there. Empty maps
+	// on the single-shard fast path with no PartitionBy.
+	partCol map[string]int
+	partCat map[string]bool
+	ring    ring.CovarRing
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// single memoizes the one-shard merged view per published epoch
+	// snapshot, so the Shards=1 fast path costs one atomic load and a
+	// pointer compare per read — the same shape as an unsharded read —
+	// instead of allocating a wrapper every time.
+	single atomic.Pointer[MergedSnapshot]
+}
+
+// New starts a sharded server maintaining the covariance statistics of
+// the given features over initially empty copies of the join's
+// relations, rooted at the named relation. All shards share the source
+// database's attribute dictionaries, so categorical codes — and the
+// partition hash — agree across shards.
+func New(j *query.Join, root string, features []string, cfg Config) (*Server, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > 1 && cfg.PartitionBy == "" {
+		return nil, fmt.Errorf("shard: PartitionBy is required for %d shards (pick an attribute present in every relation of the join)", cfg.Shards)
+	}
+	s := &Server{
+		partBy:  cfg.PartitionBy,
+		partCol: make(map[string]int, len(j.Relations)),
+		partCat: make(map[string]bool, len(j.Relations)),
+		ring:    ring.CovarRing{N: len(features)},
+	}
+	if cfg.PartitionBy != "" {
+		// Validate the partition attribute against EVERY relation before
+		// any shard spins up: a miss means equi-join tuples of that
+		// relation could not be routed consistently with their partners,
+		// silently splitting join results across shards.
+		for _, r := range j.Relations {
+			col := r.AttrIndex(cfg.PartitionBy)
+			if col < 0 {
+				return nil, fmt.Errorf("shard: partition attribute %q is missing from relation %s; the partition attribute must appear in every relation of the join", cfg.PartitionBy, r.Name)
+			}
+			s.partCol[r.Name] = col
+			s.partCat[r.Name] = r.Attrs()[col].Type == relation.Category
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := serve.New(j, root, features, cfg.Config)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.features = s.shards[0].Features()
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Features returns the maintained feature names, in snapshot index order.
+func (s *Server) Features() []string { return s.features }
+
+// PartitionBy returns the partition attribute ("" on an unpartitioned
+// single shard).
+func (s *Server) PartitionBy() string { return s.partBy }
+
+// Schema returns a live relation with the given name, or nil. Its
+// schema metadata and dictionaries are shared across shards; its rows
+// belong to a shard's writer and must not be read.
+func (s *Server) Schema(name string) *relation.Relation { return s.shards[0].Schema(name) }
+
+// partValueBits returns the bit pattern of t's partition-attribute
+// value — the identity tuples are routed (and the update rule judged)
+// by. Values that compare equal always map to equal bits (normBits
+// folds -0.0 into +0.0 like the row matching of internal/ivm does).
+func (s *Server) partValueBits(t ivm.Tuple) (uint64, error) {
+	col, ok := s.partCol[t.Rel]
+	if !ok {
+		return 0, fmt.Errorf("shard: unknown relation %s", t.Rel)
+	}
+	r := s.shards[0].Schema(t.Rel)
+	if len(t.Values) != r.NumAttrs() {
+		return 0, fmt.Errorf("shard: tuple for %s has %d values, want %d", t.Rel, len(t.Values), r.NumAttrs())
+	}
+	if s.partCat[t.Rel] {
+		return uint64(uint32(t.Values[col].C)), nil
+	}
+	return normBits(t.Values[col].F), nil
+}
+
+// shardOf routes a tuple: the hash of its partition-attribute value,
+// reduced over the shard count. Equal-valued tuples — and all their
+// equi-join partners — always land on the same shard.
+func (s *Server) shardOf(t ivm.Tuple) (int, error) {
+	if len(s.shards) == 1 {
+		return 0, nil
+	}
+	bits, err := s.partValueBits(t)
+	if err != nil {
+		return 0, err
+	}
+	return int(splitmix64(bits) % uint64(len(s.shards))), nil
+}
+
+// Insert routes one tuple insert to its shard. Safe for any number of
+// concurrent callers; it blocks only when that shard's ingest queue is
+// full (backpressure is per shard).
+func (s *Server) Insert(t ivm.Tuple) error {
+	i, err := s.shardOf(t)
+	if err != nil {
+		return err
+	}
+	return s.shards[i].Insert(t)
+}
+
+// Delete routes the retraction of one previously inserted tuple. A
+// delete hashes to the same shard as the equal-valued insert, so
+// per-producer insert-before-delete ordering survives sharding.
+func (s *Server) Delete(t ivm.Tuple) error {
+	i, err := s.shardOf(t)
+	if err != nil {
+		return err
+	}
+	return s.shards[i].Delete(t)
+}
+
+// Update routes a correction: old is retracted and new inserted back to
+// back by ONE shard's writer, so no published snapshot shows the join
+// with neither or both. An update that changes the partition-attribute
+// VALUE is rejected on any partitioned server, whatever the shard
+// count or hash layout: across shards it would split over two writers
+// and lose both the atomicity and the strict no-upsert guarantee, and
+// accepting it only when the two values happen to hash to one shard
+// would make client code shard-count-dependent. Callers that really
+// mean to move a tuple between partitions issue Delete and Insert
+// explicitly, accepting the relaxed semantics.
+func (s *Server) Update(old, new ivm.Tuple) error {
+	if s.partBy != "" {
+		ob, err := s.partValueBits(old)
+		if err != nil {
+			return err
+		}
+		nb, err := s.partValueBits(new)
+		if err != nil {
+			return err
+		}
+		if ob != nb {
+			return fmt.Errorf("shard: update of %s changes the partition attribute %q; issue an explicit Delete and Insert to move a tuple across partitions", old.Rel, s.partBy)
+		}
+	}
+	i, err := s.shardOf(old)
+	if err != nil {
+		return err
+	}
+	return s.shards[i].Update(old, new)
+}
+
+// MergedSnapshot is one global read: the per-shard epoch snapshots
+// folded under ring addition into a single immutable covariance triple.
+// Each shard's contribution is individually snapshot-consistent; the
+// merge is a product of per-shard epochs, not a globally serialized
+// cut (see the package staleness notes).
+type MergedSnapshot struct {
+	// Epochs holds each shard's publication sequence number at the
+	// moment its snapshot was loaded.
+	Epochs []uint64
+	// Epoch is the sum of Epochs — a monotone global version number.
+	Epoch uint64
+	// Inserts and Deletes total the applied ops across shards.
+	Inserts uint64
+	Deletes uint64
+	// Stats is the ring sum of the per-shard covariance triples.
+	// Readers must not mutate it (nor the Epochs slice).
+	Stats *ring.Covar
+	// inner identifies the single shard snapshot this view wraps on the
+	// Shards=1 fast path (nil on a real merge); it keys the memo that
+	// makes one-shard reads allocation-free.
+	inner *serve.Snapshot
+}
+
+// Count returns SUM(1) over the join at this merged view.
+func (m *MergedSnapshot) Count() float64 { return m.Stats.Count }
+
+// Sum returns SUM(x_i) at this merged view.
+func (m *MergedSnapshot) Sum(i int) float64 { return m.Stats.Sum[i] }
+
+// Moment returns SUM(x_i·x_j) at this merged view.
+func (m *MergedSnapshot) Moment(i, j int) float64 { return m.Stats.Q[i*m.Stats.N+j] }
+
+// Snapshot composes the current global view: one atomic load per shard,
+// then a ring-addition fold. On a single shard it returns the shard's
+// snapshot re-labelled — no fold, no copy, zero merge overhead — which
+// is what lets Shards=1 devolve to a plain server.
+func (s *Server) Snapshot() *MergedSnapshot {
+	if len(s.shards) == 1 {
+		sn := s.shards[0].Snapshot()
+		// Between publications every read sees the same immutable inner
+		// snapshot, so the wrapper is built once per epoch and then
+		// served from the memo (a racing publication at worst rebuilds
+		// an identical wrapper).
+		if m := s.single.Load(); m != nil && m.inner == sn {
+			return m
+		}
+		m := &MergedSnapshot{
+			Epochs:  []uint64{sn.Epoch},
+			Epoch:   sn.Epoch,
+			Inserts: sn.Inserts,
+			Deletes: sn.Deletes,
+			Stats:   sn.Stats,
+			inner:   sn,
+		}
+		s.single.Store(m)
+		return m
+	}
+	m := &MergedSnapshot{Epochs: make([]uint64, len(s.shards)), Stats: s.ring.Zero()}
+	for i, sh := range s.shards {
+		sn := sh.Snapshot()
+		m.Epochs[i] = sn.Epoch
+		m.Epoch += sn.Epoch
+		m.Inserts += sn.Inserts
+		m.Deletes += sn.Deletes
+		m.Stats.AddInPlace(sn.Stats)
+	}
+	return m
+}
+
+// QueueLen totals the per-shard queue depths (ops enqueued or applied
+// but not yet covered by a published snapshot). Each shard's counter
+// includes the batch its writer is holding, so QueueLen()==0 with
+// quiescent producers means the next Snapshot reflects every accepted
+// op — the PR-3 invariant, preserved across the merge.
+func (s *Server) QueueLen() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.QueueLen()
+	}
+	return total
+}
+
+// Err reports the first maintenance error any shard's writer has
+// encountered (nil while healthy).
+func (s *Server) Err() error {
+	for _, sh := range s.shards {
+		if err := sh.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush is a global write barrier, run in two phases: every shard's
+// flush op is enqueued concurrently (phase one — the barriers enter all
+// queues without waiting on each other), then all acknowledgments are
+// collected (phase two). When it returns, every op enqueued on any
+// shard before the call is applied and visible in the merged snapshot.
+// Enqueueing serially instead would stall shard k's barrier behind the
+// full drain of shards 0..k-1, turning the barrier latency into a sum
+// over shards rather than a max.
+func (s *Server) Flush() error {
+	return s.fanOut((*serve.Server).Flush)
+}
+
+// Close drains already-queued ops on every shard, publishes final
+// snapshots, and stops the writers — concurrently, like Flush, so
+// shutdown latency is the slowest drain, not the sum. It returns the
+// first maintenance error, if any. Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.fanOut((*serve.Server).Close)
+	})
+	return s.closeErr
+}
+
+// fanOut runs one serve.Server operation on every shard concurrently
+// and returns the first error in shard order.
+func (s *Server) fanOut(op func(*serve.Server) error) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *serve.Server) {
+			defer wg.Done()
+			errs[i] = op(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardStats is a point-in-time health view of one shard.
+type ShardStats struct {
+	// Shard is the shard index (the hash-ring position).
+	Shard int
+	// Epoch is the shard's published snapshot sequence number.
+	Epoch uint64
+	// Inserts and Deletes count ops applied as of the shard's snapshot.
+	Inserts uint64
+	Deletes uint64
+	// Queued is the shard's queue depth, including the writer's
+	// in-flight batch.
+	Queued int
+	// Count is SUM(1) over the shard's partition of the join.
+	Count float64
+}
+
+// Stats reports a per-shard health view: queue depths, epochs, applied
+// op counts, and partition cardinalities. The per-shard rows are each
+// internally consistent (one snapshot load per shard); summing them
+// reproduces the aggregate a MergedSnapshot reports.
+func (s *Server) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		sn := sh.Snapshot()
+		out[i] = ShardStats{
+			Shard:   i,
+			Epoch:   sn.Epoch,
+			Inserts: sn.Inserts,
+			Deletes: sn.Deletes,
+			Queued:  sh.QueueLen(),
+			Count:   sn.Count(),
+		}
+	}
+	return out
+}
+
+// normBits maps a float to the bits it is hashed by: -0.0 folds into
+// +0.0 (they compare equal, so they must route equal), everything else
+// keeps its exact bit pattern — consistent with the row matching of
+// internal/ivm, so a Delete always routes to its insert's shard.
+func normBits(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	return math.Float64bits(f)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche bijection
+// that spreads small categorical codes (0, 1, 2, …) uniformly before
+// the modulo reduction, so low shard counts still balance.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,201 @@
+package borg
+
+import (
+	"fmt"
+
+	"borg/internal/ivm"
+	"borg/internal/relation"
+	"borg/internal/serve"
+	"borg/internal/shard"
+)
+
+// ShardOptions tunes a ShardedServer: the per-shard serving knobs plus
+// the partitioning scheme. The zero value selects one shard (a plain
+// server behind the same API).
+type ShardOptions struct {
+	ServerOptions
+	// Shards is the number of independent serving shards (default 1).
+	// Each shard owns its own IVM maintainer and single-writer ingest
+	// queue, so ingest parallelism scales with the shard count.
+	Shards int
+	// PartitionBy names the attribute tuples are hash-partitioned on.
+	// It must appear in every relation of the join — that is what keeps
+	// equi-join partners on the same shard and makes merged reads exact.
+	// Required for two or more shards.
+	PartitionBy string
+}
+
+// ShardedServer is the horizontally scaled Server: tuples are hash-
+// partitioned on a shared attribute across independent serving shards,
+// and every read folds the per-shard snapshots with covariance-ring
+// addition into one exact global view. The read API (Count, Mean,
+// SecondMoment, TrainLinReg, CovarSnapshot) is unchanged from Server's.
+type ShardedServer struct {
+	inner    *shard.Server
+	features []string
+}
+
+// ServeSharded starts a sharded server maintaining the covariance
+// statistics of the given continuous features over initially empty
+// copies of the query's relations, hash-partitioned per ShardOptions.
+// Close it when done.
+func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServer, error) {
+	strategy, err := serve.ParseStrategy(opt.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Workers == 0 {
+		opt.Workers = q.Workers
+	}
+	inner, err := shard.New(q.join, q.rootOrLargest(), features, shard.Config{
+		Config: serve.Config{
+			Strategy:      strategy,
+			BatchSize:     opt.BatchSize,
+			FlushInterval: opt.FlushInterval,
+			QueueDepth:    opt.QueueDepth,
+			Workers:       opt.Workers,
+			MorselSize:    q.MorselSize,
+		},
+		Shards:      opt.Shards,
+		PartitionBy: opt.PartitionBy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedServer{inner: inner, features: inner.Features()}, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedServer) NumShards() int { return s.inner.NumShards() }
+
+// Insert enqueues one tuple insert into the named relation, routed to
+// its shard by the partition hash. Values follow the same conventions
+// as Server.Insert; safe for any number of concurrent callers.
+func (s *ShardedServer) Insert(rel string, values ...any) error {
+	row, err := s.coerce(rel, values)
+	if err != nil {
+		return err
+	}
+	return s.inner.Insert(ivm.Tuple{Rel: rel, Values: row})
+}
+
+// Delete enqueues the retraction of one previously inserted tuple
+// (matched by value, multiset semantics). Equal values hash to the same
+// shard as the insert, so per-producer ordering survives sharding.
+func (s *ShardedServer) Delete(rel string, values ...any) error {
+	row, err := s.coerce(rel, values)
+	if err != nil {
+		return err
+	}
+	return s.inner.Delete(ivm.Tuple{Rel: rel, Values: row})
+}
+
+// Update enqueues a correction applied back to back by one shard's
+// writer. Updates that change the partition attribute are rejected —
+// issue an explicit Delete and Insert to move a tuple across shards.
+func (s *ShardedServer) Update(rel string, oldValues, newValues []any) error {
+	oldRow, err := s.coerce(rel, oldValues)
+	if err != nil {
+		return err
+	}
+	newRow, err := s.coerce(rel, newValues)
+	if err != nil {
+		return err
+	}
+	return s.inner.Update(ivm.Tuple{Rel: rel, Values: oldRow}, ivm.Tuple{Rel: rel, Values: newRow})
+}
+
+// coerce resolves the relation schema and converts one facade value row.
+// Shards share dictionaries, so one conversion is valid on every shard.
+func (s *ShardedServer) coerce(rel string, values []any) ([]relation.Value, error) {
+	r := s.inner.Schema(rel)
+	if r == nil {
+		return nil, fmt.Errorf("borg: unknown relation %s", rel)
+	}
+	return coerceRow(r, values)
+}
+
+// Flush is a global write barrier: it returns once every op enqueued on
+// any shard before the call is applied and visible in the merged
+// snapshot (all shard barriers run concurrently, two-phase).
+func (s *ShardedServer) Flush() error { return s.inner.Flush() }
+
+// Err reports the first maintenance error any shard's writer has
+// encountered (nil while healthy).
+func (s *ShardedServer) Err() error { return s.inner.Err() }
+
+// Close drains already-queued ops on every shard, publishes final
+// snapshots, and stops the writers. Close is idempotent.
+func (s *ShardedServer) Close() error { return s.inner.Close() }
+
+// ShardedServerStats is a point-in-time health view of a sharded
+// server: the aggregate totals plus one row per shard.
+type ShardedServerStats struct {
+	// ServerStats aggregates across shards: Epoch is the sum of shard
+	// epochs (a monotone global version), Queued the total queue depth.
+	ServerStats
+	// Shards holds one stats row per shard, indexed by shard id.
+	Shards []ServerStats
+}
+
+// Stats reports aggregate and per-shard health: epochs, applied op
+// counts, queue depths, and partition cardinalities.
+func (s *ShardedServer) Stats() ShardedServerStats {
+	rows := s.inner.Stats()
+	out := ShardedServerStats{Shards: make([]ServerStats, len(rows))}
+	for i, r := range rows {
+		out.Shards[i] = ServerStats{
+			Epoch:   r.Epoch,
+			Inserts: r.Inserts,
+			Deletes: r.Deletes,
+			Queued:  r.Queued,
+			Count:   r.Count,
+		}
+		out.Epoch += r.Epoch
+		out.Inserts += r.Inserts
+		out.Deletes += r.Deletes
+		out.Queued += r.Queued
+		out.Count += r.Count
+	}
+	return out
+}
+
+// QueueLen totals the per-shard queue depths. QueueLen()==0 with
+// quiescent producers means the merged snapshot is current — the same
+// invariant Server.Stats documents, preserved across the merge.
+func (s *ShardedServer) QueueLen() int { return s.inner.QueueLen() }
+
+// Count returns SUM(1) over the join at the current merged view.
+func (s *ShardedServer) Count() float64 { return s.inner.Snapshot().Count() }
+
+// Mean returns the mean of a maintained feature at the current merged
+// view (0 while the join is empty).
+func (s *ShardedServer) Mean(attr string) (float64, error) {
+	return s.CovarSnapshot().Mean(attr)
+}
+
+// SecondMoment returns SUM(a·b) at the current merged view.
+func (s *ShardedServer) SecondMoment(a, b string) (float64, error) {
+	return s.CovarSnapshot().SecondMoment(a, b)
+}
+
+// TrainLinReg trains a ridge linear regression of the response on the
+// remaining maintained features from the current merged statistics —
+// the per-shard triples fold with ring addition before training, so the
+// model is exactly the one a single unsharded server would produce.
+func (s *ShardedServer) TrainLinReg(response string, lambda float64) (*LinearRegression, error) {
+	return s.CovarSnapshot().TrainLinReg(response, lambda)
+}
+
+// CovarSnapshot freezes the current merged view: an immutable fold of
+// the per-shard epoch snapshots on which any number of reads and
+// trainings can run while ingest continues on every shard. It satisfies
+// the same ServerSnapshot API as an unsharded server's snapshots; its
+// Epoch is the sum of the shard epochs.
+func (s *ShardedServer) CovarSnapshot() *ServerSnapshot {
+	m := s.inner.Snapshot()
+	return &ServerSnapshot{
+		snap:     &serve.Snapshot{Epoch: m.Epoch, Inserts: m.Inserts, Deletes: m.Deletes, Stats: m.Stats},
+		features: s.features,
+	}
+}
