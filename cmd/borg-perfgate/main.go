@@ -11,16 +11,21 @@
 //   - the sharded-serving benchmark (`-fig shard`, per strategy ×
 //     shard-count × variant × mix cell, compared on applied ops/sec —
 //     covering the shard router, the ring-merged read path, and the
-//     Shards=1 fast-path devolution).
+//     Shards=1 fast-path devolution), and
+//   - the model-zoo benchmark (`-fig models`, per model-kind × strategy
+//     cell, compared on snapshot trainings/sec — so a regression in the
+//     epoch→model path of any model kind trips the gate).
 //
 // Usage:
 //
 //	borg-bench -fig exec -json > exec-fresh.json
 //	borg-bench -fig serve -json > serve-fresh.json
 //	borg-bench -fig shard -json > shard-fresh.json
+//	borg-bench -fig models -json > models-fresh.json
 //	borg-perfgate -baseline benchmarks/baseline.json -fresh exec-fresh.json \
 //	              -serve-baseline benchmarks/serve.json -serve-fresh serve-fresh.json \
-//	              -shard-baseline benchmarks/shard.json -shard-fresh shard-fresh.json
+//	              -shard-baseline benchmarks/shard.json -shard-fresh shard-fresh.json \
+//	              -models-baseline benchmarks/models.json -models-fresh models-fresh.json
 //
 // The tolerance is deliberately generous — CI runners are noisy and the
 // gate exists to catch order-of-magnitude regressions (a serialized hot
@@ -57,6 +62,8 @@ func main() {
 	serveFreshPath := flag.String("serve-fresh", "", "fresh serving report to gate")
 	shardBaselinePath := flag.String("shard-baseline", "benchmarks/shard.json", "committed sharded-serving baseline report")
 	shardFreshPath := flag.String("shard-fresh", "", "fresh sharded-serving report to gate")
+	modelsBaselinePath := flag.String("models-baseline", "benchmarks/models.json", "committed model-zoo baseline report")
+	modelsFreshPath := flag.String("models-fresh", "", "fresh model-zoo report to gate")
 	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
 	flag.Parse()
 
@@ -71,8 +78,8 @@ func main() {
 		}
 		*maxRatio = v
 	}
-	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" {
-		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, or -shard-fresh is required"))
+	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" {
+		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, or -models-fresh is required"))
 	}
 	failed := false
 	if *freshPath != "" {
@@ -83,6 +90,9 @@ func main() {
 	}
 	if *shardFreshPath != "" {
 		failed = gateShard(*shardBaselinePath, *shardFreshPath, *maxRatio) || failed
+	}
+	if *modelsFreshPath != "" {
+		failed = gateModels(*modelsBaselinePath, *modelsFreshPath, *maxRatio) || failed
 	}
 	if failed {
 		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
@@ -240,6 +250,35 @@ func gateShard(baselinePath, freshPath string, maxRatio float64) bool {
 		return out
 	}
 	return gateThroughput("shard", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
+}
+
+// gateModels compares the model-zoo report per model-kind × strategy
+// cell on snapshot trainings/sec. Training is single-threaded, so no
+// parallelism penalty applies (clients = 1). Returns true when any cell
+// regressed.
+func gateModels(baselinePath, freshPath string, maxRatio float64) bool {
+	base, err := loadReport[bench.ModelsReport](baselinePath, func(r *bench.ModelsReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport[bench.ModelsReport](freshPath, func(r *bench.ModelsReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	ensureComparable("models", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cells := func(cs []bench.ModelCell) []throughputCell {
+		out := make([]throughputCell, len(cs))
+		for i, c := range cs {
+			out[i] = throughputCell{
+				key:     fmt.Sprintf("%s|%s", c.Kind, c.Strategy),
+				label:   fmt.Sprintf("%s %s", c.Kind, c.Strategy),
+				ops:     c.TrainsPerSec,
+				clients: 1,
+			}
+		}
+		return out
+	}
+	return gateThroughput("models", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
 }
 
 // opsPerSec reads a cell's applied-op throughput, falling back to the

@@ -39,10 +39,29 @@
 //	                (e.g. a delete whose target was never live) on any
 //	                shard, which cannot be reported on the insert
 //	                response.
-//	GET  /model?response=units&lambda=0.001
-//	                {"epoch", "count", "response", "intercept",
-//	                 "coefficients": {...}} — trained on the ring-merged
-//	                statistics, identical to an unsharded model.
+//	GET  /model?kind=linreg|pca|polyreg|kmeans&...
+//	                The snapshot model zoo: every kind trains purely from
+//	                the current epoch's ring statistics (ring-merged
+//	                across shards), identical to an unsharded model.
+//	                  kind=linreg  (default): ?response=units&lambda=0.001
+//	                    &max_iters=50000&tol=1e-10 →
+//	                    {"epoch", "count", "response", "lambda",
+//	                     "intercept", "coefficients", "converged",
+//	                     "iterations"}
+//	                  kind=polyreg: ?response=units&lambda=0.001 →
+//	                    linear + "pair_coefficients" (requires -lifted)
+//	                  kind=pca: ?k=2 →
+//	                    {"components", "eigenvalues", "means"}
+//	                  kind=kmeans: ?k=3 →
+//	                    {"centers", "total_variance"}
+//	                Bad kinds or query params are 400; an empty join (no
+//	                model to train — the degenerate-snapshot contract) is
+//	                409, never a 200 with NaNs in the body.
+//	POST /predict   {"kind": "linreg|polyreg", "response": "units",
+//	                 "lambda": 0.001, "features": {"price": 6, "area": 120}}
+//	                → {"prediction": ...}; kind=pca projects instead:
+//	                {"kind": "pca", "k": 2, "features": {...}} →
+//	                {"projection": [...]}.
 //	GET  /healthz   200 {"status": "ok"}
 package main
 
@@ -57,8 +76,10 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -108,6 +129,7 @@ func main() {
 	flush := flag.Duration("flush", time.Millisecond, "max snapshot staleness for a partial batch")
 	queue := flag.Int("queue", 1024, "ingest queue depth (backpressure beyond it)")
 	workers := flag.Int("workers", 2, "exec worker pool size for maintenance scans")
+	lifted := flag.Bool("lifted", true, "maintain the lifted degree-2 ring so kind=polyreg can train (constant-factor maintenance cost)")
 	shards := flag.Int("shards", 1, "serving shards; ingest is hash-partitioned across them and reads are ring-merged")
 	partitionBy := flag.String("partition-by", "store", "partition attribute (must appear in every relation of the join)")
 	oneShot := flag.Bool("oneshot", false, "start, self-check the endpoints, and exit (CI smoke)")
@@ -128,6 +150,7 @@ func main() {
 			FlushInterval: *flush,
 			QueueDepth:    *queue,
 			Workers:       *workers,
+			Lifted:        *lifted,
 		},
 		Shards:      *shards,
 		PartitionBy: *partitionBy,
@@ -207,6 +230,22 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 		}
 		return stats.Count, nil
 	}
+	// The degenerate-snapshot contract, before anything streams in: an
+	// empty join trains NO model of any kind — 409, never a 200 carrying
+	// NaNs — while /stats stays a healthy 200 reporting count 0.
+	for _, kind := range []string{"linreg", "pca", "polyreg", "kmeans"} {
+		code, body := do("GET", "/model?kind="+kind, "")
+		if code != http.StatusConflict {
+			return fmt.Errorf("model kind=%s on empty join: %d %s, want 409", kind, code, body)
+		}
+		if strings.Contains(body, "NaN") {
+			return fmt.Errorf("model kind=%s on empty join leaked NaN: %s", kind, body)
+		}
+	}
+	if c, err := count(); err != nil || c != 0 {
+		return fmt.Errorf("stats on empty join = %v, want 0 (%v)", c, err)
+	}
+
 	if code, body := do("POST", "/insert", `[
 		{"rel": "Items", "values": ["patty", "s1", 6]},
 		{"rel": "Stores", "values": ["s1", 120]},
@@ -218,8 +257,62 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	if c, err := count(); err != nil || c != 2 {
 		return fmt.Errorf("count after inserts = %v, want 2 (%v)", c, err)
 	}
-	if code, body := do("GET", "/model?response=units&lambda=0.001", ""); code != http.StatusOK {
+
+	// The model zoo: every kind trains from the same epoch statistics.
+	var linreg struct {
+		Converged  bool `json:"converged"`
+		Iterations int  `json:"iterations"`
+	}
+	code, body := do("GET", "/model?response=units&lambda=0.001", "")
+	if code != http.StatusOK {
 		return fmt.Errorf("model: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &linreg); err != nil || !linreg.Converged {
+		return fmt.Errorf("linreg convergence not reported: %s (%v)", body, err)
+	}
+	zoo := []string{"kind=pca&k=2", "kind=kmeans&k=3", "kind=linreg&max_iters=20000&tol=1e-8"}
+	if srv.CovarSnapshot().Lifted() {
+		zoo = append(zoo, "kind=polyreg&response=units")
+	} else if code, body := do("GET", "/model?kind=polyreg", ""); code != http.StatusConflict {
+		return fmt.Errorf("polyreg without -lifted: %d %s, want 409", code, body)
+	}
+	for _, q := range zoo {
+		if code, body := do("GET", "/model?"+q, ""); code != http.StatusOK {
+			return fmt.Errorf("model?%s: %d %s", q, code, body)
+		}
+	}
+	// Malformed model queries are client errors (400), not server faults.
+	for _, q := range []string{
+		"kind=transformer", "kind=pca&k=zero", "kind=kmeans&k=-3",
+		"lambda=banana", "response=ghost", "kind=linreg&max_iters=0", "tol=-1",
+	} {
+		if code, body := do("GET", "/model?"+q, ""); code != http.StatusBadRequest {
+			return fmt.Errorf("model?%s: %d %s, want 400", q, code, body)
+		}
+	}
+	// Prediction round trips: regression kinds predict, pca projects.
+	var pred struct {
+		Prediction float64 `json:"prediction"`
+	}
+	regKind := "linreg"
+	if srv.CovarSnapshot().Lifted() {
+		regKind = "polyreg"
+	}
+	code, body = do("POST", "/predict", `{"kind": "`+regKind+`", "response": "units", "features": {"price": 6, "area": 120}}`)
+	if code != http.StatusOK {
+		return fmt.Errorf("predict %s: %d %s", regKind, code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &pred); err != nil {
+		return fmt.Errorf("predict body: %v", err)
+	}
+	if code, body := do("POST", "/predict", `{"kind": "pca", "k": 1, "features": {"units": 4, "price": 6, "area": 120}}`); code != http.StatusOK || !strings.Contains(body, "projection") {
+		return fmt.Errorf("predict pca: %d %s", code, body)
+	}
+	if code, body := do("POST", "/predict", `{"kind": "linreg", "features": {"price": 6}}`); code != http.StatusBadRequest {
+		return fmt.Errorf("predict with missing feature: %d %s, want 400", code, body)
+	}
+	if code, body := do("POST", "/predict", `{"kind": "kmeans", "features": {"price": 6}}`); code != http.StatusBadRequest {
+		return fmt.Errorf("predict kmeans: %d %s, want 400", code, body)
 	}
 	if code, body := do("GET", "/healthz", ""); code != http.StatusOK {
 		return fmt.Errorf("healthz: %d %s", code, body)
@@ -257,7 +350,7 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 
 	// Array status semantics: partial failure is 207 with per-row
 	// errors, total failure is 400 — never a blanket 200.
-	code, body := do("POST", "/insert", `[
+	code, body = do("POST", "/insert", `[
 		{"rel": "Items", "values": ["bun", "s1", 2]},
 		{"rel": "Nope", "values": []}
 	]`)
@@ -280,6 +373,17 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	}
 	if code, body := do("POST", "/insert", `[{"rel": "Nope", "values": []}, {"rel": "Sales", "values": []}]`); code != http.StatusBadRequest {
 		return fmt.Errorf("all-failed array: %d %s, want 400", code, body)
+	}
+
+	// Churned-to-empty is the same degenerate state as never-populated:
+	// every Sales row was retracted above, so the join is empty again and
+	// every trainer must refuse with 409 — the bug class this release
+	// fixes is exactly a 200 full of NaNs here.
+	for _, kind := range []string{"linreg", "pca", "polyreg", "kmeans"} {
+		code, body := do("GET", "/model?kind="+kind, "")
+		if code != http.StatusConflict {
+			return fmt.Errorf("model kind=%s on churned-to-empty join: %d %s, want 409", kind, code, body)
+		}
 	}
 	return nil
 }
@@ -340,7 +444,12 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 		means := make(map[string]float64, len(features))
 		for _, f := range features {
 			m, err := snap.Mean(f)
-			if err != nil {
+			if errors.Is(err, borg.ErrEmptySnapshot) {
+				// /stats is a health view, not a trainer: an empty join is
+				// a normal state here, reported as count 0 with zero means
+				// rather than an error status.
+				m = 0
+			} else if err != nil {
 				httpError(w, http.StatusInternalServerError, err)
 				return
 			}
@@ -374,53 +483,294 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
-		response := r.URL.Query().Get("response")
-		if response == "" {
-			response = "units"
-		}
-		lambda := 1e-3
-		if s := r.URL.Query().Get("lambda"); s != "" {
-			var err error
-			if lambda, err = strconv.ParseFloat(s, 64); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad lambda: %v", err))
-				return
-			}
+		p, err := parseModelParams(r.URL.Query())
+		if err != nil {
+			// Malformed client input — unknown kind, unknown response
+			// attribute, unparsable numbers — is 400, not 500: nothing
+			// broke on the server.
+			httpError(w, http.StatusBadRequest, err)
+			return
 		}
 		snap := srv.CovarSnapshot()
-		if snap.Count() == 0 {
-			httpError(w, http.StatusConflict, fmt.Errorf("join is empty: no model yet"))
-			return
-		}
-		model, err := snap.TrainLinReg(response, lambda)
+		body, err := trainModel(snap, p)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, modelStatus(err), err)
 			return
 		}
-		coefs := make(map[string]float64)
-		for _, f := range features {
-			if f == response {
-				continue
-			}
-			c, err := model.Coefficient(f)
-			if err != nil {
-				httpError(w, http.StatusInternalServerError, err)
-				return
-			}
-			coefs[f] = c
+		body["epoch"] = snap.Epoch()
+		body["count"] = snap.Count()
+		body["kind"] = p.kind
+		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"epoch":        snap.Epoch(),
-			"count":        snap.Count(),
-			"response":     response,
-			"lambda":       lambda,
-			"intercept":    model.Intercept(),
-			"coefficients": coefs,
-		})
+		var req predictReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad predict body: %v", err))
+			return
+		}
+		p, err := req.params()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		snap := srv.CovarSnapshot()
+		out, err := predict(snap, p, req.Features)
+		if err != nil {
+			httpError(w, modelStatus(err), err)
+			return
+		}
+		out["epoch"] = snap.Epoch()
+		out["kind"] = p.kind
+		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// modelParams is the validated parameter set of one model-zoo request.
+type modelParams struct {
+	kind     string
+	response string
+	lambda   float64
+	k        int
+	gd       borg.GDOptions
+}
+
+// parseModelParams validates the /model query: every malformed or
+// unknown input is rejected here, so the handler can map parse failures
+// to 400 uniformly.
+func parseModelParams(q url.Values) (modelParams, error) {
+	p := modelParams{kind: q.Get("kind"), response: q.Get("response"), lambda: 1e-3, k: 2}
+	if p.kind == "" {
+		p.kind = "linreg"
+	}
+	switch p.kind {
+	case "linreg", "polyreg", "pca", "kmeans":
+	default:
+		return p, fmt.Errorf("unknown model kind %q (want linreg, polyreg, pca, or kmeans)", p.kind)
+	}
+	if p.response == "" {
+		p.response = "units"
+	}
+	if p.kind == "linreg" || p.kind == "polyreg" {
+		ok := false
+		for _, f := range features {
+			ok = ok || f == p.response
+		}
+		if !ok {
+			return p, fmt.Errorf("unknown response attribute %q (maintained features: %v)", p.response, features)
+		}
+	}
+	var err error
+	if s := q.Get("lambda"); s != "" {
+		if p.lambda, err = strconv.ParseFloat(s, 64); err != nil || p.lambda < 0 {
+			return p, fmt.Errorf("bad lambda %q: want a non-negative number", s)
+		}
+	}
+	if s := q.Get("k"); s != "" {
+		if p.k, err = strconv.Atoi(s); err != nil || p.k < 1 {
+			return p, fmt.Errorf("bad k %q: want an integer >= 1", s)
+		}
+	}
+	if s := q.Get("max_iters"); s != "" {
+		if p.gd.MaxIters, err = strconv.Atoi(s); err != nil || p.gd.MaxIters < 1 {
+			return p, fmt.Errorf("bad max_iters %q: want an integer >= 1", s)
+		}
+	}
+	if s := q.Get("tol"); s != "" {
+		if p.gd.Tol, err = strconv.ParseFloat(s, 64); err != nil || p.gd.Tol <= 0 {
+			return p, fmt.Errorf("bad tol %q: want a positive number", s)
+		}
+	}
+	return p, nil
+}
+
+// trainModel trains one model-zoo kind on a frozen snapshot and renders
+// its JSON body (without the shared epoch/count/kind envelope).
+func trainModel(snap *borg.ServerSnapshot, p modelParams) (map[string]any, error) {
+	switch p.kind {
+	case "linreg":
+		model, err := snap.TrainLinRegGD(p.response, p.lambda, p.gd)
+		if err != nil {
+			return nil, err
+		}
+		coefs := make(map[string]float64)
+		for _, f := range features {
+			if f == p.response {
+				continue
+			}
+			c, err := model.Coefficient(f)
+			if err != nil {
+				return nil, err
+			}
+			coefs[f] = c
+		}
+		return map[string]any{
+			"response":     p.response,
+			"lambda":       p.lambda,
+			"intercept":    model.Intercept(),
+			"coefficients": coefs,
+			"converged":    model.Converged(),
+			"iterations":   model.IterationsRun(),
+		}, nil
+	case "polyreg":
+		model, err := snap.TrainPolyReg(p.response, p.lambda)
+		if err != nil {
+			return nil, err
+		}
+		coefs := make(map[string]float64)
+		pairs := make(map[string]float64)
+		base := model.Features()
+		for i, f := range base {
+			c, err := model.Coefficient(f)
+			if err != nil {
+				return nil, err
+			}
+			coefs[f] = c
+			for _, g := range base[i:] {
+				pc, err := model.PairCoefficient(f, g)
+				if err != nil {
+					return nil, err
+				}
+				pairs[f+"*"+g] = pc
+			}
+		}
+		return map[string]any{
+			"response":          p.response,
+			"lambda":            p.lambda,
+			"intercept":         model.Intercept(),
+			"coefficients":      coefs,
+			"pair_coefficients": pairs,
+		}, nil
+	case "pca":
+		model, err := snap.TrainPCA(p.k)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"features":    model.Features,
+			"components":  model.Components,
+			"eigenvalues": model.Eigenvalues,
+			"means":       model.Means,
+		}, nil
+	case "kmeans":
+		model, err := snap.KMeansSeeds(p.k)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"features":       model.Features,
+			"centers":        model.Centers,
+			"total_variance": model.TotalVariance,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown model kind %q", p.kind)
+}
+
+// predictReq is the POST /predict body.
+type predictReq struct {
+	Kind     string             `json:"kind"`
+	Response string             `json:"response,omitempty"`
+	Lambda   *float64           `json:"lambda,omitempty"`
+	K        int                `json:"k,omitempty"`
+	Features map[string]float64 `json:"features"`
+}
+
+// params maps a predict body onto the validated model parameter set.
+func (r predictReq) params() (modelParams, error) {
+	q := url.Values{}
+	if r.Kind != "" {
+		q.Set("kind", r.Kind)
+	}
+	if r.Response != "" {
+		q.Set("response", r.Response)
+	}
+	if r.Lambda != nil {
+		q.Set("lambda", strconv.FormatFloat(*r.Lambda, 'g', -1, 64))
+	}
+	if r.K != 0 {
+		q.Set("k", strconv.Itoa(r.K))
+	}
+	p, err := parseModelParams(q)
+	if err != nil {
+		return p, err
+	}
+	if p.kind == "kmeans" {
+		return p, fmt.Errorf("kind %q has no prediction; use linreg, polyreg, or pca", p.kind)
+	}
+	if len(r.Features) == 0 {
+		return p, fmt.Errorf(`predict needs a "features" object of feature values`)
+	}
+	return p, nil
+}
+
+// predict trains the requested kind on the frozen snapshot and evaluates
+// it on the given feature values.
+func predict(snap *borg.ServerSnapshot, p modelParams, vals map[string]float64) (map[string]any, error) {
+	for f := range vals {
+		known := false
+		for _, g := range features {
+			known = known || f == g
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown feature %q (maintained features: %v)", f, features)
+		}
+	}
+	switch p.kind {
+	case "linreg":
+		model, err := snap.TrainLinRegGD(p.response, p.lambda, p.gd)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.Predict(vals)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"response": p.response, "prediction": pred}, nil
+	case "polyreg":
+		model, err := snap.TrainPolyReg(p.response, p.lambda)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.Predict(vals)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"response": p.response, "prediction": pred}, nil
+	case "pca":
+		model, err := snap.TrainPCA(p.k)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := model.Project(vals)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"projection": proj}, nil
+	}
+	return nil, fmt.Errorf("kind %q has no prediction", p.kind)
+}
+
+// modelStatus maps a training error onto its HTTP status: degenerate
+// server STATE — an empty join, lifted statistics not maintained — is
+// 409 (the request was well-formed; the resource cannot satisfy it
+// yet), a missing feature value in a predict body is 400, anything else
+// is an internal 500.
+func modelStatus(err error) int {
+	switch {
+	case errors.Is(err, borg.ErrEmptySnapshot), errors.Is(err, borg.ErrLiftedNotMaintained):
+		return http.StatusConflict
+	case errors.Is(err, borg.ErrMissingFeature):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 // parseInserts accepts one op object or a JSON array of them, reporting

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -30,6 +31,7 @@ func main() {
 		Strategy:      "fivm", // one ring-valued view hierarchy
 		BatchSize:     32,     // snapshots amortize over up to 32 inserts
 		FlushInterval: time.Millisecond,
+		Lifted:        true, // maintain degree-≤4 moments too (polynomial regression)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -98,10 +100,61 @@ func main() {
 	coefPrice, _ := model.Coefficient("price")
 	fmt.Printf("fresh model at epoch %d: units ~ %.3f + %.3f*price + ...\n",
 		snap.Epoch(), model.Intercept(), coefPrice)
+
+	// The same frozen epoch trains the whole model zoo — one aggregate
+	// batch, many models. PCA consumes the covariance triple alone:
+	pca, err := snap.TrainPCA(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PCA at epoch %d: top eigenvalue %.2f, axis ~ [%.2f %.2f %.2f]\n",
+		pca.Epoch, pca.Eigenvalues[0],
+		pca.Components[0][0], pca.Components[0][1], pca.Components[0][2])
+
+	// Degree-2 polynomial regression needs moments beyond the covariance
+	// ring; the lifted degree-2 ring (Lifted: true above) maintains them
+	// incrementally through the same propagation machinery.
+	poly, err := snap.TrainPolyReg("units", 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pp, _ := poly.PairCoefficient("price", "price")
+	fmt.Printf("polyreg at epoch %d: units ~ %.3f + ... + %.4f*price² + ...\n",
+		poly.Epoch, poly.Intercept(), pp)
+
+	// Rk-means-style seeding: cluster seeds from the ring statistics.
+	seeds, err := snap.KMeansSeeds(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-means seeds at epoch %d: %d centers around the mean %v\n",
+		seeds.Epoch, len(seeds.Centers), seeds.Centers[0])
+
+	// A join churned to EMPTY trains nothing: the typed error is the
+	// contract (no NaN models, ever).
+	if _, err := emptySnapshotDemo(q); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("every insert updated ONE ring-valued view hierarchy —")
-	fmt.Println("all covariance aggregates were maintained simultaneously")
+	fmt.Println("all covariance and degree-4 aggregates were maintained simultaneously")
 
 	sharded()
+}
+
+// emptySnapshotDemo shows the degenerate-snapshot contract: every
+// trainer on an empty join returns borg.ErrEmptySnapshot.
+func emptySnapshotDemo(q *borg.Query) (string, error) {
+	empty, err := q.Serve([]string{"units", "price", "area"}, borg.ServerOptions{})
+	if err != nil {
+		return "", err
+	}
+	defer empty.Close()
+	if _, err := empty.TrainPCA(2); errors.Is(err, borg.ErrEmptySnapshot) {
+		fmt.Println("empty join: TrainPCA correctly refused with ErrEmptySnapshot")
+		return "ok", nil
+	}
+	return "", fmt.Errorf("expected ErrEmptySnapshot on an empty join")
 }
 
 // sharded is the horizontally scaled variant: the same serving API over

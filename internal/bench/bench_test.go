@@ -184,3 +184,39 @@ func TestShardBenchRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestModelsBenchRuns(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Budget = 100 * time.Millisecond
+	rep, err := ModelsBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full cell coverage: every model kind × every strategy, with a
+	// live (non-degenerate) training rate.
+	seen := make(map[string]bool)
+	for _, c := range rep.Cells {
+		seen[c.Kind+"|"+c.Strategy] = true
+		if c.Trainings == 0 || c.TrainsPerSec <= 0 {
+			t.Fatalf("degenerate cell %s × %s: %+v", c.Kind, c.Strategy, c)
+		}
+	}
+	for _, kind := range ModelKinds {
+		for _, s := range []string{"fivm", "higher-order", "first-order"} {
+			if !seen[kind+"|"+s] {
+				t.Fatalf("missing cell %s × %s", kind, s)
+			}
+		}
+	}
+	o2 := tinyOptions(&buf)
+	o2.Budget = 100 * time.Millisecond
+	if err := ModelsBenchTable(o2); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Model zoo", "linreg", "pca", "polyreg", "kmeans-seed", "Trains/sec"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ModelsBench output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -16,23 +16,22 @@ import (
 // paper's one-hour-limit runs.
 type FirstOrder struct {
 	*base
-	aggs   []aggDef
-	ix     aggIndex
+	batch  scalarBatch
 	result []float64
 }
 
 // NewFirstOrder creates a first-order maintainer over an initially empty
 // copy of the join's relations.
-func NewFirstOrder(j *query.Join, root string, features []string) (*FirstOrder, error) {
+func NewFirstOrder(j *query.Join, root string, features []string, opts ...Option) (*FirstOrder, error) {
 	b, err := newBase(j, root, features)
 	if err != nil {
 		return nil, err
 	}
+	batch := newScalarBatch(len(features), buildOptions(opts).lifted)
 	return &FirstOrder{
 		base:   b,
-		aggs:   covarAggs(len(features)),
-		ix:     newAggIndex(len(features)),
-		result: make([]float64, 1+len(features)+len(features)*(len(features)+1)/2),
+		batch:  batch,
+		result: make([]float64, len(batch.aggs)),
 	}, nil
 }
 
@@ -46,10 +45,10 @@ func (m *FirstOrder) Insert(t Tuple) error {
 	if err != nil {
 		return err
 	}
-	for a := range m.aggs {
-		partial := localEval(n, row, m.aggs[a])
+	for a := range m.batch.aggs {
+		partial := localEval(n, row, m.batch.aggs[a])
 		for ci, c := range n.children {
-			partial *= m.down(c, n.childKey(ci, row), m.aggs[a])
+			partial *= m.down(c, n.childKey(ci, row), m.batch.aggs[a])
 			if partial == 0 {
 				break
 			}
@@ -72,10 +71,10 @@ func (m *FirstOrder) Delete(t Tuple) error {
 	if err != nil {
 		return err
 	}
-	for a := range m.aggs {
-		partial := localEval(n, row, m.aggs[a])
+	for a := range m.batch.aggs {
+		partial := localEval(n, row, m.batch.aggs[a])
 		for ci, c := range n.children {
-			partial *= m.down(c, n.childKey(ci, row), m.aggs[a])
+			partial *= m.down(c, n.childKey(ci, row), m.batch.aggs[a])
 			if partial == 0 {
 				break
 			}
@@ -117,12 +116,12 @@ func (m *FirstOrder) up(n *node, key uint64, a int, partial float64) {
 	}
 	keyOf := exec.KeyFunc(p.rel.KeyFunc(p.childKeyCols[n.childPos]))
 	for _, r := range exec.SelectWhere(m.rt, p.rel.NumRows(), keyOf, key) {
-		contrib := localEval(p, int(r), m.aggs[a]) * partial
+		contrib := localEval(p, int(r), m.batch.aggs[a]) * partial
 		for ci, c := range p.children {
 			if c == n || contrib == 0 {
 				continue
 			}
-			contrib *= m.down(c, p.childKey(ci, int(r)), m.aggs[a])
+			contrib *= m.down(c, p.childKey(ci, int(r)), m.batch.aggs[a])
 		}
 		if contrib != 0 {
 			m.up(p, p.parentKey(int(r)), a, contrib)
@@ -131,13 +130,16 @@ func (m *FirstOrder) up(n *node, key uint64, a int, partial float64) {
 }
 
 // Count implements Maintainer.
-func (m *FirstOrder) Count() float64 { return m.result[m.ix.count()] }
+func (m *FirstOrder) Count() float64 { return m.result[m.batch.count()] }
 
 // Sum implements Maintainer.
-func (m *FirstOrder) Sum(i int) float64 { return m.result[m.ix.sum(i)] }
+func (m *FirstOrder) Sum(i int) float64 { return m.result[m.batch.sum(i)] }
 
 // Moment implements Maintainer.
-func (m *FirstOrder) Moment(i, j int) float64 { return m.result[m.ix.moment(i, j)] }
+func (m *FirstOrder) Moment(i, j int) float64 { return m.result[m.batch.moment(i, j)] }
 
 // Snapshot implements Maintainer.
-func (m *FirstOrder) Snapshot() *ring.Covar { return m.ix.covar(m.result) }
+func (m *FirstOrder) Snapshot() *ring.Covar { return m.batch.covar(m.result) }
+
+// SnapshotLifted implements Maintainer.
+func (m *FirstOrder) SnapshotLifted() *ring.Poly2 { return m.batch.liftedSnapshot(m.result) }

@@ -6,40 +6,131 @@ import (
 	"borg/internal/ring"
 )
 
+// viewTree is the generic F-IVM view hierarchy: one payload of type E
+// per join key per node, plus the root result. It is parameterized by
+// the ring the payloads live in (ring.Algebra), which is what lets the
+// SAME single-pass delta propagation maintain covariance triples
+// (ring.CovarRing) or lifted degree-2 moment vectors (ring.Poly2Ring) —
+// the paper's claim that the factorized computation is ring-generic,
+// realized in the maintenance path.
+type viewTree[E any] struct {
+	alg    ring.Algebra[E]
+	views  map[*node]map[uint64]E
+	result E
+}
+
+func newViewTree[E any](alg ring.Algebra[E], root *node) *viewTree[E] {
+	vt := &viewTree[E]{alg: alg, views: make(map[*node]map[uint64]E), result: alg.Zero()}
+	var init func(n *node)
+	init = func(n *node) {
+		vt.views[n] = make(map[uint64]E)
+		for _, c := range n.children {
+			init(c)
+		}
+	}
+	init(root)
+	return vt
+}
+
+// tupleDelta computes row's current contribution at node n: lift(t) ⨂
+// the child views. ok is false when a join partner is missing — the
+// tuple contributes nothing (yet); it will contribute when the partner's
+// own delta climbs past this node.
+func (vt *viewTree[E]) tupleDelta(n *node, row int) (delta E, ok bool) {
+	delta = vt.alg.Lift(n.featIdx, n.vals(row))
+	for ci, c := range n.children {
+		cv, present := vt.views[c][n.childKey(ci, row)]
+		if !present {
+			var zero E
+			return zero, false
+		}
+		delta = vt.alg.Mul(delta, cv)
+	}
+	return delta, true
+}
+
+// propagate merges δ into n's view at the given key and climbs towards
+// the root through the parent's index on n's join key.
+func (vt *viewTree[E]) propagate(n *node, key uint64, delta E) {
+	v := vt.views[n]
+	if cur, present := v[key]; present {
+		vt.alg.AddInPlace(cur, delta)
+		// A retraction that drains a key's support leaves the exact
+		// additive identity (integer-exact data cancels bitwise); prune
+		// it so view memory tracks the live database, not the churn
+		// history. Missing and present-zero entries are interchangeable
+		// to every reader: both multiply a delta to nothing.
+		if vt.alg.IsZero(cur) {
+			delete(v, key)
+		}
+	} else if !vt.alg.IsZero(delta) {
+		v[key] = vt.alg.Clone(delta)
+	}
+	p := n.parent
+	if p == nil {
+		vt.alg.AddInPlace(vt.result, delta)
+		return
+	}
+	// δ_p(k') = Σ_{t ∈ R_p matching} lift(t) ⨂ Π_{c≠n} V_c ⨂ δ, the
+	// ring-valued instance of the exec grouped-fold fanout kernel.
+	rows := p.childIndexes[n.childPos].Rows(key)
+	deltas := exec.GroupedFold(rows,
+		func(r int) uint64 { return p.parentKey(r) },
+		func(r int) (E, bool) {
+			contrib := vt.alg.Mul(vt.alg.Lift(p.featIdx, p.vals(r)), delta)
+			for ci, c := range p.children {
+				if c == n {
+					continue
+				}
+				cv, present := vt.views[c][p.childKey(ci, r)]
+				if !present {
+					var zero E
+					return zero, false
+				}
+				contrib = vt.alg.Mul(contrib, cv)
+			}
+			return contrib, true
+		},
+		func(dst, v E) E { vt.alg.AddInPlace(dst, v); return dst })
+	for k, d := range deltas {
+		vt.propagate(p, k, d)
+	}
+}
+
 // FIVM is the factorized incremental view maintenance strategy (Nikolic &
 // Olteanu, SIGMOD'18): one view hierarchy over the join tree whose
-// payloads are covariance-ring triples. A single delta propagation along
-// the leaf-to-root path maintains the entire covariance matrix.
+// payloads are ring elements. A single delta propagation along the
+// leaf-to-root path maintains the entire aggregate batch.
+//
+// By default the payloads are covariance-ring triples. With WithLifted
+// the SAME single hierarchy instead carries lifted degree-2 elements
+// (ring.Poly2), whose degree-≤2 prefix is the covariance triple — so the
+// covariance statistics come for free and the degree-≤4 moments needed
+// by polynomial regression are maintained by the identical propagation,
+// at a constant-factor higher payload cost.
 type FIVM struct {
 	*base
-	ring  ring.CovarRing
-	views map[*node]map[uint64]*ring.Covar
-	// result is the maintained root value: the covariance triple of the
-	// full join.
-	result *ring.Covar
+	ring ring.CovarRing
+	// Exactly one of cv/p2 is non-nil, selecting the payload ring.
+	cv *viewTree[*ring.Covar]
+	p2 *viewTree[*ring.Poly2]
+	pr *ring.Poly2Ring
 }
 
 // NewFIVM creates an F-IVM maintainer over an initially empty copy of the
 // join's relations, rooted at the named relation.
-func NewFIVM(j *query.Join, root string, features []string) (*FIVM, error) {
+func NewFIVM(j *query.Join, root string, features []string, opts ...Option) (*FIVM, error) {
 	b, err := newBase(j, root, features)
 	if err != nil {
 		return nil, err
 	}
-	m := &FIVM{
-		base:   b,
-		ring:   ring.CovarRing{N: len(features)},
-		views:  make(map[*node]map[uint64]*ring.Covar),
-		result: (ring.CovarRing{N: len(features)}).Zero(),
+	m := &FIVM{base: b, ring: ring.CovarRing{N: len(features)}}
+	if buildOptions(opts).lifted {
+		m.pr = ring.NewPoly2Ring(len(features))
+		m.p2 = newViewTree[*ring.Poly2](m.pr, m.root)
+	} else {
+		m.cv = newViewTree[*ring.Covar](m.ring, m.root)
 	}
-	var initViews func(n *node)
-	initViews = func(n *node) {
-		m.views[n] = make(map[uint64]*ring.Covar)
-		for _, c := range n.children {
-			initViews(c)
-		}
-	}
-	initViews(m.root)
 	return m, nil
 }
 
@@ -52,26 +143,22 @@ func (m *FIVM) Insert(t Tuple) error {
 	if err != nil {
 		return err
 	}
-	// δ at the inserted node: lift(t) ⨂ current child views.
-	delta := m.ring.Lift(n.featIdx, n.vals(row))
-	for ci, c := range n.children {
-		cv, ok := m.views[c][n.childKey(ci, row)]
-		if !ok {
-			// No join partner yet: the tuple contributes nothing now; it
-			// will contribute when the partner's own delta climbs past
-			// this node (via the child index we just updated).
-			return nil
+	if m.p2 != nil {
+		if delta, ok := m.p2.tupleDelta(n, row); ok {
+			m.p2.propagate(n, n.parentKey(row), delta)
 		}
-		delta = m.ring.Mul(delta, cv)
+		return nil
 	}
-	m.propagate(n, n.parentKey(row), delta)
+	if delta, ok := m.cv.tupleDelta(n, row); ok {
+		m.cv.propagate(n, n.parentKey(row), delta)
+	}
 	return nil
 }
 
 // Delete implements Maintainer: one ring-valued retraction. The
 // tuple's current contribution — lift(t) ⨂ the child views, exactly
 // the insert delta — is propagated Neg-lifted, so a single pass
-// restores every view payload and the root triple simultaneously. A
+// restores every view payload and the root element simultaneously. A
 // missing child view means the tuple never contributed (it was waiting
 // for a join partner), so only the physical removal remains.
 func (m *FIVM) Delete(t Tuple) error {
@@ -79,82 +166,71 @@ func (m *FIVM) Delete(t Tuple) error {
 	if err != nil {
 		return err
 	}
-	delta := m.ring.Lift(n.featIdx, n.vals(row))
-	contributed := true
-	for ci, c := range n.children {
-		cv, ok := m.views[c][n.childKey(ci, row)]
-		if !ok {
-			contributed = false
-			break
-		}
-		delta = m.ring.Mul(delta, cv)
-	}
 	key := n.parentKey(row)
+	if m.p2 != nil {
+		delta, contributed := m.p2.tupleDelta(n, row)
+		m.removeRow(n, row)
+		if contributed {
+			m.p2.propagate(n, key, m.pr.Neg(delta))
+		}
+		return nil
+	}
+	delta, contributed := m.cv.tupleDelta(n, row)
 	m.removeRow(n, row)
 	if contributed {
-		m.propagate(n, key, m.ring.Neg(delta))
+		m.cv.propagate(n, key, m.ring.Neg(delta))
 	}
 	return nil
 }
 
-// propagate merges δ into n's view at the given key and climbs towards
-// the root through the parent's index on n's join key.
-func (m *FIVM) propagate(n *node, key uint64, delta *ring.Covar) {
-	v := m.views[n]
-	if cur, ok := v[key]; ok {
-		cur.AddInPlace(delta)
-		// A retraction that drains a key's support leaves the exact
-		// additive identity (integer-exact data cancels bitwise); prune
-		// it so view memory tracks the live database, not the churn
-		// history. Missing and present-zero entries are interchangeable
-		// to every reader: both multiply a delta to nothing.
-		if cur.IsZero() {
-			delete(v, key)
-		}
-	} else if !delta.IsZero() {
-		v[key] = delta.Clone()
+// Count implements Maintainer.
+func (m *FIVM) Count() float64 {
+	if m.p2 != nil {
+		return m.p2.result.Count()
 	}
-	p := n.parent
-	if p == nil {
-		m.result.AddInPlace(delta)
-		return
-	}
-	// δ_p(k') = Σ_{t ∈ R_p matching} lift(t) ⨂ Π_{c≠n} V_c ⨂ δ, the
-	// ring-valued instance of the exec grouped-fold fanout kernel.
-	rows := p.childIndexes[n.childPos].Rows(key)
-	deltas := exec.GroupedFold(rows,
-		func(r int) uint64 { return p.parentKey(r) },
-		func(r int) (*ring.Covar, bool) {
-			contrib := m.ring.Mul(m.ring.Lift(p.featIdx, p.vals(r)), delta)
-			for ci, c := range p.children {
-				if c == n {
-					continue
-				}
-				cv, ok := m.views[c][p.childKey(ci, r)]
-				if !ok {
-					return nil, false
-				}
-				contrib = m.ring.Mul(contrib, cv)
-			}
-			return contrib, true
-		},
-		func(dst, v *ring.Covar) *ring.Covar { dst.AddInPlace(v); return dst })
-	for k, d := range deltas {
-		m.propagate(p, k, d)
-	}
+	return m.cv.result.Count
 }
 
-// Count implements Maintainer.
-func (m *FIVM) Count() float64 { return m.result.Count }
-
 // Sum implements Maintainer.
-func (m *FIVM) Sum(i int) float64 { return m.result.Sum[i] }
+func (m *FIVM) Sum(i int) float64 {
+	if m.p2 != nil {
+		return m.p2.result.M[m.pr.SumIndex(i)]
+	}
+	return m.cv.result.Sum[i]
+}
 
 // Moment implements Maintainer.
-func (m *FIVM) Moment(i, j int) float64 { return m.result.Q[i*m.ring.N+j] }
+func (m *FIVM) Moment(i, j int) float64 {
+	if m.p2 != nil {
+		return m.p2.result.M[m.pr.MomentIndex(i, j)]
+	}
+	return m.cv.result.Q[i*m.ring.N+j]
+}
 
-// Snapshot implements Maintainer: a deep copy of the root triple.
-func (m *FIVM) Snapshot() *ring.Covar { return m.result.Clone() }
+// Snapshot implements Maintainer: a deep copy of the root triple (for a
+// lifted maintainer, the degree-≤2 extraction of the root element).
+func (m *FIVM) Snapshot() *ring.Covar {
+	if m.p2 != nil {
+		return m.p2.result.Covar()
+	}
+	return m.cv.result.Clone()
+}
 
-// Result exposes the maintained covariance triple (read-only).
-func (m *FIVM) Result() *ring.Covar { return m.result }
+// SnapshotLifted implements Maintainer: a deep copy of the maintained
+// lifted degree-2 element, or nil when the maintainer was built without
+// WithLifted.
+func (m *FIVM) SnapshotLifted() *ring.Poly2 {
+	if m.p2 == nil {
+		return nil
+	}
+	return m.p2.result.Clone()
+}
+
+// Result exposes the maintained covariance triple (read-only; for a
+// lifted maintainer it is extracted fresh per call).
+func (m *FIVM) Result() *ring.Covar {
+	if m.p2 != nil {
+		return m.p2.result.Covar()
+	}
+	return m.cv.result
+}

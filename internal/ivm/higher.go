@@ -11,11 +11,14 @@ import (
 // view hierarchy per aggregate. Every insert triggers one delta
 // propagation per aggregate, each repeating the index navigation and hash
 // lookups that F-IVM performs once, which is exactly the architectural
-// difference the Figure 4 (right) experiment measures.
+// difference the Figure 4 (right) experiment measures. With WithLifted
+// the aggregate set grows from the covariance batch (degree ≤ 2) to the
+// full degree-≤4 moment batch of polynomial regression — and the
+// per-aggregate fanout cost grows with it, the same architectural tax at
+// a larger batch size.
 type HigherOrder struct {
 	*base
-	aggs []aggDef
-	ix   aggIndex
+	batch scalarBatch
 	// views[n][a] is aggregate a's view at node n: join key → value.
 	views  map[*node][]map[uint64]float64
 	result []float64
@@ -23,21 +26,20 @@ type HigherOrder struct {
 
 // NewHigherOrder creates a higher-order maintainer over an initially
 // empty copy of the join's relations.
-func NewHigherOrder(j *query.Join, root string, features []string) (*HigherOrder, error) {
+func NewHigherOrder(j *query.Join, root string, features []string, opts ...Option) (*HigherOrder, error) {
 	b, err := newBase(j, root, features)
 	if err != nil {
 		return nil, err
 	}
 	m := &HigherOrder{
 		base:  b,
-		aggs:  covarAggs(len(features)),
-		ix:    newAggIndex(len(features)),
+		batch: newScalarBatch(len(features), buildOptions(opts).lifted),
 		views: make(map[*node][]map[uint64]float64),
 	}
-	m.result = make([]float64, len(m.aggs))
+	m.result = make([]float64, len(m.batch.aggs))
 	var initViews func(n *node)
 	initViews = func(n *node) {
-		vs := make([]map[uint64]float64, len(m.aggs))
+		vs := make([]map[uint64]float64, len(m.batch.aggs))
 		for a := range vs {
 			vs[a] = make(map[uint64]float64)
 		}
@@ -59,8 +61,8 @@ func (m *HigherOrder) Insert(t Tuple) error {
 	if err != nil {
 		return err
 	}
-	for a := range m.aggs {
-		delta := localEval(n, row, m.aggs[a])
+	for a := range m.batch.aggs {
+		delta := localEval(n, row, m.batch.aggs[a])
 		zero := false
 		for ci, c := range n.children {
 			cv, ok := m.views[c][a][n.childKey(ci, row)]
@@ -91,8 +93,8 @@ func (m *HigherOrder) Delete(t Tuple) error {
 		return err
 	}
 	key := n.parentKey(row)
-	for a := range m.aggs {
-		delta := localEval(n, row, m.aggs[a])
+	for a := range m.batch.aggs {
+		delta := localEval(n, row, m.batch.aggs[a])
 		zero := false
 		for ci, c := range n.children {
 			cv, ok := m.views[c][a][n.childKey(ci, row)]
@@ -136,7 +138,7 @@ func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
 	deltas := exec.GroupedFold(rows,
 		func(r int) uint64 { return p.parentKey(r) },
 		func(r int) (float64, bool) {
-			contrib := localEval(p, r, m.aggs[a]) * delta
+			contrib := localEval(p, r, m.batch.aggs[a]) * delta
 			for ci, c := range p.children {
 				if c == n {
 					continue
@@ -156,13 +158,16 @@ func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
 }
 
 // Count implements Maintainer.
-func (m *HigherOrder) Count() float64 { return m.result[m.ix.count()] }
+func (m *HigherOrder) Count() float64 { return m.result[m.batch.count()] }
 
 // Sum implements Maintainer.
-func (m *HigherOrder) Sum(i int) float64 { return m.result[m.ix.sum(i)] }
+func (m *HigherOrder) Sum(i int) float64 { return m.result[m.batch.sum(i)] }
 
 // Moment implements Maintainer.
-func (m *HigherOrder) Moment(i, j int) float64 { return m.result[m.ix.moment(i, j)] }
+func (m *HigherOrder) Moment(i, j int) float64 { return m.result[m.batch.moment(i, j)] }
 
 // Snapshot implements Maintainer.
-func (m *HigherOrder) Snapshot() *ring.Covar { return m.ix.covar(m.result) }
+func (m *HigherOrder) Snapshot() *ring.Covar { return m.batch.covar(m.result) }
+
+// SnapshotLifted implements Maintainer.
+func (m *HigherOrder) SnapshotLifted() *ring.Poly2 { return m.batch.liftedSnapshot(m.result) }

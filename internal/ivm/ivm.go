@@ -54,6 +54,33 @@ type Tuple struct {
 	Values []relation.Value
 }
 
+// Option configures a maintainer at construction. All three strategies
+// accept the same options.
+type Option func(*options)
+
+type options struct {
+	lifted bool
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// WithLifted selects the lifted degree-2 ring (ring.Poly2) as the
+// maintained payload: every moment SUM(Πx^p) of total degree ≤ 4 over
+// the features, the sufficient statistics of degree-2 polynomial
+// regression. The covariance statistics are the degree-≤2 prefix of the
+// lifted element, so Count/Sum/Moment/Snapshot stay exact and
+// SnapshotLifted becomes non-nil. Maintenance cost grows by a constant
+// factor (C(n+4,4) instead of O(n²) moments per payload).
+func WithLifted() Option {
+	return func(o *options) { o.lifted = true }
+}
+
 // Maintainer is the common interface of the three IVM strategies.
 // General deltas — inserts and deletes with negative multiplicities
 // under the covariance ring — are supported by every strategy; an
@@ -77,6 +104,11 @@ type Maintainer interface {
 	// maintainer, so callers may hand it to other goroutines while
 	// inserts continue — the copy-on-write handoff of the serving layer.
 	Snapshot() *ring.Covar
+	// SnapshotLifted returns a deep copy of the maintained lifted
+	// degree-2 element (degree-≤4 moments), or nil when the maintainer
+	// was built without WithLifted. Like Snapshot, the copy shares no
+	// state with the maintainer.
+	SnapshotLifted() *ring.Poly2
 	// Name identifies the strategy in benchmark tables.
 	Name() string
 }

@@ -332,7 +332,7 @@ func TestViewsPrunedUnderChurn(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for n, v := range f.views {
+	for n, v := range f.cv.views {
 		if len(v) != 0 {
 			t.Fatalf("F-IVM: %d zero view entries survive at %s after delete-to-empty", len(v), n.rel.Name)
 		}

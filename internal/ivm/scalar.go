@@ -2,30 +2,49 @@ package ivm
 
 import "borg/internal/ring"
 
-// aggDef identifies one scalar aggregate of the covariance batch in
-// terms of global feature indexes:
+// aggDef identifies one scalar aggregate of a maintained batch as a
+// monomial over the global feature indexes: SUM(Π feats[k]^pows[k]),
+// with the empty monomial being SUM(1) (the count). The covariance
+// batch uses monomials of degree ≤ 2; the lifted degree-2 batch extends
+// the same representation to degree ≤ 4.
 //
-//	i == -1           SUM(1)                (count)
-//	i >= 0, j == -1   SUM(x_i)              (sum)
-//	i >= 0, j >= 0    SUM(x_i * x_j), i<=j  (second moment)
-//
-// The scalar maintainers (first-order, higher-order) maintain each of
-// these independently; F-IVM carries all of them in one ring element.
+// The scalar maintainers (first-order, higher-order) maintain each
+// aggregate independently; F-IVM carries all of them in one ring
+// element.
 type aggDef struct {
-	i, j int
+	feats []int   // ascending global feature indexes
+	pows  []uint8 // parallel powers, each ≥ 1
 }
 
-// covarAggs enumerates the full covariance batch over n features:
-// 1 count + n sums + n(n+1)/2 moments.
+// covarAggs enumerates the covariance batch over n features:
+// 1 count + n sums + n(n+1)/2 second moments, laid out as aggIndex
+// expects.
 func covarAggs(n int) []aggDef {
-	out := []aggDef{{i: -1, j: -1}}
+	out := []aggDef{{}}
 	for i := 0; i < n; i++ {
-		out = append(out, aggDef{i: i, j: -1})
+		out = append(out, aggDef{feats: []int{i}, pows: []uint8{1}})
 	}
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			out = append(out, aggDef{i: i, j: j})
+			if i == j {
+				out = append(out, aggDef{feats: []int{i}, pows: []uint8{2}})
+			} else {
+				out = append(out, aggDef{feats: []int{i, j}, pows: []uint8{1, 1}})
+			}
 		}
+	}
+	return out
+}
+
+// liftedAggs enumerates the lifted degree-2 batch: one aggregate per
+// monomial of the given Poly2Ring, IN RING INDEX ORDER — so a result
+// vector maintained against it is laid out exactly like ring.Poly2.M
+// and snapshots copy straight across.
+func liftedAggs(r *ring.Poly2Ring) []aggDef {
+	out := make([]aggDef, r.Len())
+	for i := range out {
+		vars, pows := r.Monomial(i)
+		out[i] = aggDef{feats: vars, pows: pows}
 	}
 	return out
 }
@@ -35,17 +54,20 @@ func covarAggs(n int) []aggDef {
 func localEval(n *node, row int, a aggDef) float64 {
 	v := 1.0
 	for k, fi := range n.featIdx {
-		if a.i == fi {
-			v *= n.rel.Float(n.featCols[k], row)
-		}
-		if a.j == fi {
-			v *= n.rel.Float(n.featCols[k], row)
+		for t, f := range a.feats {
+			if f != fi {
+				continue
+			}
+			x := n.rel.Float(n.featCols[k], row)
+			for p := uint8(0); p < a.pows[t]; p++ {
+				v *= x
+			}
 		}
 	}
 	return v
 }
 
-// aggValue reads aggregate a out of a per-aggregate result vector laid
+// aggIndex reads aggregates out of a per-aggregate result vector laid
 // out as by covarAggs.
 type aggIndex struct {
 	n       int
@@ -69,16 +91,64 @@ func (ix aggIndex) moment(i, j int) int {
 	return ix.momBase + i*ix.n - i*(i-1)/2 + (j - i)
 }
 
-// covar packs a per-aggregate result vector (laid out as by covarAggs)
-// into one covariance-ring triple — the scalar maintainers' Snapshot.
-func (ix aggIndex) covar(result []float64) *ring.Covar {
-	c := (ring.CovarRing{N: ix.n}).Zero()
-	c.Count = result[ix.count()]
-	for i := 0; i < ix.n; i++ {
-		c.Sum[i] = result[ix.sum(i)]
-		for j := 0; j < ix.n; j++ {
-			c.Q[i*ix.n+j] = result[ix.moment(i, j)]
+// scalarBatch is the shared result-vector machinery of the scalar
+// maintainers: the aggregate list plus the positions of the covariance
+// entries in it, for either layout (covarAggs or liftedAggs).
+type scalarBatch struct {
+	aggs []aggDef
+	n    int
+	// lifted is the ring whose monomial order the result vector follows,
+	// nil for the plain covariance layout.
+	lifted *ring.Poly2Ring
+	ix     aggIndex
+}
+
+// newScalarBatch resolves the batch for n features, lifted or not.
+func newScalarBatch(n int, lifted bool) scalarBatch {
+	if lifted {
+		r := ring.NewPoly2Ring(n)
+		return scalarBatch{aggs: liftedAggs(r), n: n, lifted: r}
+	}
+	return scalarBatch{aggs: covarAggs(n), n: n, ix: newAggIndex(n)}
+}
+
+func (b scalarBatch) count() int { return 0 } // both layouts lead with SUM(1)
+
+func (b scalarBatch) sum(i int) int {
+	if b.lifted != nil {
+		return b.lifted.SumIndex(i)
+	}
+	return b.ix.sum(i)
+}
+
+func (b scalarBatch) moment(i, j int) int {
+	if b.lifted != nil {
+		return b.lifted.MomentIndex(i, j)
+	}
+	return b.ix.moment(i, j)
+}
+
+// covar packs a result vector into one covariance-ring triple — the
+// scalar maintainers' Snapshot.
+func (b scalarBatch) covar(result []float64) *ring.Covar {
+	c := (ring.CovarRing{N: b.n}).Zero()
+	c.Count = result[b.count()]
+	for i := 0; i < b.n; i++ {
+		c.Sum[i] = result[b.sum(i)]
+		for j := 0; j < b.n; j++ {
+			c.Q[i*b.n+j] = result[b.moment(i, j)]
 		}
 	}
 	return c
+}
+
+// liftedSnapshot packs a lifted-layout result vector into a ring.Poly2
+// (nil for the plain covariance layout).
+func (b scalarBatch) liftedSnapshot(result []float64) *ring.Poly2 {
+	if b.lifted == nil {
+		return nil
+	}
+	out := b.lifted.Zero()
+	copy(out.M, result)
+	return out
 }

@@ -17,8 +17,8 @@ func SigmaFromCovar(features []string, response string, c *ring.Covar) (*Sigma, 
 	if c.N != len(features) {
 		return nil, fmt.Errorf("ml: covar has %d features, name list has %d", c.N, len(features))
 	}
-	if c.Count <= 0 {
-		return nil, fmt.Errorf("ml: empty join (count = %v)", c.Count)
+	if err := CheckSnapshot(c, 1); err != nil {
+		return nil, err
 	}
 	ry := -1
 	var cont []string

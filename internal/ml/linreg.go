@@ -15,6 +15,12 @@ type LinReg struct {
 	// Iterations records how many gradient steps training took (0 for
 	// the closed form), for experiment reporting.
 	Iterations int
+	// Converged reports whether gradient descent stopped because the
+	// gradient norm fell below tolerance (always true for the closed
+	// form). False means training exhausted its iteration budget and the
+	// parameters are a truncation, not a minimizer — callers decide
+	// whether to retrain with a larger budget or surface the fact.
+	Converged bool
 }
 
 // TrainLinRegGD minimizes the ridge least-squares objective by batch
@@ -56,6 +62,7 @@ func TrainLinRegGD(s *Sigma, lambda float64, maxIters int, tol float64) *LinReg 
 	// preconditioned matrix (all diagonal entries are 1) plus lambda.
 	lr := 1 / (float64(n) + lambda)
 	iters := 0
+	converged := false
 	for ; iters < maxIters; iters++ {
 		norm := 0.0
 		for i := 0; i < n; i++ {
@@ -68,6 +75,7 @@ func TrainLinRegGD(s *Sigma, lambda float64, maxIters int, tol float64) *LinReg 
 			norm += g * g
 		}
 		if math.Sqrt(norm) < tol {
+			converged = true
 			break
 		}
 		for i := 0; i < n; i++ {
@@ -78,7 +86,7 @@ func TrainLinRegGD(s *Sigma, lambda float64, maxIters int, tol float64) *LinReg 
 	for i := 0; i < n; i++ {
 		theta[i] *= d[i]
 	}
-	return &LinReg{Design: s.Design, Theta: theta, Lambda: lambda, Iterations: iters}
+	return &LinReg{Design: s.Design, Theta: theta, Lambda: lambda, Iterations: iters, Converged: converged}
 }
 
 // TrainLinRegClosedForm solves the same standardized-ridge system as
@@ -102,7 +110,7 @@ func TrainLinRegClosedForm(s *Sigma, lambda float64) (*LinReg, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LinReg{Design: s.Design, Theta: theta, Lambda: lambda}, nil
+	return &LinReg{Design: s.Design, Theta: theta, Lambda: lambda, Converged: true}, nil
 }
 
 // choleskySolve solves a x = b for symmetric positive-definite a,

@@ -5,6 +5,7 @@ import (
 
 	"borg/internal/core"
 	"borg/internal/query"
+	"borg/internal/ring"
 )
 
 // Degree-2 polynomial regression over the join (Section 2.1: "similar
@@ -88,7 +89,6 @@ func TrainPolyReg(cont []string, response string, results []*query.AggResult, la
 		byID[r.Spec.ID] = r
 	}
 	n := len(cont)
-	dim := expandedDim(n)
 
 	// moment fetches SUM(Π attr^pow) from the batch, merging powers of
 	// repeated attributes.
@@ -122,6 +122,73 @@ func TrainPolyReg(cont []string, response string, results []*query.AggResult, la
 		}
 		return r.Scalar, nil
 	}
+	return trainPolyFromMoments(cont, response, moment, lambda)
+}
+
+// TrainPolyRegFromLifted trains the same degree-2 polynomial regression
+// from one lifted degree-2 ring element, as maintained by the serving
+// tier: features names the element's variables in ring index order, the
+// response must be one of them, and the remaining features become the
+// model's base features in order. This is the epoch-to-model bridge: no
+// aggregate batch, no data access — the lifted element already carries
+// every degree-≤4 moment the expanded normal equations touch.
+func TrainPolyRegFromLifted(features []string, response string, p *ring.Poly2, lambda float64) (*PolyReg, error) {
+	if p.Ring().N != len(features) {
+		return nil, fmt.Errorf("ml: lifted element has %d features, name list has %d", p.Ring().N, len(features))
+	}
+	if err := CheckLifted(p, 1); err != nil {
+		return nil, err
+	}
+	ry := -1
+	var cont []string
+	var global []int // global variable index of each local index; last is response
+	for i, f := range features {
+		if f == response {
+			ry = i
+			continue
+		}
+		cont = append(cont, f)
+		global = append(global, i)
+	}
+	if ry < 0 {
+		return nil, fmt.Errorf("ml: response %s is not a maintained feature", response)
+	}
+	global = append(global, ry)
+
+	// moment resolves SUM(Π x^pow) straight from the ring element:
+	// accumulate powers per local index, map to global variables, sort,
+	// and look the monomial up in the ring's enumeration.
+	moment := func(parts ...[2]int) (float64, error) {
+		pow := map[int]int{}
+		for _, pt := range parts {
+			pow[global[pt[0]]] += pt[1]
+		}
+		var vars []int
+		var pows []uint8
+		for v := 0; v < len(features); v++ {
+			if q := pow[v]; q > 0 {
+				vars = append(vars, v)
+				pows = append(pows, uint8(q))
+			}
+		}
+		m, ok := p.Moment(vars, pows)
+		if !ok {
+			return 0, fmt.Errorf("ml: lifted ring does not carry monomial %v^%v", vars, pows)
+		}
+		return m, nil
+	}
+	return trainPolyFromMoments(cont, response, moment, lambda)
+}
+
+// trainPolyFromMoments is the shared solver: it assembles the expanded
+// normal equations by querying `moment` for SUM(Π x^p) — parts index
+// cont (0..n-1) and the response (n) with their powers — and solves the
+// standardized-ridge system in closed form. Both the LMFAO batch path
+// and the lifted-ring snapshot path funnel here, so they produce
+// identical models from identical moments.
+func trainPolyFromMoments(cont []string, response string, moment func(parts ...[2]int) (float64, error), lambda float64) (*PolyReg, error) {
+	n := len(cont)
+	dim := expandedDim(n)
 
 	// Expanded feature e_k as a power profile over base features.
 	profile := func(k int) [][2]int {
@@ -150,7 +217,7 @@ func TrainPolyReg(cont []string, response string, results []*query.AggResult, la
 		return nil, err
 	}
 	if cnt <= 0 {
-		return nil, fmt.Errorf("ml: poly regression over empty join")
+		return nil, fmt.Errorf("ml: poly regression over empty join: %w", ErrEmptySnapshot)
 	}
 	xtx := make([][]float64, dim)
 	xty := make([]float64, dim)
@@ -198,6 +265,10 @@ func PolyRegOverJoin(jt *query.JoinTree, cont []string, response string, lambda 
 	}
 	return TrainPolyReg(cont, response, results, lambda)
 }
+
+// PairTheta returns the parameter of the x_i·x_j interaction term by
+// base-feature index (i == j selects the square term).
+func (m *PolyReg) PairTheta(i, j int) float64 { return m.Theta[pairPos(len(m.Cont), i, j)] }
 
 // PredictVec evaluates the model on a base-feature vector.
 func (m *PolyReg) PredictVec(x []float64) float64 {

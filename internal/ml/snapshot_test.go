@@ -1,0 +1,188 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"borg/internal/core"
+	"borg/internal/ring"
+	"borg/internal/xrand"
+)
+
+func TestCheckSnapshot(t *testing.T) {
+	r := ring.CovarRing{N: 2}
+	empty := r.Zero()
+	if err := CheckSnapshot(empty, 1); !errors.Is(err, ErrEmptySnapshot) {
+		t.Fatalf("empty snapshot: got %v, want ErrEmptySnapshot", err)
+	}
+	one := r.Lift([]int{0, 1}, []float64{2, 3})
+	if err := CheckSnapshot(one, 1); err != nil {
+		t.Fatalf("live snapshot rejected: %v", err)
+	}
+	if err := CheckSnapshot(one, 5); !errors.Is(err, ErrEmptySnapshot) {
+		t.Fatalf("below minimum support: got %v, want ErrEmptySnapshot", err)
+	}
+	// A churned-past-zero residue (count negative) is degenerate too.
+	neg := r.Neg(one)
+	if err := CheckSnapshot(neg, 1); !errors.Is(err, ErrEmptySnapshot) {
+		t.Fatalf("negative count: got %v, want ErrEmptySnapshot", err)
+	}
+	poisoned := one.Clone()
+	poisoned.Q[1] = math.NaN()
+	if err := CheckSnapshot(poisoned, 1); err == nil || errors.Is(err, ErrEmptySnapshot) {
+		t.Fatalf("NaN moment: got %v, want a non-empty finite-ness error", err)
+	}
+
+	pr := ring.NewPoly2Ring(2)
+	if err := CheckLifted(pr.Zero(), 1); !errors.Is(err, ErrEmptySnapshot) {
+		t.Fatal("empty lifted element accepted")
+	}
+	if err := CheckLifted(pr.Lift([]int{0, 1}, []float64{2, 3}), 1); err != nil {
+		t.Fatalf("live lifted element rejected: %v", err)
+	}
+}
+
+// TestLiftedPolyRegMatchesBatch is the moment-equivalence certificate of
+// the snapshot path: training from a lifted ring element accumulated
+// tuple by tuple must produce the same model as the LMFAO batch pipeline
+// over the same data, because both feed identical moments into the
+// shared solver.
+func TestLiftedPolyRegMatchesBatch(t *testing.T) {
+	j := quadStar(7, 800)
+	jt, err := j.BuildJoinTree("Fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := PolyRegOverJoin(jt, []string{"a", "b"}, "y", 1e-6, core.Optimized(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Accumulate the lifted element by hand over the joined rows:
+	// features in maintained order [a, y, b] (response in the middle, to
+	// exercise the local→global index mapping).
+	features := []string{"a", "y", "b"}
+	pr := ring.NewPoly2Ring(3)
+	acc := pr.Zero()
+	fact, dim := j.Relations[0], j.Relations[1]
+	bByKey := map[int32]float64{}
+	for r := 0; r < dim.NumRows(); r++ {
+		bByKey[dim.Cat(0, r)] = dim.Float(1, r)
+	}
+	for r := 0; r < fact.NumRows(); r++ {
+		vals := []float64{fact.Float(1, r), fact.Float(2, r), bByKey[fact.Cat(0, r)]}
+		acc.AddInPlace(pr.Lift([]int{0, 1, 2}, vals))
+	}
+
+	lifted, err := TrainPolyRegFromLifted(features, "y", acc, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lifted.Theta) != len(batch.Theta) {
+		t.Fatalf("parameter counts differ: %d vs %d", len(lifted.Theta), len(batch.Theta))
+	}
+	for i := range batch.Theta {
+		if math.Abs(lifted.Theta[i]-batch.Theta[i]) > 1e-9 {
+			t.Fatalf("theta[%d]: lifted %v vs batch %v", i, lifted.Theta[i], batch.Theta[i])
+		}
+	}
+
+	// Degenerate inputs gate centrally.
+	if _, err := TrainPolyRegFromLifted(features, "y", pr.Zero(), 1e-6); !errors.Is(err, ErrEmptySnapshot) {
+		t.Fatalf("empty lifted element: got %v, want ErrEmptySnapshot", err)
+	}
+	if _, err := TrainPolyRegFromLifted(features, "ghost", acc, 1e-6); err == nil {
+		t.Fatal("unknown response accepted")
+	}
+}
+
+func TestMomentsFromCovarAndKMeansSeeds(t *testing.T) {
+	r := ring.CovarRing{N: 2}
+	acc := r.Zero()
+	src := xrand.New(3)
+	var rows [][]float64
+	for i := 0; i < 500; i++ {
+		row := []float64{src.NormFloat64() * 3, src.NormFloat64()}
+		rows = append(rows, row)
+		acc.AddInPlace(r.Lift([]int{0, 1}, row))
+	}
+	s, err := MomentsFromCovar([]string{"x", "z"}, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means and second moments in the Sigma match direct accumulation.
+	for i := 0; i < 2; i++ {
+		want := 0.0
+		for _, row := range rows {
+			want += row[i]
+		}
+		want /= float64(len(rows))
+		if math.Abs(s.XtX[0][i+1]-want) > 1e-12 {
+			t.Fatalf("mean %d: %v vs %v", i, s.XtX[0][i+1], want)
+		}
+	}
+
+	seeds, err := KMeansSeeds(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 5 {
+		t.Fatalf("got %d seeds, want 5", len(seeds))
+	}
+	// Seed 0 is the mean; seeds are deterministic in the statistics.
+	if seeds[0][0] != s.XtX[0][1] || seeds[0][1] != s.XtX[0][2] {
+		t.Fatalf("seed 0 is not the mean: %v", seeds[0])
+	}
+	again, err := KMeansSeeds(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		for d := range seeds[i] {
+			if seeds[i][d] != again[i][d] {
+				t.Fatal("seeding is not deterministic")
+			}
+		}
+	}
+	// The x-axis dominates the variance, so the ± pair around the mean
+	// should spread mostly along x.
+	dx := math.Abs(seeds[1][0] - seeds[0][0])
+	dz := math.Abs(seeds[1][1] - seeds[0][1])
+	if dx <= dz {
+		t.Fatalf("first principal seed not along the dominant axis: dx=%v dz=%v", dx, dz)
+	}
+
+	if _, err := KMeansSeeds(s, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := MomentsFromCovar([]string{"x", "z"}, r.Zero()); !errors.Is(err, ErrEmptySnapshot) {
+		t.Fatal("empty covar accepted by MomentsFromCovar")
+	}
+}
+
+func TestTrainLinRegGDConvergenceReporting(t *testing.T) {
+	_, j := regressionStar(9, 300)
+	sigma, _ := sigmaFor(t, j, []string{"fx", "d0x"}, nil, "y")
+	full := TrainLinRegGD(sigma, 1e-3, 50000, 1e-10)
+	if !full.Converged {
+		t.Fatalf("full budget did not converge (%d iterations)", full.Iterations)
+	}
+	if full.Iterations <= 0 || full.Iterations >= 50000 {
+		t.Fatalf("implausible iteration count %d", full.Iterations)
+	}
+	starved := TrainLinRegGD(sigma, 1e-3, 3, 1e-10)
+	if starved.Converged {
+		t.Fatal("3-iteration budget reported convergence")
+	}
+	if starved.Iterations != 3 {
+		t.Fatalf("starved iterations = %d, want 3", starved.Iterations)
+	}
+	closed, err := TrainLinRegClosedForm(sigma, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed.Converged {
+		t.Fatal("closed form must report convergence")
+	}
+}

@@ -85,6 +85,16 @@ func (r CovarRing) Neg(a *Covar) *Covar {
 	return out
 }
 
+// AddInPlace accumulates src into dst (Algebra adapter).
+func (r CovarRing) AddInPlace(dst, src *Covar) { dst.AddInPlace(src) }
+
+// IsZero reports whether e is exactly the additive identity (Algebra
+// adapter).
+func (r CovarRing) IsZero(e *Covar) bool { return e.IsZero() }
+
+// Clone returns a deep copy of e (Algebra adapter).
+func (r CovarRing) Clone(e *Covar) *Covar { return e.Clone() }
+
 // AddInPlace accumulates b into a.
 func (a *Covar) AddInPlace(b *Covar) {
 	a.Count += b.Count

@@ -34,6 +34,26 @@ type Inverter[T any] interface {
 	Neg(a T) T
 }
 
+// Algebra is the maintenance-facing view of a ring over heavy elements:
+// what a view hierarchy needs to lift tuples, combine subtree payloads,
+// retract contributions, and prune drained entries. CovarRing (over
+// *Covar) and Poly2Ring (over *Poly2) both implement it, which is what
+// lets one generic F-IVM propagation maintain either payload.
+type Algebra[E any] interface {
+	Zero() E
+	Mul(a, b E) E
+	Neg(a E) E
+	// Lift maps one tuple's owned feature values (global indexes idx,
+	// parallel values vals) into the ring.
+	Lift(idx []int, vals []float64) E
+	// AddInPlace accumulates src into dst.
+	AddInPlace(dst, src E)
+	// IsZero reports whether e is exactly the additive identity.
+	IsZero(e E) bool
+	// Clone returns a deep copy sharing no state with e.
+	Clone(e E) E
+}
+
 // Float is the ring of float64 under + and *. It is a ring up to floating
 // point rounding; the property tests use exact small integers.
 type Float struct{}

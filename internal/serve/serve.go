@@ -104,6 +104,11 @@ type Config struct {
 	// Workers sizes the exec worker pool the maintainer's delta scans
 	// run on. Values below 2 select the serial kernels.
 	Workers int
+	// Lifted additionally maintains the lifted degree-2 ring (every
+	// moment of total degree ≤ 4 over the features) — the sufficient
+	// statistics of degree-2 polynomial regression — and publishes it on
+	// each snapshot. Maintenance cost grows by a constant factor.
+	Lifted bool
 	// MorselSize pins the exec scan granularity (0 = automatic).
 	MorselSize int
 }
@@ -136,6 +141,10 @@ type Snapshot struct {
 	// Stats is the covariance triple over the maintained features.
 	// Readers must not mutate it.
 	Stats *ring.Covar
+	// Lifted is the lifted degree-2 moment element at this epoch, nil
+	// unless the server was configured with Config.Lifted. Readers must
+	// not mutate it.
+	Lifted *ring.Poly2
 }
 
 // Count returns SUM(1) over the join at this epoch.
@@ -234,13 +243,17 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 	cfg.defaults()
 	var m ivm.Maintainer
 	var err error
+	var mopts []ivm.Option
+	if cfg.Lifted {
+		mopts = append(mopts, ivm.WithLifted())
+	}
 	switch cfg.Strategy {
 	case FIVM:
-		m, err = ivm.NewFIVM(j, root, features)
+		m, err = ivm.NewFIVM(j, root, features, mopts...)
 	case HigherOrder:
-		m, err = ivm.NewHigherOrder(j, root, features)
+		m, err = ivm.NewHigherOrder(j, root, features, mopts...)
 	case FirstOrder:
-		m, err = ivm.NewFirstOrder(j, root, features)
+		m, err = ivm.NewFirstOrder(j, root, features, mopts...)
 	default:
 		err = fmt.Errorf("serve: unknown strategy %v", cfg.Strategy)
 	}
@@ -266,7 +279,10 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 	if rs, ok := m.(runtimeSettable); ok {
 		rs.SetRuntime(exec.Runtime{Workers: cfg.Workers, MorselSize: cfg.MorselSize, Pool: s.pool})
 	}
-	s.snap.Store(&Snapshot{Stats: (ring.CovarRing{N: len(features)}).Zero()})
+	// The initial snapshot is the empty epoch; a lifted server's empty
+	// epoch carries the lifted zero so readers can rely on Lifted being
+	// non-nil exactly when the server maintains it.
+	s.snap.Store(&Snapshot{Stats: (ring.CovarRing{N: len(features)}).Zero(), Lifted: m.SnapshotLifted()})
 	go s.run()
 	return s, nil
 }
@@ -528,7 +544,7 @@ func (s *Server) publish() {
 		return
 	}
 	s.epoch++
-	s.snap.Store(&Snapshot{Epoch: s.epoch, Inserts: s.inserts, Deletes: s.deletes, Stats: s.m.Snapshot()})
+	s.snap.Store(&Snapshot{Epoch: s.epoch, Inserts: s.inserts, Deletes: s.deletes, Stats: s.m.Snapshot(), Lifted: s.m.SnapshotLifted()})
 	s.queued.Add(-int64(s.pending))
 	s.pending = 0
 }

@@ -552,3 +552,54 @@ func TestDeleteValidationAndStrictness(t *testing.T) {
 		t.Fatalf("QueueLen = %d after failed delete, want 0", got)
 	}
 }
+
+// TestLiftedSnapshotPublished checks the lifted-ring plumbing: a server
+// configured with Config.Lifted publishes a lifted element on every
+// epoch — including the initial empty one — whose degree-≤2 extraction
+// is bitwise-equal to the covariance triple published beside it, for
+// every strategy; an unconfigured server publishes nil.
+func TestLiftedSnapshotPublished(t *testing.T) {
+	j, stream, features := salesSchema(31, 120, 8, 4)
+	for _, strategy := range Strategies() {
+		t.Run(strategy.String(), func(t *testing.T) {
+			srv, err := New(j, "Sales", features, Config{Strategy: strategy, Lifted: true, BatchSize: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			if snap := srv.Snapshot(); snap.Lifted == nil {
+				t.Fatal("initial snapshot of a lifted server has no lifted element")
+			} else if !snap.Lifted.IsZero() {
+				t.Fatal("initial lifted element not zero")
+			}
+			for _, tu := range stream {
+				if err := srv.Insert(tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := srv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			snap := srv.Snapshot()
+			if snap.Lifted == nil {
+				t.Fatal("lifted element missing from published snapshot")
+			}
+			if got := snap.Lifted.Covar(); !got.ApproxEqual(snap.Stats, 0) {
+				t.Fatalf("lifted covar extraction %v differs from published stats %v", got, snap.Stats)
+			}
+			if snap.Lifted.Count() == 0 {
+				t.Fatal("lifted count is zero after a joined stream")
+			}
+
+			// A plain server over the same join publishes no lifted stats.
+			plain, err := New(j, "Sales", features, Config{Strategy: strategy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			if plain.Snapshot().Lifted != nil {
+				t.Fatal("unlifted server published a lifted element")
+			}
+		})
+	}
+}

@@ -70,6 +70,9 @@ type Server struct {
 	partCol map[string]int
 	partCat map[string]bool
 	ring    ring.CovarRing
+	// lifted is the lifted degree-2 ring the merged snapshots fold in,
+	// nil unless the shards maintain it (Config.Lifted).
+	lifted *ring.Poly2Ring
 
 	closeOnce sync.Once
 	closeErr  error
@@ -98,6 +101,9 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 		partCol: make(map[string]int, len(j.Relations)),
 		partCat: make(map[string]bool, len(j.Relations)),
 		ring:    ring.CovarRing{N: len(features)},
+	}
+	if cfg.Lifted {
+		s.lifted = ring.NewPoly2Ring(len(features))
 	}
 	if cfg.PartitionBy != "" {
 		// Validate the partition attribute against EVERY relation before
@@ -245,6 +251,11 @@ type MergedSnapshot struct {
 	// Stats is the ring sum of the per-shard covariance triples.
 	// Readers must not mutate it (nor the Epochs slice).
 	Stats *ring.Covar
+	// Lifted is the ring sum of the per-shard lifted degree-2 elements,
+	// nil unless the shards maintain them (Config.Lifted). It folds
+	// under Poly2 addition exactly like Stats folds under Covar
+	// addition — the same disjoint-union algebra at degree 4.
+	Lifted *ring.Poly2
 	// inner identifies the single shard snapshot this view wraps on the
 	// Shards=1 fast path (nil on a real merge); it keys the memo that
 	// makes one-shard reads allocation-free.
@@ -280,12 +291,16 @@ func (s *Server) Snapshot() *MergedSnapshot {
 			Inserts: sn.Inserts,
 			Deletes: sn.Deletes,
 			Stats:   sn.Stats,
+			Lifted:  sn.Lifted,
 			inner:   sn,
 		}
 		s.single.Store(m)
 		return m
 	}
 	m := &MergedSnapshot{Epochs: make([]uint64, len(s.shards)), Stats: s.ring.Zero()}
+	if s.lifted != nil {
+		m.Lifted = s.lifted.Zero()
+	}
 	for i, sh := range s.shards {
 		sn := sh.Snapshot()
 		m.Epochs[i] = sn.Epoch
@@ -293,6 +308,9 @@ func (s *Server) Snapshot() *MergedSnapshot {
 		m.Inserts += sn.Inserts
 		m.Deletes += sn.Deletes
 		m.Stats.AddInPlace(sn.Stats)
+		if m.Lifted != nil && sn.Lifted != nil {
+			m.Lifted.AddInPlace(sn.Lifted)
+		}
 	}
 	return m
 }

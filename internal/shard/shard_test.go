@@ -552,3 +552,53 @@ func TestShardedErrAndCloseIdempotent(t *testing.T) {
 		t.Fatal("insert accepted after Close")
 	}
 }
+
+// TestLiftedMergeMatchesSingleShard checks the degree-4 half of the
+// merge algebra: the lifted elements of a 3-shard server fold under
+// Poly2 addition into exactly the statistics a single-shard server
+// maintains over the same stream (bitwise on integer data), and the
+// merged element's covariance extraction matches the merged triple.
+func TestLiftedMergeMatchesSingleShard(t *testing.T) {
+	j, stream, features := tenantSchema(17, 240, 6, 5)
+	cfg := func(shards int) Config {
+		return Config{
+			Config:      serve.Config{Strategy: serve.FIVM, BatchSize: 16, Lifted: true},
+			Shards:      shards,
+			PartitionBy: "store",
+		}
+	}
+	sharded, err := New(j, "Sales", features, cfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	single, err := New(j, "Sales", features, cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	for _, tu := range stream {
+		if err := sharded.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sharded.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ms, m1 := sharded.Snapshot(), single.Snapshot()
+	if ms.Lifted == nil || m1.Lifted == nil {
+		t.Fatal("lifted element missing from merged snapshot")
+	}
+	if !ms.Lifted.ApproxEqual(m1.Lifted, 0) {
+		t.Fatalf("merged lifted stats differ from single shard: %v vs %v", ms.Lifted, m1.Lifted)
+	}
+	if got := ms.Lifted.Covar(); !got.ApproxEqual(ms.Stats, 0) {
+		t.Fatalf("merged lifted covar extraction differs from merged triple")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"borg/internal/ivm"
-	"borg/internal/ml"
 	"borg/internal/relation"
 	"borg/internal/ring"
 	"borg/internal/serve"
@@ -39,6 +38,11 @@ type ServerOptions struct {
 	// Workers sizes the worker pool the maintainer's delta scans run
 	// on; values below 2 select the serial kernels.
 	Workers int
+	// Lifted additionally maintains the lifted degree-2 ring — every
+	// moment of total degree ≤ 4 over the features, the sufficient
+	// statistics of degree-2 polynomial regression (TrainPolyReg).
+	// Maintenance cost grows by a constant factor in the payload size.
+	Lifted bool
 }
 
 // Server is the concurrent streaming-serving layer: a long-lived session
@@ -73,6 +77,7 @@ func (q *Query) Serve(features []string, opt ServerOptions) (*Server, error) {
 		QueueDepth:    opt.QueueDepth,
 		Workers:       opt.Workers,
 		MorselSize:    q.MorselSize,
+		Lifted:        opt.Lifted,
 	})
 	if err != nil {
 		return nil, err
@@ -184,7 +189,7 @@ func (s *Server) Stats() ServerStats {
 func (s *Server) Count() float64 { return s.inner.Snapshot().Count() }
 
 // Mean returns the mean of a maintained feature at the current snapshot
-// (0 while the join is empty).
+// (ErrEmptySnapshot while the join is empty — never NaN).
 func (s *Server) Mean(attr string) (float64, error) {
 	return s.CovarSnapshot().Mean(attr)
 }
@@ -227,20 +232,24 @@ func (s *ServerSnapshot) Deletes() uint64 { return s.snap.Deletes }
 // Count returns SUM(1) over the join at this epoch.
 func (s *ServerSnapshot) Count() float64 { return s.snap.Count() }
 
-// Mean returns the mean of a maintained feature at this epoch (0 while
-// the join is empty).
+// Mean returns the mean of a maintained feature at this epoch. A
+// snapshot of an empty join — never populated, or churned to empty by
+// deletes — returns ErrEmptySnapshot: dividing by the zero count would
+// be NaN, and a silent 0 would be indistinguishable from a real zero
+// mean.
 func (s *ServerSnapshot) Mean(attr string) (float64, error) {
 	i, err := s.featureIndex(attr)
 	if err != nil {
 		return 0, err
 	}
-	if s.snap.Count() == 0 {
-		return 0, nil
+	if err := s.ready(); err != nil {
+		return 0, err
 	}
 	return s.snap.Sum(i) / s.snap.Count(), nil
 }
 
-// SecondMoment returns SUM(a·b) at this epoch.
+// SecondMoment returns SUM(a·b) at this epoch (ErrEmptySnapshot on an
+// empty snapshot, consistently with every other statistics read).
 func (s *ServerSnapshot) SecondMoment(a, b string) (float64, error) {
 	i, err := s.featureIndex(a)
 	if err != nil {
@@ -250,6 +259,9 @@ func (s *ServerSnapshot) SecondMoment(a, b string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := s.ready(); err != nil {
+		return 0, err
+	}
 	return s.snap.Moment(i, j), nil
 }
 
@@ -257,13 +269,11 @@ func (s *ServerSnapshot) SecondMoment(a, b string) (float64, error) {
 func (s *ServerSnapshot) Covar() *ring.Covar { return s.snap.Stats }
 
 // TrainLinReg trains a ridge linear regression of the response on the
-// remaining maintained features from this epoch's statistics.
+// remaining maintained features from this epoch's statistics, with the
+// default gradient-descent budget (TrainLinRegGD exposes the knobs). An
+// empty snapshot returns ErrEmptySnapshot.
 func (s *ServerSnapshot) TrainLinReg(response string, lambda float64) (*LinearRegression, error) {
-	sigma, err := ml.SigmaFromCovar(s.features, response, s.snap.Stats)
-	if err != nil {
-		return nil, err
-	}
-	return &LinearRegression{model: ml.TrainLinRegGD(sigma, lambda, 50000, 1e-10), sigma: sigma}, nil
+	return s.TrainLinRegGD(response, lambda, GDOptions{})
 }
 
 func (s *ServerSnapshot) featureIndex(attr string) (int, error) {

@@ -55,6 +55,7 @@ func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServe
 			QueueDepth:    opt.QueueDepth,
 			Workers:       opt.Workers,
 			MorselSize:    q.MorselSize,
+			Lifted:        opt.Lifted,
 		},
 		Shards:      opt.Shards,
 		PartitionBy: opt.PartitionBy,
@@ -169,7 +170,7 @@ func (s *ShardedServer) QueueLen() int { return s.inner.QueueLen() }
 func (s *ShardedServer) Count() float64 { return s.inner.Snapshot().Count() }
 
 // Mean returns the mean of a maintained feature at the current merged
-// view (0 while the join is empty).
+// view (ErrEmptySnapshot while the join is empty — never NaN).
 func (s *ShardedServer) Mean(attr string) (float64, error) {
 	return s.CovarSnapshot().Mean(attr)
 }
@@ -195,7 +196,7 @@ func (s *ShardedServer) TrainLinReg(response string, lambda float64) (*LinearReg
 func (s *ShardedServer) CovarSnapshot() *ServerSnapshot {
 	m := s.inner.Snapshot()
 	return &ServerSnapshot{
-		snap:     &serve.Snapshot{Epoch: m.Epoch, Inserts: m.Inserts, Deletes: m.Deletes, Stats: m.Stats},
+		snap:     &serve.Snapshot{Epoch: m.Epoch, Inserts: m.Inserts, Deletes: m.Deletes, Stats: m.Stats, Lifted: m.Lifted},
 		features: s.features,
 	}
 }

@@ -1,0 +1,374 @@
+package borg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"borg/internal/ml"
+)
+
+// This file is the snapshot model zoo: every model the serving tier can
+// train from ONE published epoch's ring statistics, with zero
+// interruption of the write path. The paper's central claim — a single
+// factorized aggregate batch is the sufficient statistic for a whole
+// family of models — becomes, in serving terms: one epoch, many models.
+//
+//	TrainLinReg / TrainLinRegGD   ridge linear regression  (covariance triple)
+//	TrainPCA                      principal components     (covariance triple)
+//	KMeansSeeds                   Rk-means-style seeding   (covariance triple)
+//	TrainPolyReg                  degree-2 polynomial reg. (lifted degree-2 ring)
+//
+// Every trainer passes the same degenerate-snapshot gate first: a
+// snapshot of an empty join (never populated, or churned to empty by
+// deletes) yields ErrEmptySnapshot — a typed error, never NaN
+// coefficients.
+
+// ErrEmptySnapshot is returned by every snapshot read and trainer when
+// the join has no live tuples at the snapshot's epoch: there is nothing
+// to train on, and the alternative — dividing by a zero count — would
+// silently produce NaN models. Test with errors.Is; cmd/borg-serve maps
+// it to HTTP 409.
+var ErrEmptySnapshot = ml.ErrEmptySnapshot
+
+// ErrLiftedNotMaintained is returned by trainers that need the lifted
+// degree-2 statistics (polynomial regression) from a server that was
+// started without ServerOptions.Lifted.
+var ErrLiftedNotMaintained = errors.New("borg: the server does not maintain the lifted degree-2 statistics; start it with ServerOptions{Lifted: true}")
+
+// ErrMissingFeature is wrapped by Predict/Project when the caller's
+// value map omits one of the model's features — a client-input error,
+// distinguishable (errors.Is) from server-state errors like
+// ErrEmptySnapshot.
+var ErrMissingFeature = errors.New("borg: missing feature value")
+
+// ready is the shared snapshot validation of the model zoo: minimum
+// support of one joined tuple and finite moments. Every trainer and
+// statistics read funnels through it, so the degenerate-snapshot bug
+// class is handled once, centrally, for all model kinds.
+func (s *ServerSnapshot) ready() error {
+	return ml.CheckSnapshot(s.snap.Stats, 1)
+}
+
+// GDOptions tunes the gradient-descent trainers. The zero value selects
+// the defaults (50000 iterations, tolerance 1e-10).
+type GDOptions struct {
+	// MaxIters caps the gradient steps; training that exhausts the cap
+	// reports Converged() == false instead of silently truncating.
+	MaxIters int
+	// Tol is the gradient-norm stopping tolerance.
+	Tol float64
+}
+
+func (o GDOptions) maxIters() int {
+	if o.MaxIters <= 0 {
+		return 50000
+	}
+	return o.MaxIters
+}
+
+func (o GDOptions) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-10
+	}
+	return o.Tol
+}
+
+// Converged reports whether gradient descent stopped at its tolerance
+// (true for closed-form training). False means the iteration budget ran
+// out and the parameters are a truncation — retrain with a larger
+// GDOptions.MaxIters or treat the model as approximate.
+func (m *LinearRegression) Converged() bool { return m.model.Converged }
+
+// IterationsRun returns how many gradient steps training took (0 for
+// the closed form).
+func (m *LinearRegression) IterationsRun() int { return m.model.Iterations }
+
+// Predict evaluates the model on named continuous feature values (all
+// the model's continuous features must be present). Models with
+// categorical features need the full design path; the serving-tier
+// models are continuous-only.
+func (m *LinearRegression) Predict(values map[string]float64) (float64, error) {
+	if len(m.model.Cat) > 0 {
+		return 0, fmt.Errorf("borg: Predict supports continuous-only models; this model has categorical features")
+	}
+	p := m.model.Theta[0]
+	for i, a := range m.model.Cont {
+		v, ok := values[a]
+		if !ok {
+			return 0, fmt.Errorf("%w: Predict needs %s", ErrMissingFeature, a)
+		}
+		p += m.model.Theta[m.model.ContPos(i)] * v
+	}
+	return p, nil
+}
+
+// TrainLinRegGD trains a ridge linear regression of the response on the
+// remaining maintained features from this epoch's statistics, with
+// explicit gradient-descent controls. Non-convergence within
+// GDOptions.MaxIters is reported through Converged(), not silently
+// swallowed.
+func (s *ServerSnapshot) TrainLinRegGD(response string, lambda float64, opt GDOptions) (*LinearRegression, error) {
+	if _, err := s.featureIndex(response); err != nil {
+		return nil, err
+	}
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	sigma, err := ml.SigmaFromCovar(s.features, response, s.snap.Stats)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearRegression{model: ml.TrainLinRegGD(sigma, lambda, opt.maxIters(), opt.tol()), sigma: sigma}, nil
+}
+
+// PCAResult is a principal-component analysis trained from one epoch's
+// covariance statistics: the top-k eigenpairs of the centered covariance
+// of the maintained features.
+type PCAResult struct {
+	// Features names the component dimensions, in order.
+	Features []string
+	// Components holds k unit-length principal axes (rows), leading
+	// eigenvalue first.
+	Components [][]float64
+	// Eigenvalues are the corresponding variances along each axis.
+	Eigenvalues []float64
+	// Means holds the per-feature means the components are centered
+	// against.
+	Means []float64
+	// Count is the joined-tuple count the statistics cover; Epoch the
+	// snapshot's publication sequence number.
+	Count float64
+	Epoch uint64
+}
+
+// TrainPCA extracts the top-k principal components at this epoch — the
+// covariance triple alone is the sufficient statistic, so training costs
+// O(k·n²) independent of the data size. k ≤ 0 or k > features selects
+// all components.
+func (s *ServerSnapshot) TrainPCA(k int) (*PCAResult, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	sigma, err := ml.MomentsFromCovar(s.features, s.snap.Stats)
+	if err != nil {
+		return nil, err
+	}
+	comps, eigs, err := ml.PCA(sigma, k, 0, pcaSeed)
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, len(s.features))
+	for i := range means {
+		means[i] = sigma.XtX[0][i+1]
+	}
+	return &PCAResult{
+		Features:    s.features,
+		Components:  comps,
+		Eigenvalues: eigs,
+		Means:       means,
+		Count:       s.snap.Stats.Count,
+		Epoch:       s.snap.Epoch,
+	}, nil
+}
+
+// pcaSeed fixes the power-iteration start so PCA is a pure function of
+// the snapshot statistics: equal epochs give equal components.
+const pcaSeed = 2020
+
+// Project maps named feature values onto the principal axes: the
+// mean-centered dot product with each component.
+func (p *PCAResult) Project(values map[string]float64) ([]float64, error) {
+	x := make([]float64, len(p.Features))
+	for i, f := range p.Features {
+		v, ok := values[f]
+		if !ok {
+			return nil, fmt.Errorf("%w: Project needs %s", ErrMissingFeature, f)
+		}
+		x[i] = v - p.Means[i]
+	}
+	out := make([]float64, len(p.Components))
+	for c, comp := range p.Components {
+		dot := 0.0
+		for i := range x {
+			dot += comp[i] * x[i]
+		}
+		out[c] = dot
+	}
+	return out, nil
+}
+
+// PolyRegression is a degree-2 polynomial regression trained from one
+// epoch's lifted statistics: linear in the expanded feature space
+// {1, x_i, x_i·x_j}.
+type PolyRegression struct {
+	model *ml.PolyReg
+	// Count and Epoch identify the statistics the model was trained on.
+	Count float64
+	Epoch uint64
+}
+
+// TrainPolyReg trains a degree-2 polynomial ridge regression of the
+// response on the remaining maintained features, purely from this
+// epoch's lifted degree-2 statistics. The server must maintain them
+// (ServerOptions{Lifted: true}); otherwise ErrLiftedNotMaintained.
+func (s *ServerSnapshot) TrainPolyReg(response string, lambda float64) (*PolyRegression, error) {
+	if _, err := s.featureIndex(response); err != nil {
+		return nil, err
+	}
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	if s.snap.Lifted == nil {
+		return nil, ErrLiftedNotMaintained
+	}
+	m, err := ml.TrainPolyRegFromLifted(s.features, response, s.snap.Lifted, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &PolyRegression{model: m, Count: s.snap.Stats.Count, Epoch: s.snap.Epoch}, nil
+}
+
+// Intercept returns the intercept parameter.
+func (m *PolyRegression) Intercept() float64 { return m.model.Theta[0] }
+
+// Features returns the model's base features, in order.
+func (m *PolyRegression) Features() []string { return m.model.Cont }
+
+// Response returns the response attribute.
+func (m *PolyRegression) Response() string { return m.model.Response }
+
+// Coefficient returns the linear parameter of a base feature.
+func (m *PolyRegression) Coefficient(attr string) (float64, error) {
+	for i, a := range m.model.Cont {
+		if a == attr {
+			return m.model.Theta[1+i], nil
+		}
+	}
+	return 0, fmt.Errorf("borg: %s is not a feature of the model", attr)
+}
+
+// PairCoefficient returns the parameter of the x_a·x_b interaction term
+// (a == b selects the square term).
+func (m *PolyRegression) PairCoefficient(a, b string) (float64, error) {
+	ia, ib := -1, -1
+	for i, f := range m.model.Cont {
+		if f == a {
+			ia = i
+		}
+		if f == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("borg: %s or %s is not a feature of the model", a, b)
+	}
+	return m.model.PairTheta(ia, ib), nil
+}
+
+// Predict evaluates the model on named feature values.
+func (m *PolyRegression) Predict(values map[string]float64) (float64, error) {
+	x := make([]float64, len(m.model.Cont))
+	for i, a := range m.model.Cont {
+		v, ok := values[a]
+		if !ok {
+			return 0, fmt.Errorf("%w: Predict needs %s", ErrMissingFeature, a)
+		}
+		x[i] = v
+	}
+	return m.model.PredictVec(x), nil
+}
+
+// KMeansSeeding is a set of cluster seeds derived from one epoch's
+// covariance statistics: the mean plus principal-axis offsets, the
+// Rk-means-style initialization for a downstream Lloyd's run.
+type KMeansSeeding struct {
+	// Features names the seed dimensions, in order.
+	Features []string
+	// Centers holds k seed points; Centers[0] is the mean.
+	Centers [][]float64
+	// TotalVariance is the trace of the centered covariance — the k-means
+	// objective of the single-cluster solution, an upper bound any
+	// clustering must beat.
+	TotalVariance float64
+	Count         float64
+	Epoch         uint64
+}
+
+// KMeansSeeds derives k cluster seeds at this epoch, from the ring
+// statistics alone — no data access. Seeds initialize a downstream
+// Lloyd's run (e.g. Query.KMeans over a coreset, or an external
+// clusterer over fresh data).
+func (s *ServerSnapshot) KMeansSeeds(k int) (*KMeansSeeding, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	sigma, err := ml.MomentsFromCovar(s.features, s.snap.Stats)
+	if err != nil {
+		return nil, err
+	}
+	centers, err := ml.KMeansSeeds(sigma, k)
+	if err != nil {
+		return nil, err
+	}
+	variance := 0.0
+	for i := range s.features {
+		mean := sigma.XtX[0][i+1]
+		variance += sigma.XtX[i+1][i+1] - mean*mean
+	}
+	variance *= s.snap.Stats.Count
+	if math.IsNaN(variance) {
+		variance = 0
+	}
+	return &KMeansSeeding{
+		Features:      s.features,
+		Centers:       centers,
+		TotalVariance: variance,
+		Count:         s.snap.Stats.Count,
+		Epoch:         s.snap.Epoch,
+	}, nil
+}
+
+// Lifted reports whether this snapshot carries the lifted degree-2
+// statistics polynomial regression trains on.
+func (s *ServerSnapshot) Lifted() bool { return s.snap.Lifted != nil }
+
+// TrainLinRegGD trains at the current snapshot with explicit gradient-
+// descent controls (see ServerSnapshot.TrainLinRegGD).
+func (s *Server) TrainLinRegGD(response string, lambda float64, opt GDOptions) (*LinearRegression, error) {
+	return s.CovarSnapshot().TrainLinRegGD(response, lambda, opt)
+}
+
+// TrainPCA extracts principal components at the current snapshot.
+func (s *Server) TrainPCA(k int) (*PCAResult, error) { return s.CovarSnapshot().TrainPCA(k) }
+
+// TrainPolyReg trains a degree-2 polynomial regression at the current
+// snapshot (requires ServerOptions{Lifted: true}).
+func (s *Server) TrainPolyReg(response string, lambda float64) (*PolyRegression, error) {
+	return s.CovarSnapshot().TrainPolyReg(response, lambda)
+}
+
+// KMeansSeeds derives cluster seeds at the current snapshot.
+func (s *Server) KMeansSeeds(k int) (*KMeansSeeding, error) { return s.CovarSnapshot().KMeansSeeds(k) }
+
+// TrainLinRegGD trains on the current ring-merged statistics with
+// explicit gradient-descent controls.
+func (s *ShardedServer) TrainLinRegGD(response string, lambda float64, opt GDOptions) (*LinearRegression, error) {
+	return s.CovarSnapshot().TrainLinRegGD(response, lambda, opt)
+}
+
+// TrainPCA extracts principal components from the current ring-merged
+// statistics — identical to an unsharded server's components.
+func (s *ShardedServer) TrainPCA(k int) (*PCAResult, error) { return s.CovarSnapshot().TrainPCA(k) }
+
+// TrainPolyReg trains a degree-2 polynomial regression from the current
+// ring-merged lifted statistics (requires ServerOptions{Lifted: true}).
+func (s *ShardedServer) TrainPolyReg(response string, lambda float64) (*PolyRegression, error) {
+	return s.CovarSnapshot().TrainPolyReg(response, lambda)
+}
+
+// KMeansSeeds derives cluster seeds from the current ring-merged
+// statistics.
+func (s *ShardedServer) KMeansSeeds(k int) (*KMeansSeeding, error) {
+	return s.CovarSnapshot().KMeansSeeds(k)
+}
