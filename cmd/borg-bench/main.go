@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 3, 4l, 4r, 5, 6, compress, ifaq, ineq, reuse, exec, serve, shard, models, or all (the paper figures; exec, serve, shard, and models run individually)")
+	fig := flag.String("fig", "all", "experiment: 3, 4l, 4r, 5, 6, compress, ifaq, ineq, reuse, exec, serve, shard, models, scale, or all (the paper figures; exec, serve, shard, models, and scale run individually)")
 	sf := flag.Float64("sf", 0.2, "dataset scale factor (1.0 = full laptop-scale run)")
 	seed := flag.Uint64("seed", 2020, "random seed for data generation")
 	workers := flag.Int("workers", 2, "LMFAO worker goroutines")
@@ -41,6 +41,7 @@ func main() {
 		"serve":    bench.ServeBenchTable,
 		"shard":    bench.ShardBenchTable,
 		"models":   bench.ModelsBenchTable,
+		"scale":    bench.ScaleBenchTable,
 		"all":      bench.All,
 	}
 	run, ok := runners[*fig]

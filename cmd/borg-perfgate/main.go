@@ -14,7 +14,13 @@
 //     Shards=1 fast-path devolution), and
 //   - the model-zoo benchmark (`-fig models`, per model-kind × strategy
 //     cell, compared on snapshot trainings/sec — so a regression in the
-//     epoch→model path of any model kind trips the gate).
+//     epoch→model path of any model kind trips the gate), and
+//   - the multi-core ingest benchmark (`-fig scale`, per strategy ×
+//     GOMAXPROCS × shard-count × mix cell on applied ops/sec, plus a
+//     scaling-efficiency floor: on hosts with 4+ CPUs the best
+//     strategy's 1→4 worker speedup must clear a minimum, so a change
+//     that re-serializes the morsel-parallel batch path fails even if
+//     absolute single-core throughput holds).
 //
 // Usage:
 //
@@ -22,10 +28,12 @@
 //	borg-bench -fig serve -json > serve-fresh.json
 //	borg-bench -fig shard -json > shard-fresh.json
 //	borg-bench -fig models -json > models-fresh.json
+//	borg-bench -fig scale -json > scale-fresh.json
 //	borg-perfgate -baseline benchmarks/baseline.json -fresh exec-fresh.json \
 //	              -serve-baseline benchmarks/serve.json -serve-fresh serve-fresh.json \
 //	              -shard-baseline benchmarks/shard.json -shard-fresh shard-fresh.json \
-//	              -models-baseline benchmarks/models.json -models-fresh models-fresh.json
+//	              -models-baseline benchmarks/models.json -models-fresh models-fresh.json \
+//	              -scale-baseline benchmarks/scale.json -scale-fresh scale-fresh.json
 //
 // The tolerance is deliberately generous — CI runners are noisy and the
 // gate exists to catch order-of-magnitude regressions (a serialized hot
@@ -35,14 +43,22 @@
 //	max-ratio × max(1, p_base/p_fresh)
 //
 // times the baseline best time, where p = min(workers, cpus) is the
-// effective parallelism each host could give that cell: a baseline
-// recorded on a bigger machine is not held against a smaller runner.
+// effective parallelism each host could give that cell.
+//
+// Reports from hosts with differing CPU counts are refused outright:
+// throughput cells measured on different machine shapes are not
+// comparable, and silently normalizing them (the old behavior) let real
+// regressions hide inside the slack. PERF_GATE_ALLOW_CPU_MISMATCH=1
+// restores the normalized comparison for deliberate cross-host runs —
+// that is when the p_base/p_fresh penalty above applies.
 //
 // Knobs for noisy runners:
 //
-//	-max-ratio 2.5            the per-cell tolerance (flag)
-//	PERF_GATE_MAX_RATIO=4     environment override, wins over the flag
-//	PERF_GATE_SKIP=1          skip the gate entirely (emergency valve)
+//	-max-ratio 2.5                   the per-cell tolerance (flag)
+//	PERF_GATE_MAX_RATIO=4            environment override, wins over the flag
+//	PERF_GATE_ALLOW_CPU_MISMATCH=1   compare across CPU counts (normalized)
+//	PERF_GATE_MIN_SCALE=1.5          scaling-efficiency floor override
+//	PERF_GATE_SKIP=1                 skip the gate entirely (emergency valve)
 package main
 
 import (
@@ -64,7 +80,10 @@ func main() {
 	shardFreshPath := flag.String("shard-fresh", "", "fresh sharded-serving report to gate")
 	modelsBaselinePath := flag.String("models-baseline", "benchmarks/models.json", "committed model-zoo baseline report")
 	modelsFreshPath := flag.String("models-fresh", "", "fresh model-zoo report to gate")
+	scaleBaselinePath := flag.String("scale-baseline", "benchmarks/scale.json", "committed multi-core ingest baseline report")
+	scaleFreshPath := flag.String("scale-fresh", "", "fresh multi-core ingest report to gate")
 	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
+	minScale := flag.Float64("min-scale", 1.5, "min 1→4 worker speedup of the best strategy (enforced on 4+ CPU hosts)")
 	flag.Parse()
 
 	if os.Getenv("PERF_GATE_SKIP") == "1" {
@@ -78,8 +97,15 @@ func main() {
 		}
 		*maxRatio = v
 	}
-	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" {
-		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, or -models-fresh is required"))
+	if env := os.Getenv("PERF_GATE_MIN_SCALE"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad PERF_GATE_MIN_SCALE %q: %v", env, err))
+		}
+		*minScale = v
+	}
+	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" && *scaleFreshPath == "" {
+		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, -models-fresh, or -scale-fresh is required"))
 	}
 	failed := false
 	if *freshPath != "" {
@@ -93,6 +119,9 @@ func main() {
 	}
 	if *modelsFreshPath != "" {
 		failed = gateModels(*modelsBaselinePath, *modelsFreshPath, *maxRatio) || failed
+	}
+	if *scaleFreshPath != "" {
+		failed = gateScale(*scaleBaselinePath, *scaleFreshPath, *maxRatio, *minScale) || failed
 	}
 	if failed {
 		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
@@ -112,6 +141,7 @@ func gateExec(baselinePath, freshPath string, maxRatio float64) bool {
 		fatal(err)
 	}
 	ensureComparable("exec", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("exec", reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env))
 
 	freshByWorkers := make(map[int]bench.ExecBaselineRun, len(fresh.Runs))
 	for _, r := range fresh.Runs {
@@ -203,6 +233,7 @@ func gateServe(baselinePath, freshPath string, maxRatio float64) bool {
 		fatal(err)
 	}
 	ensureComparable("serve", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("serve", reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env))
 	// The cell's client load is writers + readers concurrent goroutines;
 	// a host that cannot run them in parallel gets the usual slack.
 	cells := func(cs []bench.ServeCell) []throughputCell {
@@ -235,6 +266,7 @@ func gateShard(baselinePath, freshPath string, maxRatio float64) bool {
 		fatal(err)
 	}
 	ensureComparable("shard", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("shard", reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env))
 	// The cell's client load is the producers and readers plus one
 	// writer goroutine per shard.
 	cells := func(cs []bench.ShardCell) []throughputCell {
@@ -266,6 +298,7 @@ func gateModels(baselinePath, freshPath string, maxRatio float64) bool {
 		fatal(err)
 	}
 	ensureComparable("models", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("models", reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env))
 	cells := func(cs []bench.ModelCell) []throughputCell {
 		out := make([]throughputCell, len(cs))
 		for i, c := range cs {
@@ -288,6 +321,96 @@ func opsPerSec(c bench.ServeCell) float64 {
 		return c.OpsPerSec
 	}
 	return c.InsertsPerSec
+}
+
+// gateScale compares the multi-core ingest report per strategy ×
+// GOMAXPROCS × shard-count × mix cell on applied ops/sec, then enforces
+// the scaling-efficiency floor on the fresh report: on a host with 4+
+// CPUs, the best strategy's 1→4 worker speedup (shards=1, insert-only)
+// must reach minScale — the check that catches a change re-serializing
+// the morsel-parallel batch path without slowing any single cell enough
+// to trip the throughput tolerance. Hosts with fewer than 4 CPUs cannot
+// exhibit 4-way scaling, so the floor is reported but not enforced
+// there. Returns true when any cell regressed or the floor is missed.
+func gateScale(baselinePath, freshPath string, maxRatio, minScale float64) bool {
+	base, err := loadReport[bench.ScaleReport](baselinePath, func(r *bench.ScaleReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport[bench.ScaleReport](freshPath, func(r *bench.ScaleReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	ensureComparable("scale", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("scale", base.Env.CPUs, fresh.Env.CPUs)
+	// The cell's parallel load is the four producers plus one writer and
+	// Workers pool goroutines per shard.
+	cells := func(cs []bench.ScaleCell) []throughputCell {
+		out := make([]throughputCell, len(cs))
+		for i, c := range cs {
+			out[i] = throughputCell{
+				key:     fmt.Sprintf("%s|%d|%d|%g", c.Strategy, c.Procs, c.Shards, c.DeleteFrac),
+				label:   fmt.Sprintf("%s procs=%d shards=%d del=%.0f%%", c.Strategy, c.Procs, c.Shards, 100*c.DeleteFrac),
+				ops:     c.OpsPerSec,
+				clients: 4 + c.Shards*(1+c.Workers),
+			}
+		}
+		return out
+	}
+	failed := gateThroughput("scale", baselinePath, base.Env.CPUs, fresh.Env.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
+	return gateScaleEfficiency(fresh, minScale) || failed
+}
+
+// gateScaleEfficiency enforces the 1→4 worker scaling floor recorded in
+// a fresh scale report. Returns true when the floor is missed on a host
+// that could have met it.
+func gateScaleEfficiency(fresh *bench.ScaleReport, minScale float64) bool {
+	bestName, best := "", 0.0
+	for name, s := range fresh.Speedup1to4 {
+		if s > best {
+			bestName, best = name, s
+		}
+	}
+	if fresh.Env.CPUs < 4 {
+		fmt.Printf("  scaling floor: host has %d cpus, 4-way scaling unobservable — floor %.2fx reported, not enforced (best: %s %.2fx)\n",
+			fresh.Env.CPUs, minScale, bestName, best)
+		return false
+	}
+	if best < minScale {
+		fmt.Printf("  scaling floor: best 1→4 worker speedup %s %.2fx below floor %.2fx  FAIL\n", bestName, best, minScale)
+		return true
+	}
+	fmt.Printf("  scaling floor: best 1→4 worker speedup %s %.2fx ≥ %.2fx  ok\n", bestName, best, minScale)
+	return false
+}
+
+// cpuGuard refuses to gate reports recorded on hosts with differing CPU
+// counts: throughput measured on different machine shapes is not
+// comparable cell for cell, and normalizing the difference away lets
+// real regressions hide inside the slack. PERF_GATE_ALLOW_CPU_MISMATCH=1
+// overrides for deliberate cross-host comparisons — then the
+// parallelismPenalty normalization applies as before. A zero count
+// (reports written before the environment was recorded) is not guarded.
+func cpuGuard(kind string, baseCPUs, freshCPUs int) {
+	if baseCPUs == 0 || freshCPUs == 0 || baseCPUs == freshCPUs {
+		return
+	}
+	if os.Getenv("PERF_GATE_ALLOW_CPU_MISMATCH") == "1" {
+		fmt.Printf("perfgate: %s baseline has %d cpus, fresh %d — comparing anyway (PERF_GATE_ALLOW_CPU_MISMATCH=1)\n",
+			kind, baseCPUs, freshCPUs)
+		return
+	}
+	fatal(fmt.Errorf("%s reports are not comparable: baseline recorded on %d cpus, fresh on %d — rerun the baseline on this host, or set PERF_GATE_ALLOW_CPU_MISMATCH=1 to compare with parallelism normalization",
+		kind, baseCPUs, freshCPUs))
+}
+
+// reportCPUs reads a report's recorded CPU count, preferring the full
+// environment record over the legacy top-level field.
+func reportCPUs(legacy int, env bench.Environment) int {
+	if env.CPUs > 0 {
+		return env.CPUs
+	}
+	return legacy
 }
 
 // parallelismPenalty is the extra slowdown allowed when the fresh host

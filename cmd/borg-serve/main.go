@@ -17,6 +17,10 @@
 //
 //	borg-serve -addr :8080 -strategy fivm -batch 64 -flush 1ms -shards 4 -partition-by store
 //
+// -pprof additionally mounts the Go runtime profiling endpoints under
+// /debug/pprof/ (opt-in; exposes internals — keep it off on untrusted
+// networks).
+//
 // API:
 //
 //	POST /insert    {"rel": "Sales", "values": ["patty", "s1", 3]}
@@ -76,6 +80,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"net/url"
 	"os/signal"
 	"strconv"
@@ -133,6 +138,7 @@ func main() {
 	shards := flag.Int("shards", 1, "serving shards; ingest is hash-partitioned across them and reads are ring-merged")
 	partitionBy := flag.String("partition-by", "store", "partition attribute (must appear in every relation of the join)")
 	oneShot := flag.Bool("oneshot", false, "start, self-check the endpoints, and exit (CI smoke)")
+	pprofOn := flag.Bool("pprof", false, "expose Go runtime profiling under /debug/pprof/ (opt-in; do not enable on untrusted networks)")
 	flag.Parse()
 
 	db := borg.NewDatabase()
@@ -159,7 +165,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: newHandler(srv)}
+	handler := newHandler(srv)
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	if *oneShot {
 		if err := selfCheck(srv, httpSrv.Handler); err != nil {
 			log.Fatal(err)
@@ -386,6 +396,22 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 		}
 	}
 	return nil
+}
+
+// withPprof mounts the Go runtime profiling endpoints beside the
+// service handler — CPU and heap profiles of a live ingest under
+// /debug/pprof/, the standard way to see where a slow multi-core
+// ingest actually spends its time. Opt-in via -pprof only: the
+// endpoints expose internals and cost CPU while profiling.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // newHandler wires the endpoints over a running (possibly sharded)

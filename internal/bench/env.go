@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"runtime"
+
+	"borg/internal/exec"
+)
+
+// Environment records the full execution environment a benchmark report
+// was produced under. Every report embeds one under the "env" key so a
+// committed baseline is never silently compared against a run from a
+// different machine shape: the perf gate refuses cross-CPU-count
+// comparisons outright (PERF_GATE_ALLOW_CPU_MISMATCH=1 overrides), and
+// scaling claims can be audited against the host that produced them —
+// a scale report from a 1-CPU container is honest about being one.
+type Environment struct {
+	// CPUs is runtime.NumCPU(): the hardware parallelism of the host.
+	CPUs int `json:"cpus"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at report start. Cells that
+	// sweep GOMAXPROCS (the scale report) record their per-cell value
+	// separately; this is the ambient setting the process launched with.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// GoVersion is runtime.Version() — toolchain changes move numbers.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Workers is the worker-pool size the run was configured with (the
+	// -workers flag after defaulting; scale cells override per cell).
+	Workers int `json:"workers"`
+	// MorselSize is the morsel granularity of the exec runtime scans.
+	MorselSize int `json:"morsel_size"`
+}
+
+// captureEnv snapshots the environment for a report, given the run's
+// resolved worker and morsel-size configuration.
+func captureEnv(workers, morselSize int) Environment {
+	if morselSize <= 0 {
+		morselSize = exec.DefaultMorselSize
+	}
+	return Environment{
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Workers:    workers,
+		MorselSize: morselSize,
+	}
+}

@@ -26,16 +26,20 @@ type ExecBaselineRun struct {
 // factor) that future runs are comparable. Committed runs of this report
 // are the repository's performance trajectory.
 type ExecBaselineReport struct {
-	Dataset    string            `json:"dataset"`
-	SF         float64           `json:"sf"`
-	Seed       uint64            `json:"seed"`
-	Batch      string            `json:"batch"`
-	Aggregates int               `json:"aggregates"`
-	InputRows  int               `json:"input_rows"`
-	CPUs       int               `json:"cpus"`
-	MorselSize int               `json:"morsel_size"`
-	Reps       int               `json:"reps"`
-	Runs       []ExecBaselineRun `json:"runs"`
+	Dataset    string  `json:"dataset"`
+	SF         float64 `json:"sf"`
+	Seed       uint64  `json:"seed"`
+	Batch      string  `json:"batch"`
+	Aggregates int     `json:"aggregates"`
+	InputRows  int     `json:"input_rows"`
+	CPUs       int     `json:"cpus"`
+	MorselSize int     `json:"morsel_size"`
+	Reps       int     `json:"reps"`
+	// Env is the full execution environment of the run (CPUs, Go
+	// version, GOMAXPROCS); the perf gate refuses to compare reports
+	// from hosts with differing CPU counts.
+	Env  Environment       `json:"env"`
+	Runs []ExecBaselineRun `json:"runs"`
 	// SpeedupW8OverW1 is best-of-reps Workers:1 time over Workers:8
 	// time. On a single-CPU host this sits near 1.0 by construction;
 	// the per-run times remain the comparable trajectory.
@@ -63,6 +67,7 @@ func ExecBaseline(o Options) (*ExecBaselineReport, error) {
 		CPUs:       runtime.NumCPU(),
 		MorselSize: exec.DefaultMorselSize,
 		Reps:       reps,
+		Env:        captureEnv(o.Workers, exec.DefaultMorselSize),
 	}
 	times := make(map[int]time.Duration, 4)
 	for _, workers := range []int{1, 2, 4, 8} {

@@ -41,6 +41,7 @@ type ModelsReport struct {
 	Features      int         `json:"features"`
 	CPUs          int         `json:"cpus"`
 	BudgetSeconds float64     `json:"budget_seconds"`
+	Env           Environment `json:"env"`
 	Cells         []ModelCell `json:"cells"`
 }
 
@@ -87,6 +88,7 @@ func ModelsBench(o Options) (*ModelsReport, error) {
 		Features:      len(features),
 		CPUs:          runtime.NumCPU(),
 		BudgetSeconds: o.Budget.Seconds(),
+		Env:           captureEnv(o.Workers, 0),
 	}
 	// Every cell gets an equal slice of the run budget; training is
 	// data-independent, so small slices still give stable rates.

@@ -55,6 +55,7 @@ type ServeReport struct {
 	BatchSize     int         `json:"batch_size"`
 	FlushMicros   float64     `json:"flush_interval_us"`
 	BudgetSeconds float64     `json:"budget_seconds"`
+	Env           Environment `json:"env"`
 	Cells         []ServeCell `json:"cells"`
 }
 
@@ -299,6 +300,7 @@ func ServeBench(o Options) (*ServeReport, error) {
 		BatchSize:     cfgBatch,
 		FlushMicros:   float64(cfgFlush.Microseconds()),
 		BudgetSeconds: o.Budget.Seconds(),
+		Env:           captureEnv(o.Workers, 0),
 	}
 	mixes := []struct {
 		readers    int

@@ -63,6 +63,7 @@ type ShardReport struct {
 	BatchSize     int         `json:"batch_size"`
 	FlushMicros   float64     `json:"flush_interval_us"`
 	BudgetSeconds float64     `json:"budget_seconds"`
+	Env           Environment `json:"env"`
 	Cells         []ShardCell `json:"cells"`
 }
 
@@ -107,6 +108,7 @@ func ShardBench(o Options) (*ShardReport, error) {
 		BatchSize:     cfgBatch,
 		FlushMicros:   float64(cfgFlush.Microseconds()),
 		BudgetSeconds: o.Budget.Seconds(),
+		Env:           captureEnv(o.Workers, 0),
 	}
 	cfg := func(strategy serve.Strategy) serve.Config {
 		return serve.Config{

@@ -3,6 +3,7 @@ package ivm
 import (
 	"borg/internal/exec"
 	"borg/internal/query"
+	"borg/internal/relation"
 	"borg/internal/ring"
 )
 
@@ -54,7 +55,7 @@ func (m *FirstOrder) Insert(t Tuple) error {
 			}
 		}
 		if partial != 0 {
-			m.up(n, n.parentKey(row), a, partial)
+			m.up(n, n.parentKey(row), a, partial, m.addResult)
 		}
 	}
 	return nil
@@ -80,7 +81,7 @@ func (m *FirstOrder) Delete(t Tuple) error {
 			}
 		}
 		if partial != 0 {
-			m.up(n, n.parentKey(row), a, -partial)
+			m.up(n, n.parentKey(row), a, -partial, m.addResult)
 		}
 	}
 	m.removeRow(n, row)
@@ -107,11 +108,14 @@ func (m *FirstOrder) down(n *node, key uint64, a aggDef) float64 {
 
 // up expands the delta towards the root: the exec selection kernel scans
 // the parent relation for matching tuples, then each match recomputes
-// its sibling subtrees and climbs.
-func (m *FirstOrder) up(n *node, key uint64, a int, partial float64) {
+// its sibling subtrees and climbs. Deltas that reach the root go to
+// emit — m.addResult on the serial path, an effect recorder on the
+// batch path (first-order IVM keeps no views, so the root sums are its
+// only writes and the whole traversal is read-only).
+func (m *FirstOrder) up(n *node, key uint64, a int, partial float64, emit func(a int, v float64)) {
 	p := n.parent
 	if p == nil {
-		m.result[a] += partial
+		emit(a, partial)
 		return
 	}
 	keyOf := exec.KeyFunc(p.rel.KeyFunc(p.childKeyCols[n.childPos]))
@@ -124,9 +128,63 @@ func (m *FirstOrder) up(n *node, key uint64, a int, partial float64) {
 			contrib *= m.down(c, p.childKey(ci, int(r)), m.batch.aggs[a])
 		}
 		if contrib != 0 {
-			m.up(p, p.parentKey(int(r)), a, contrib)
+			m.up(p, p.parentKey(int(r)), a, contrib, emit)
 		}
 	}
+}
+
+func (m *FirstOrder) addResult(a int, v float64) { m.result[a] += v }
+
+// tupleEffects evaluates the full delta query a tuple with these values
+// triggers (negated for the delete half), recording the root arrivals
+// as effects. Every scan touches only OTHER relations — down covers
+// child subtrees, up the ancestors and their sibling subtrees, never n
+// itself — so the evaluation reads only batch-start state for any mix
+// of same-relation ops.
+func (m *FirstOrder) tupleEffects(n *node, vals []relation.Value, neg bool) []scalarEffect {
+	var out []scalarEffect
+	emit := func(a int, v float64) {
+		out = append(out, scalarEffect{a: int32(a), delta: v})
+	}
+	for a := range m.batch.aggs {
+		partial := localEvalVals(n, vals, m.batch.aggs[a])
+		for ci, c := range n.children {
+			partial *= m.down(c, keyOfVals(n.rel, n.childKeyCols[ci], vals), m.batch.aggs[a])
+			if partial == 0 {
+				break
+			}
+		}
+		if partial == 0 {
+			continue
+		}
+		if neg {
+			partial = -partial
+		}
+		m.up(n, keyOfVals(n.rel, n.parentKeyCols, vals), a, partial, emit)
+	}
+	return out
+}
+
+// applyEffects replays recorded root arrivals (the only writes
+// first-order maintenance performs besides the physical row mutation).
+func (m *FirstOrder) applyEffects(effs []scalarEffect) {
+	for _, e := range effs {
+		m.result[e.a] += e.delta
+	}
+}
+
+// ApplyBatch implements Maintainer: the per-op delta-query evaluations
+// — by far the dominant cost of this strategy — run morsel-parallel
+// against batch-start state, then the root sums replay in op order.
+func (m *FirstOrder) ApplyBatch(ops []Op) BatchResult {
+	return applyOps(m.base, ops,
+		func(op *Op) opEffects[[]scalarEffect] {
+			return computeOpEffects(m.base, op, m.tupleEffects)
+		},
+		func(op *Op, e *opEffects[[]scalarEffect]) (uint64, uint64, bool, error) {
+			return applyOpEffects(m.base, op, e, m.applyEffects)
+		},
+		func(op *Op) (uint64, uint64, bool, error) { return serialApply(m, op) })
 }
 
 // Count implements Maintainer.
@@ -143,3 +201,11 @@ func (m *FirstOrder) Snapshot() *ring.Covar { return m.batch.covar(m.result) }
 
 // SnapshotLifted implements Maintainer.
 func (m *FirstOrder) SnapshotLifted() *ring.Poly2 { return m.batch.liftedSnapshot(m.result) }
+
+// SnapshotInto implements Maintainer.
+func (m *FirstOrder) SnapshotInto(dst *ring.Covar) { m.batch.covarInto(m.result, dst) }
+
+// SnapshotLiftedInto implements Maintainer.
+func (m *FirstOrder) SnapshotLiftedInto(dst *ring.Poly2) bool {
+	return m.batch.liftedInto(m.result, dst)
+}

@@ -3,6 +3,7 @@ package ivm
 import (
 	"borg/internal/exec"
 	"borg/internal/query"
+	"borg/internal/relation"
 	"borg/internal/ring"
 )
 
@@ -49,27 +50,46 @@ func (vt *viewTree[E]) tupleDelta(n *node, row int) (delta E, ok bool) {
 	return delta, true
 }
 
-// propagate merges δ into n's view at the given key and climbs towards
-// the root through the parent's index on n's join key.
-func (vt *viewTree[E]) propagate(n *node, key uint64, delta E) {
-	v := vt.views[n]
-	if cur, present := v[key]; present {
-		vt.alg.AddInPlace(cur, delta)
-		// A retraction that drains a key's support leaves the exact
-		// additive identity (integer-exact data cancels bitwise); prune
-		// it so view memory tracks the live database, not the churn
-		// history. Missing and present-zero entries are interchangeable
-		// to every reader: both multiply a delta to nothing.
-		if vt.alg.IsZero(cur) {
-			delete(v, key)
+// tupleDeltaVals is tupleDelta against a value tuple instead of a
+// stored row — the batch path computes deltas before (inserts) or
+// independently of (deletes) the physical row mutation.
+func (vt *viewTree[E]) tupleDeltaVals(n *node, vals []relation.Value) (delta E, ok bool) {
+	delta = vt.alg.Lift(n.featIdx, n.featValsOf(vals))
+	for ci, c := range n.children {
+		cv, present := vt.views[c][keyOfVals(n.rel, n.childKeyCols[ci], vals)]
+		if !present {
+			var zero E
+			return zero, false
 		}
-	} else if !vt.alg.IsZero(delta) {
-		v[key] = vt.alg.Clone(delta)
+		delta = vt.alg.Mul(delta, cv)
 	}
+	return delta, true
+}
+
+// viewEffect is one pending write of a propagation pass: merge delta
+// into n's view at key, or — with n nil — into the root result.
+type viewEffect[E any] struct {
+	n     *node
+	key   uint64
+	delta E
+}
+
+// computeEffects is the read-only half of delta propagation: it walks
+// the leaf-to-root path exactly as propagate does, but records the
+// writes it would perform instead of performing them. Everything it
+// reads — the parent's child-edge index and rows, sibling views — lies
+// OUTSIDE the write set of the effects it emits (n's own relation and
+// the views on the n→root path), which is what lets the batch path run
+// it concurrently for many tuples of one relation. Fanout deltas are
+// expanded in ascending key order, a fixed reduction order that makes
+// the effect list — and with it every maintained float — deterministic
+// instead of following Go's randomized map iteration.
+func (vt *viewTree[E]) computeEffects(n *node, key uint64, delta E, out []viewEffect[E]) []viewEffect[E] {
+	out = append(out, viewEffect[E]{n: n, key: key, delta: delta})
 	p := n.parent
 	if p == nil {
-		vt.alg.AddInPlace(vt.result, delta)
-		return
+		out = append(out, viewEffect[E]{delta: delta})
+		return out
 	}
 	// δ_p(k') = Σ_{t ∈ R_p matching} lift(t) ⨂ Π_{c≠n} V_c ⨂ δ, the
 	// ring-valued instance of the exec grouped-fold fanout kernel.
@@ -92,9 +112,41 @@ func (vt *viewTree[E]) propagate(n *node, key uint64, delta E) {
 			return contrib, true
 		},
 		func(dst, v E) E { vt.alg.AddInPlace(dst, v); return dst })
-	for k, d := range deltas {
-		vt.propagate(p, k, d)
+	for _, k := range sortedKeys(deltas) {
+		out = vt.computeEffects(p, k, deltas[k], out)
 	}
+	return out
+}
+
+// applyEffects replays a recorded propagation: the write half.
+func (vt *viewTree[E]) applyEffects(effs []viewEffect[E]) {
+	for _, e := range effs {
+		if e.n == nil {
+			vt.alg.AddInPlace(vt.result, e.delta)
+			continue
+		}
+		v := vt.views[e.n]
+		if cur, present := v[e.key]; present {
+			vt.alg.AddInPlace(cur, e.delta)
+			// A retraction that drains a key's support leaves the exact
+			// additive identity (integer-exact data cancels bitwise);
+			// prune it so view memory tracks the live database, not the
+			// churn history. Missing and present-zero entries are
+			// interchangeable to every reader: both multiply a delta to
+			// nothing.
+			if vt.alg.IsZero(cur) {
+				delete(v, e.key)
+			}
+		} else if !vt.alg.IsZero(e.delta) {
+			v[e.key] = vt.alg.Clone(e.delta)
+		}
+	}
+}
+
+// propagate merges δ into n's view at the given key and climbs towards
+// the root through the parent's index on n's join key.
+func (vt *viewTree[E]) propagate(n *node, key uint64, delta E) {
+	vt.applyEffects(vt.computeEffects(n, key, delta, nil))
 }
 
 // FIVM is the factorized incremental view maintenance strategy (Nikolic &
@@ -183,6 +235,51 @@ func (m *FIVM) Delete(t Tuple) error {
 	return nil
 }
 
+// ApplyBatch implements Maintainer: per-op ring deltas (tupleDeltaVals
+// plus the recorded climb) computed morsel-parallel against batch-start
+// state, then replayed serially in op order.
+func (m *FIVM) ApplyBatch(ops []Op) BatchResult {
+	serial := func(op *Op) (uint64, uint64, bool, error) { return serialApply(m, op) }
+	if m.p2 != nil {
+		effects := func(n *node, vals []relation.Value, neg bool) []viewEffect[*ring.Poly2] {
+			delta, ok := m.p2.tupleDeltaVals(n, vals)
+			if !ok {
+				return nil
+			}
+			if neg {
+				delta = m.pr.Neg(delta)
+			}
+			return m.p2.computeEffects(n, keyOfVals(n.rel, n.parentKeyCols, vals), delta, nil)
+		}
+		return applyOps(m.base, ops,
+			func(op *Op) opEffects[[]viewEffect[*ring.Poly2]] {
+				return computeOpEffects(m.base, op, effects)
+			},
+			func(op *Op, e *opEffects[[]viewEffect[*ring.Poly2]]) (uint64, uint64, bool, error) {
+				return applyOpEffects(m.base, op, e, m.p2.applyEffects)
+			},
+			serial)
+	}
+	effects := func(n *node, vals []relation.Value, neg bool) []viewEffect[*ring.Covar] {
+		delta, ok := m.cv.tupleDeltaVals(n, vals)
+		if !ok {
+			return nil
+		}
+		if neg {
+			delta = m.ring.Neg(delta)
+		}
+		return m.cv.computeEffects(n, keyOfVals(n.rel, n.parentKeyCols, vals), delta, nil)
+	}
+	return applyOps(m.base, ops,
+		func(op *Op) opEffects[[]viewEffect[*ring.Covar]] {
+			return computeOpEffects(m.base, op, effects)
+		},
+		func(op *Op, e *opEffects[[]viewEffect[*ring.Covar]]) (uint64, uint64, bool, error) {
+			return applyOpEffects(m.base, op, e, m.cv.applyEffects)
+		},
+		serial)
+}
+
 // Count implements Maintainer.
 func (m *FIVM) Count() float64 {
 	if m.p2 != nil {
@@ -224,6 +321,24 @@ func (m *FIVM) SnapshotLifted() *ring.Poly2 {
 		return nil
 	}
 	return m.p2.result.Clone()
+}
+
+// SnapshotInto implements Maintainer.
+func (m *FIVM) SnapshotInto(dst *ring.Covar) {
+	if m.p2 != nil {
+		m.p2.result.CovarInto(dst)
+		return
+	}
+	m.cv.result.CopyInto(dst)
+}
+
+// SnapshotLiftedInto implements Maintainer.
+func (m *FIVM) SnapshotLiftedInto(dst *ring.Poly2) bool {
+	if m.p2 == nil {
+		return false
+	}
+	m.p2.result.CopyInto(dst)
+	return true
 }
 
 // Result exposes the maintained covariance triple (read-only; for a

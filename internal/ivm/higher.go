@@ -3,6 +3,7 @@ package ivm
 import (
 	"borg/internal/exec"
 	"borg/internal/query"
+	"borg/internal/relation"
 	"borg/internal/ring"
 )
 
@@ -113,26 +114,20 @@ func (m *HigherOrder) Delete(t Tuple) error {
 	return nil
 }
 
-// propagate merges a scalar delta into aggregate a's view at node n and
-// climbs to the root. The fanout over the parent's matching tuples is
-// the exec grouped-fold kernel, grouping contributions by the parent's
-// own upward key.
-func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
-	vs := m.views[n][a]
-	// Prune entries that reach exactly zero (a retraction draining the
-	// key's support cancels bitwise on integer-exact data): missing and
-	// present-zero are interchangeable to every reader — both zero the
-	// multiplicative delta — and pruning keeps view memory proportional
-	// to the live database under sustained churn.
-	if nv := vs[key] + delta; nv == 0 {
-		delete(vs, key)
-	} else {
-		vs[key] = nv
-	}
+// computeEffects is the read-only half of one aggregate's delta
+// propagation: it walks the leaf-to-root path as propagate does, but
+// records the writes instead of performing them, expanding fanout
+// deltas in ascending key order (a fixed reduction order, so every
+// maintained float is deterministic). Everything it reads — the
+// parent's index and rows, sibling views — is outside the write set of
+// the effects it emits, which is what lets ApplyBatch run it
+// concurrently for many tuples of one relation.
+func (m *HigherOrder) computeEffects(n *node, a int, key uint64, delta float64, out []scalarEffect) []scalarEffect {
+	out = append(out, scalarEffect{n: n, a: int32(a), key: key, delta: delta})
 	p := n.parent
 	if p == nil {
-		m.result[a] += delta
-		return
+		out = append(out, scalarEffect{a: int32(a), delta: delta})
+		return out
 	}
 	rows := p.childIndexes[n.childPos].Rows(key)
 	deltas := exec.GroupedFold(rows,
@@ -152,9 +147,80 @@ func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
 			return contrib, true
 		},
 		func(dst, v float64) float64 { return dst + v })
-	for k, d := range deltas {
-		m.propagate(p, a, k, d)
+	for _, k := range sortedKeys(deltas) {
+		out = m.computeEffects(p, a, k, deltas[k], out)
 	}
+	return out
+}
+
+// applyEffects replays a recorded propagation: the write half.
+func (m *HigherOrder) applyEffects(effs []scalarEffect) {
+	for _, e := range effs {
+		if e.n == nil {
+			m.result[e.a] += e.delta
+			continue
+		}
+		vs := m.views[e.n][e.a]
+		// Prune entries that reach exactly zero (a retraction draining
+		// the key's support cancels bitwise on integer-exact data):
+		// missing and present-zero are interchangeable to every reader —
+		// both zero the multiplicative delta — and pruning keeps view
+		// memory proportional to the live database under sustained churn.
+		if nv := vs[e.key] + e.delta; nv == 0 {
+			delete(vs, e.key)
+		} else {
+			vs[e.key] = nv
+		}
+	}
+}
+
+// propagate merges a scalar delta into aggregate a's view at node n and
+// climbs to the root. The fanout over the parent's matching tuples is
+// the exec grouped-fold kernel, grouping contributions by the parent's
+// own upward key.
+func (m *HigherOrder) propagate(n *node, a int, key uint64, delta float64) {
+	m.applyEffects(m.computeEffects(n, a, key, delta, nil))
+}
+
+// tupleEffects records the full per-aggregate propagation a tuple with
+// these values triggers at node n (negated for the delete half),
+// reading only batch-start state.
+func (m *HigherOrder) tupleEffects(n *node, vals []relation.Value, neg bool) []scalarEffect {
+	var out []scalarEffect
+	for a := range m.batch.aggs {
+		delta := localEvalVals(n, vals, m.batch.aggs[a])
+		zero := false
+		for ci, c := range n.children {
+			cv, ok := m.views[c][a][keyOfVals(n.rel, n.childKeyCols[ci], vals)]
+			if !ok {
+				zero = true
+				break
+			}
+			delta *= cv
+		}
+		if zero {
+			continue
+		}
+		if neg {
+			delta = -delta
+		}
+		out = m.computeEffects(n, a, keyOfVals(n.rel, n.parentKeyCols, vals), delta, out)
+	}
+	return out
+}
+
+// ApplyBatch implements Maintainer: the per-aggregate delta
+// propagations of each op run morsel-parallel against batch-start
+// state, then replay serially in op order.
+func (m *HigherOrder) ApplyBatch(ops []Op) BatchResult {
+	return applyOps(m.base, ops,
+		func(op *Op) opEffects[[]scalarEffect] {
+			return computeOpEffects(m.base, op, m.tupleEffects)
+		},
+		func(op *Op, e *opEffects[[]scalarEffect]) (uint64, uint64, bool, error) {
+			return applyOpEffects(m.base, op, e, m.applyEffects)
+		},
+		func(op *Op) (uint64, uint64, bool, error) { return serialApply(m, op) })
 }
 
 // Count implements Maintainer.
@@ -171,3 +237,11 @@ func (m *HigherOrder) Snapshot() *ring.Covar { return m.batch.covar(m.result) }
 
 // SnapshotLifted implements Maintainer.
 func (m *HigherOrder) SnapshotLifted() *ring.Poly2 { return m.batch.liftedSnapshot(m.result) }
+
+// SnapshotInto implements Maintainer.
+func (m *HigherOrder) SnapshotInto(dst *ring.Covar) { m.batch.covarInto(m.result, dst) }
+
+// SnapshotLiftedInto implements Maintainer.
+func (m *HigherOrder) SnapshotLiftedInto(dst *ring.Poly2) bool {
+	return m.batch.liftedInto(m.result, dst)
+}

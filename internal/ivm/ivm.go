@@ -93,6 +93,14 @@ type Maintainer interface {
 	// inserted, updating the maintained result with the negated
 	// contribution. It fails if no matching tuple is live.
 	Delete(t Tuple) error
+	// ApplyBatch applies a batch of ops with the morsel-parallel
+	// two-phase scheme of batch.go: per-op delta computation fans out
+	// across the runtime's worker pool (read-only against batch-start
+	// state), then a single serial phase mutates rows, indexes, and
+	// views in op order. The published result is bitwise-identical to
+	// applying the same ops one at a time grouped by relation (stable
+	// within each relation); failed ops do not stop the batch.
+	ApplyBatch(ops []Op) BatchResult
 	// Count returns the maintained SUM(1) over the join.
 	Count() float64
 	// Sum returns the maintained SUM(x_i) for feature i.
@@ -109,6 +117,14 @@ type Maintainer interface {
 	// was built without WithLifted. Like Snapshot, the copy shares no
 	// state with the maintainer.
 	SnapshotLifted() *ring.Poly2
+	// SnapshotInto copies the maintained statistics into dst, reusing
+	// dst's backing when pre-sized — Snapshot without the allocation,
+	// for arena-managed epoch publication.
+	SnapshotInto(dst *ring.Covar)
+	// SnapshotLiftedInto copies the maintained lifted element into dst
+	// (same reuse contract), reporting false and leaving dst alone when
+	// the maintainer was built without WithLifted.
+	SnapshotLiftedInto(dst *ring.Poly2) bool
 	// Name identifies the strategy in benchmark tables.
 	Name() string
 }
@@ -152,8 +168,10 @@ type base struct {
 }
 
 // SetRuntime points the maintainer's scan kernels at the given exec
-// runtime. Only first-order maintenance runs scans wide enough to
-// parallelize; view-based strategies use the runtime's serial kernels.
+// runtime. First-order maintenance routes its delta scans through it,
+// and every strategy's ApplyBatch fans the per-op delta computation out
+// across its worker pool; single-tuple maintenance on the view-based
+// strategies stays serial (the per-op work is too small to split).
 func (b *base) SetRuntime(rt exec.Runtime) { b.rt = rt }
 
 // newBase clones empty live relations for the given join, builds the

@@ -152,3 +152,37 @@ func (b scalarBatch) liftedSnapshot(result []float64) *ring.Poly2 {
 	copy(out.M, result)
 	return out
 }
+
+// covarInto is covar without the allocation: the triple is written into
+// dst, reusing its backing when pre-sized.
+func (b scalarBatch) covarInto(result []float64, dst *ring.Covar) {
+	dst.N = b.n
+	if len(dst.Sum) != b.n {
+		dst.Sum = make([]float64, b.n)
+	}
+	if len(dst.Q) != b.n*b.n {
+		dst.Q = make([]float64, b.n*b.n)
+	}
+	dst.Count = result[b.count()]
+	for i := 0; i < b.n; i++ {
+		dst.Sum[i] = result[b.sum(i)]
+		for j := 0; j < b.n; j++ {
+			dst.Q[i*b.n+j] = result[b.moment(i, j)]
+		}
+	}
+}
+
+// liftedInto copies a lifted-layout result vector into dst (false for
+// the plain covariance layout, leaving dst alone).
+func (b scalarBatch) liftedInto(result []float64, dst *ring.Poly2) bool {
+	if b.lifted == nil {
+		return false
+	}
+	backing := dst.M
+	if len(backing) != len(result) {
+		backing = make([]float64, b.lifted.Len())
+	}
+	b.lifted.Bind(dst, backing)
+	copy(dst.M, result)
+	return true
+}

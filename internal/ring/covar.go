@@ -202,6 +202,23 @@ func (a *Covar) Clone() *Covar {
 	return out
 }
 
+// CopyInto copies a into dst, reusing dst's backing slices when they
+// already have the right length — the allocation-free counterpart of
+// Clone for epoch publication, where the destination lives in a
+// caller-managed arena.
+func (a *Covar) CopyInto(dst *Covar) {
+	dst.N = a.N
+	dst.Count = a.Count
+	if len(dst.Sum) != len(a.Sum) {
+		dst.Sum = make([]float64, len(a.Sum))
+	}
+	if len(dst.Q) != len(a.Q) {
+		dst.Q = make([]float64, len(a.Q))
+	}
+	copy(dst.Sum, a.Sum)
+	copy(dst.Q, a.Q)
+}
+
 // ApproxEqual reports whether a and b agree within tol on every component.
 func (a *Covar) ApproxEqual(b *Covar, tol float64) bool {
 	if a.N != b.N || !close(a.Count, b.Count, tol) {

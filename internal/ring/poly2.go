@@ -390,6 +390,49 @@ func (a *Poly2) Covar() *Covar {
 	return c
 }
 
+// CovarInto extracts the degree-≤2 prefix into dst without allocating
+// (when dst's slices are already sized) — Covar's arena-friendly twin.
+func (a *Poly2) CovarInto(dst *Covar) {
+	r := a.ring
+	dst.N = r.N
+	if len(dst.Sum) != r.N {
+		dst.Sum = make([]float64, r.N)
+	}
+	if len(dst.Q) != r.N*r.N {
+		dst.Q = make([]float64, r.N*r.N)
+	}
+	dst.Count = a.M[0]
+	for i := 0; i < r.N; i++ {
+		dst.Sum[i] = a.M[r.sumIdx[i]]
+		for j := 0; j < r.N; j++ {
+			dst.Q[i*r.N+j] = a.M[r.momIdx[i*r.N+j]]
+		}
+	}
+}
+
+// CopyInto copies a into dst, binding dst to a's ring and reusing dst.M
+// when it already has the right length — the allocation-free
+// counterpart of Clone for epoch publication.
+func (a *Poly2) CopyInto(dst *Poly2) {
+	dst.ring = a.ring
+	if len(dst.M) != len(a.M) {
+		dst.M = make([]float64, len(a.M))
+	}
+	copy(dst.M, a.M)
+}
+
+// Bind points dst at this ring with the given backing vector (length
+// must be Len()), so callers can lay Poly2 elements out in arenas they
+// manage. The ring field is unexported by design — Bind is the only way
+// to construct an element over external storage.
+func (r *Poly2Ring) Bind(dst *Poly2, backing []float64) {
+	if len(backing) != len(r.exps) {
+		panic(fmt.Sprintf("ring: Bind backing has %d moments, ring has %d", len(backing), len(r.exps)))
+	}
+	dst.ring = r
+	dst.M = backing
+}
+
 // ApproxEqual reports whether a and b agree within tol on every moment.
 func (a *Poly2) ApproxEqual(b *Poly2, tol float64) bool {
 	if len(a.M) != len(b.M) {

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+)
+
+// readSink keeps timed snapshot reads observable so the compiler cannot
+// eliminate them under AllocsPerRun.
+var readSink float64
+
+// TestWorkersDefaultResolvesToGOMAXPROCS: a zero Config must size the
+// worker pool to runtime.GOMAXPROCS(0) — use every core by default —
+// and report the resolved value through Workers().
+func TestWorkersDefaultResolvesToGOMAXPROCS(t *testing.T) {
+	j, _, feats := salesSchema(3, 10, 4, 3)
+	srv, err := New(j, "Sales", feats, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if want := runtime.GOMAXPROCS(0); srv.Workers() != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", srv.Workers(), want)
+	}
+	srvSerial, err := New(j, "Sales", feats, Config{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvSerial.Close()
+	if srvSerial.Workers() != -1 {
+		t.Fatalf("explicit Workers(-1) = %d, want -1 (serial)", srvSerial.Workers())
+	}
+}
+
+// TestSnapshotReadZeroAlloc certifies the reader hot path: with the
+// writer quiescent, a snapshot load plus statistics reads (including
+// the lifted payload) allocates nothing.
+func TestSnapshotReadZeroAlloc(t *testing.T) {
+	j, stream, feats := salesSchema(5, 300, 8, 4)
+	srv, err := New(j, "Sales", feats, Config{Lifted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, tu := range stream {
+		if err := srv.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		s := srv.Snapshot()
+		readSink += s.Count() + s.Sum(0) + s.Moment(0, 0) + s.Lifted.Count()
+	}); a != 0 {
+		t.Fatalf("snapshot read allocates %.1f/op, want 0", a)
+	}
+}
+
+// TestPublicationAllocsBounded pins the arena publication cost: one
+// epoch's snapshot — covariance triple, lifted payload, and all float
+// backing — must come from a constant two allocations (the arena struct
+// and one shared backing slice), independent of how much state the
+// maintainer holds. The writer is stopped first so the maintainer can
+// be read from the test goroutine.
+func TestPublicationAllocsBounded(t *testing.T) {
+	j, stream, feats := salesSchema(7, 300, 8, 4)
+	srv, err := New(j, "Sales", feats, Config{Lifted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range stream {
+		if err := srv.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		readSink += srv.buildSnapshot(1, 2, 3).Count()
+	}); a > 2 {
+		t.Fatalf("epoch publication allocates %.1f/op, want at most 2 (arena + backing)", a)
+	}
+}

@@ -20,14 +20,24 @@
 //     and lock-free internally. An update is a delete+insert pair the
 //     writer applies back to back, so no snapshot splits it.
 //
-//   - Batching. The writer applies ops as they arrive but publishes
-//     snapshots only every BatchSize ops or FlushInterval of
-//     quiescence, whichever comes first, amortizing the O(n²) snapshot
-//     copy across a batch.
+//   - Batching. The writer drains arriving ops into a batch of up to
+//     BatchSize and applies it through Maintainer.ApplyBatch: the
+//     per-tuple delta computation — read-only against batch-start
+//     state — fans out across the exec worker pool in morsels, then
+//     one short serial phase mutates rows, indexes, and views, so the
+//     maintainer still looks single-threaded to itself. A snapshot is
+//     published per batch, or after FlushInterval of quiescence,
+//     whichever comes first — amortizing both the O(n²) snapshot copy
+//     and the parallel fan-out across the batch. Published statistics
+//     are bitwise-identical to serial tuple-at-a-time application of
+//     the batch grouped by relation.
 //
 //   - Epoch/COW handoff. A publication deep-copies the maintained
-//     covariance triple (Maintainer.Snapshot) into an immutable Snapshot
-//     value and swaps it into an atomic pointer. A read is one atomic
+//     covariance triple (Maintainer.SnapshotInto) into an immutable
+//     Snapshot value and swaps it into an atomic pointer. Each epoch's
+//     storage is one arena — a header struct plus one float backing
+//     slice, two allocations regardless of payload shape — so steady-
+//     state publication cost is a pure copy. A read is one atomic
 //     load; the snapshot it returns never changes, so readers never
 //     block the writer and the writer never waits for readers.
 package serve
@@ -35,6 +45,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,17 +103,23 @@ func Strategies() []Strategy { return []Strategy{FIVM, HigherOrder, FirstOrder} 
 type Config struct {
 	// Strategy is the IVM maintenance strategy.
 	Strategy Strategy
-	// BatchSize is how many applied ops (inserts, deletes, updates)
-	// force a snapshot publication. Default 64.
+	// BatchSize is how many buffered ops (inserts, deletes, updates)
+	// force a batch application and snapshot publication. It is also
+	// the unit of morsel-parallel ingest: the writer hands batches of
+	// up to this size to Maintainer.ApplyBatch, whose delta phase fans
+	// out across the worker pool. Default 64.
 	BatchSize int
 	// FlushInterval bounds snapshot staleness: a partial batch is
-	// published after this long. Default 1ms.
+	// applied and published after this long. Default 1ms.
 	FlushInterval time.Duration
 	// QueueDepth is the ingest channel capacity; full queues apply
 	// backpressure to producers. Default 1024.
 	QueueDepth int
 	// Workers sizes the exec worker pool the maintainer's delta scans
-	// run on. Values below 2 select the serial kernels.
+	// and batch application run on. 0 (the zero value) resolves to
+	// runtime.GOMAXPROCS(0) — use all cores; 1 or negative selects the
+	// serial kernels explicitly. The resolved value is reported by
+	// Workers().
 	Workers int
 	// Lifted additionally maintains the lifted degree-2 ring (every
 	// moment of total degree ≤ 4 over the features) — the sufficient
@@ -122,6 +139,11 @@ func (c *Config) defaults() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
+	}
+	if c.Workers == 0 {
+		// The zero config must not be silently serial on a many-core
+		// box: default to one worker per available core.
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -200,6 +222,10 @@ type Server struct {
 	m        ivm.Maintainer
 	schemas  map[string]*relation.Relation
 	pool     *exec.Pool
+	// liftedRing is the maintainer's lifted ring (nil unless
+	// Config.Lifted), kept so epoch arenas can bind Poly2 elements over
+	// their own backing.
+	liftedRing *ring.Poly2Ring
 
 	in       chan op
 	snap     atomic.Pointer[Snapshot]
@@ -279,13 +305,24 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 	if rs, ok := m.(runtimeSettable); ok {
 		rs.SetRuntime(exec.Runtime{Workers: cfg.Workers, MorselSize: cfg.MorselSize, Pool: s.pool})
 	}
+	if proto := m.SnapshotLifted(); proto != nil {
+		s.liftedRing = proto.Ring()
+	}
 	// The initial snapshot is the empty epoch; a lifted server's empty
 	// epoch carries the lifted zero so readers can rely on Lifted being
 	// non-nil exactly when the server maintains it.
-	s.snap.Store(&Snapshot{Stats: (ring.CovarRing{N: len(features)}).Zero(), Lifted: m.SnapshotLifted()})
+	s.snap.Store(s.buildSnapshot(0, 0, 0))
 	go s.run()
 	return s, nil
 }
+
+// Workers reports the resolved worker-pool size: Config.Workers after
+// defaulting, so a zero config on an N-core machine reports N.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// MorselSize reports the configured exec scan granularity (0 =
+// automatic).
+func (s *Server) MorselSize() int { return s.cfg.MorselSize }
 
 // Features returns the maintained feature names, in snapshot index order.
 func (s *Server) Features() []string { return s.features }
@@ -431,8 +468,23 @@ func (s *Server) Close() error {
 	return s.applyErr
 }
 
+// batchOp converts one queued op to the maintainer's batch
+// representation (flush barriers never reach here).
+func (o op) batchOp() ivm.Op {
+	switch o.kind {
+	case opDelete:
+		return ivm.Op{Kind: ivm.OpDelete, Tuple: o.tuple}
+	case opUpdate:
+		return ivm.Op{Kind: ivm.OpUpdate, Tuple: o.tuple, Old: o.old}
+	default:
+		return ivm.Op{Kind: ivm.OpInsert, Tuple: o.tuple}
+	}
+}
+
 // run is the writer goroutine: the only goroutine that touches the
-// maintainer after New returns.
+// maintainer after New returns. It buffers arriving ops and applies
+// them in morsel-parallel batches (Maintainer.ApplyBatch) at batch
+// boundaries, flush barriers, timer expiry, and shutdown.
 func (s *Server) run() {
 	defer close(s.finished)
 	timer := time.NewTimer(s.cfg.FlushInterval)
@@ -443,33 +495,48 @@ func (s *Server) run() {
 		}
 	}
 	armed := false
+	buf := make([]ivm.Op, 0, s.cfg.BatchSize)
+	handle := func(o op) {
+		if o.flush != nil {
+			s.applyBatch(&buf)
+			s.publish()
+			o.flush <- s.applyErr
+			return
+		}
+		buf = append(buf, o.batchOp())
+	}
 	for {
 		select {
 		case <-s.stop:
 			for {
 				select {
 				case o := <-s.in:
-					s.apply(o)
+					handle(o)
+					if len(buf) >= s.cfg.BatchSize {
+						s.applyBatch(&buf)
+					}
 				default:
+					s.applyBatch(&buf)
 					s.publish()
 					return
 				}
 			}
 		case o := <-s.in:
-			s.apply(o)
+			handle(o)
 			// Greedy drain: everything already queued joins this batch,
-			// so a loaded server publishes once per BatchSize inserts
-			// rather than once per channel wakeup.
+			// so a loaded server applies one parallel batch and publishes
+			// once per BatchSize ops rather than once per channel wakeup.
 			more := true
-			for more && s.pending < s.cfg.BatchSize {
+			for more && len(buf) < s.cfg.BatchSize {
 				select {
 				case o2 := <-s.in:
-					s.apply(o2)
+					handle(o2)
 				default:
 					more = false
 				}
 			}
-			if s.pending >= s.cfg.BatchSize {
+			if len(buf) >= s.cfg.BatchSize {
+				s.applyBatch(&buf)
 				s.publish()
 				if armed {
 					if !timer.Stop() {
@@ -480,71 +547,87 @@ func (s *Server) run() {
 					}
 					armed = false
 				}
-			} else if s.pending > 0 && !armed {
+			} else if (len(buf) > 0 || s.pending > 0) && !armed {
 				timer.Reset(s.cfg.FlushInterval)
 				armed = true
 			}
 		case <-timer.C:
 			armed = false
+			s.applyBatch(&buf)
 			s.publish()
 		}
 	}
 }
 
-// apply executes one queued op on the writer goroutine.
-func (s *Server) apply(o op) {
-	if o.flush != nil {
-		s.publish()
-		o.flush <- s.applyErr
+// applyBatch applies the buffered ops through the maintainer's
+// morsel-parallel batch path and folds the result into the writer's
+// accounting. The buffer is reset for reuse.
+func (s *Server) applyBatch(buf *[]ivm.Op) {
+	if len(*buf) == 0 {
 		return
 	}
-	var err error
-	changed := false
-	switch o.kind {
-	case opInsert:
-		if err = s.m.Insert(o.tuple); err == nil {
-			s.inserts++
-			changed = true
-		}
-	case opDelete:
-		if err = s.m.Delete(o.tuple); err == nil {
-			s.deletes++
-			changed = true
-		}
-	case opUpdate:
-		// Strict update: when the retraction target is not live, the
-		// replacement is NOT inserted either (no silent upsert).
-		if err = s.m.Delete(o.old); err == nil {
-			s.deletes++
-			changed = true
-			if err = s.m.Insert(o.tuple); err == nil {
-				s.inserts++
-			}
-		}
-	}
-	if err != nil && s.applyErr == nil {
-		s.applyErr = err
-		e := err
+	res := s.m.ApplyBatch(*buf)
+	s.inserts += res.Inserts
+	s.deletes += res.Deletes
+	if res.Err != nil && s.applyErr == nil {
+		s.applyErr = res.Err
+		e := res.Err
 		s.lastErr.Store(&e)
 	}
-	if changed {
-		// The op (or its applied half) must reach a snapshot before it
-		// leaves the queue accounting.
-		s.pending++
-	} else {
-		// A fully failed op will never be covered by a snapshot.
-		s.queued.Add(-1)
+	// Ops that changed state (even half-applied updates) must reach a
+	// snapshot before leaving the queue accounting; fully failed ops
+	// will never be covered by one.
+	s.pending += len(*buf) - res.FullyFailed
+	if res.FullyFailed > 0 {
+		s.queued.Add(-int64(res.FullyFailed))
 	}
+	*buf = (*buf)[:0]
+}
+
+// pubArena is one epoch's publication storage: the snapshot header and
+// its ring elements in a single struct, their float payloads in a
+// single backing slice — two allocations per epoch regardless of
+// payload shape. Readers may hold the epoch indefinitely (the atomic
+// pointer handoff makes no liveness promise), so the arena is released
+// by the GC when its last reader drops it, never recycled in place.
+type pubArena struct {
+	snap   Snapshot
+	stats  ring.Covar
+	lifted ring.Poly2
+}
+
+// buildSnapshot copies the maintainer's current statistics into a
+// fresh epoch arena.
+func (s *Server) buildSnapshot(epoch, inserts, deletes uint64) *Snapshot {
+	n := len(s.features)
+	size := n + n*n
+	if s.liftedRing != nil {
+		size += s.liftedRing.Len()
+	}
+	a := &pubArena{}
+	back := make([]float64, size)
+	a.stats.N = n
+	a.stats.Sum = back[:n:n]
+	a.stats.Q = back[n : n+n*n : n+n*n]
+	s.m.SnapshotInto(&a.stats)
+	a.snap = Snapshot{Epoch: epoch, Inserts: inserts, Deletes: deletes, Stats: &a.stats}
+	if s.liftedRing != nil {
+		s.liftedRing.Bind(&a.lifted, back[n+n*n:])
+		s.m.SnapshotLiftedInto(&a.lifted)
+		a.snap.Lifted = &a.lifted
+	}
+	return &a.snap
 }
 
 // publish swaps in a fresh snapshot covering every applied op. It is a
-// no-op when nothing changed since the last publication.
+// no-op when nothing changed since the last publication — in
+// particular, a quiescent server's flush barriers allocate nothing.
 func (s *Server) publish() {
 	if s.pending == 0 {
 		return
 	}
 	s.epoch++
-	s.snap.Store(&Snapshot{Epoch: s.epoch, Inserts: s.inserts, Deletes: s.deletes, Stats: s.m.Snapshot(), Lifted: s.m.SnapshotLifted()})
+	s.snap.Store(s.buildSnapshot(s.epoch, s.inserts, s.deletes))
 	s.queued.Add(-int64(s.pending))
 	s.pending = 0
 }

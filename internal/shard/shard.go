@@ -82,6 +82,19 @@ type Server struct {
 	// pointer compare per read — the same shape as an unsharded read —
 	// instead of allocating a wrapper every time.
 	single atomic.Pointer[MergedSnapshot]
+	// merged memoizes the multi-shard fold the same way, keyed by the
+	// full vector of per-shard snapshot pointers: between publications
+	// every global read serves the cached fold (steady-state reads are
+	// allocation-free); any shard publishing invalidates it by pointer
+	// inequality.
+	merged atomic.Pointer[mergedMemo]
+}
+
+// mergedMemo pairs a folded view with the exact per-shard snapshots it
+// folded, for pointer-compare invalidation.
+type mergedMemo struct {
+	inners []*serve.Snapshot
+	view   *MergedSnapshot
 }
 
 // New starts a sharded server maintaining the covariance statistics of
@@ -135,6 +148,14 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 
 // NumShards returns the shard count.
 func (s *Server) NumShards() int { return len(s.shards) }
+
+// Workers reports the resolved per-shard worker-pool size (see
+// serve.Server.Workers); total ingest parallelism is Workers × Shards.
+func (s *Server) Workers() int { return s.shards[0].Workers() }
+
+// MorselSize reports the configured exec scan granularity (0 =
+// automatic), uniform across shards.
+func (s *Server) MorselSize() int { return s.shards[0].MorselSize() }
 
 // Features returns the maintained feature names, in snapshot index order.
 func (s *Server) Features() []string { return s.features }
@@ -272,7 +293,9 @@ func (m *MergedSnapshot) Sum(i int) float64 { return m.Stats.Sum[i] }
 func (m *MergedSnapshot) Moment(i, j int) float64 { return m.Stats.Q[i*m.Stats.N+j] }
 
 // Snapshot composes the current global view: one atomic load per shard,
-// then a ring-addition fold. On a single shard it returns the shard's
+// then a ring-addition fold — memoized per epoch vector, so between
+// publications repeated reads serve the same immutable view without
+// folding or allocating. On a single shard it returns the shard's
 // snapshot re-labelled — no fold, no copy, zero merge overhead — which
 // is what lets Shards=1 devolve to a plain server.
 func (s *Server) Snapshot() *MergedSnapshot {
@@ -297,12 +320,30 @@ func (s *Server) Snapshot() *MergedSnapshot {
 		s.single.Store(m)
 		return m
 	}
+	// Serve the memoized fold while no shard has republished: the memo
+	// is valid exactly when every shard still publishes the snapshot it
+	// was folded from (pointer identity — snapshots are immutable).
+	if memo := s.merged.Load(); memo != nil {
+		same := true
+		for i, sh := range s.shards {
+			if sh.Snapshot() != memo.inners[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return memo.view
+		}
+	}
+	inners := make([]*serve.Snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		inners[i] = sh.Snapshot()
+	}
 	m := &MergedSnapshot{Epochs: make([]uint64, len(s.shards)), Stats: s.ring.Zero()}
 	if s.lifted != nil {
 		m.Lifted = s.lifted.Zero()
 	}
-	for i, sh := range s.shards {
-		sn := sh.Snapshot()
+	for i, sn := range inners {
 		m.Epochs[i] = sn.Epoch
 		m.Epoch += sn.Epoch
 		m.Inserts += sn.Inserts
@@ -312,6 +353,10 @@ func (s *Server) Snapshot() *MergedSnapshot {
 			m.Lifted.AddInPlace(sn.Lifted)
 		}
 	}
+	// A racing publication can make the memo stale the instant it is
+	// stored; the view still folds exactly the snapshots in inners, and
+	// the next read rebuilds.
+	s.merged.Store(&mergedMemo{inners: inners, view: m})
 	return m
 }
 

@@ -35,8 +35,12 @@ type ServerOptions struct {
 	// QueueDepth is the ingest queue capacity; full queues apply
 	// backpressure to Insert callers (default 1024).
 	QueueDepth int
-	// Workers sizes the worker pool the maintainer's delta scans run
-	// on; values below 2 select the serial kernels.
+	// Workers sizes the worker pool the maintainer's delta scans and
+	// morsel-parallel batch application run on. 0 falls back to the
+	// query's Workers and, when that is also unset, to
+	// runtime.GOMAXPROCS(0) — use all cores; 1 or negative selects the
+	// serial kernels explicitly. The resolved value is reported by
+	// ServerStats.Workers.
 	Workers int
 	// Lifted additionally maintains the lifted degree-2 ring — every
 	// moment of total degree ≤ 4 over the features, the sufficient
@@ -170,6 +174,12 @@ type ServerStats struct {
 	Queued int
 	// Count is SUM(1) over the join at the current snapshot.
 	Count float64
+	// Workers is the resolved worker-pool size batches are applied with
+	// (ServerOptions.Workers after defaulting — a zero option on an
+	// N-core machine reports N). On a sharded server the aggregate row
+	// reports the per-shard value; total ingest parallelism is
+	// Workers × the shard count.
+	Workers int
 }
 
 // Stats reports the server's current epoch, applied op counts, queue
@@ -182,6 +192,7 @@ func (s *Server) Stats() ServerStats {
 		Deletes: snap.Deletes,
 		Queued:  s.inner.QueueLen(),
 		Count:   snap.Count(),
+		Workers: s.inner.Workers(),
 	}
 }
 

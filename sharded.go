@@ -143,7 +143,9 @@ type ShardedServerStats struct {
 // counts, queue depths, and partition cardinalities.
 func (s *ShardedServer) Stats() ShardedServerStats {
 	rows := s.inner.Stats()
+	workers := s.inner.Workers()
 	out := ShardedServerStats{Shards: make([]ServerStats, len(rows))}
+	out.Workers = workers
 	for i, r := range rows {
 		out.Shards[i] = ServerStats{
 			Epoch:   r.Epoch,
@@ -151,6 +153,7 @@ func (s *ShardedServer) Stats() ShardedServerStats {
 			Deletes: r.Deletes,
 			Queued:  r.Queued,
 			Count:   r.Count,
+			Workers: workers,
 		}
 		out.Epoch += r.Epoch
 		out.Inserts += r.Inserts
