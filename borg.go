@@ -32,6 +32,7 @@ package borg
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"borg/internal/core"
 	"borg/internal/datagen"
@@ -251,10 +252,18 @@ func (q *Query) tree() (*query.JoinTree, error) {
 
 // rootOrLargest resolves the pinned join-tree root, defaulting to the
 // largest relation (the fact table, in the evaluated schemas) — the
-// root-selection rule shared by the streaming and serving facades.
-func (q *Query) rootOrLargest() string {
+// root-selection rule shared by the streaming and serving facades. A
+// pinned root that names no relation of the join is rejected here, with
+// the available relations spelled out, instead of surfacing as an
+// opaque join-tree failure downstream.
+func (q *Query) rootOrLargest() (string, error) {
 	if q.Root != "" {
-		return q.Root
+		for _, r := range q.join.Relations {
+			if r.Name == q.Root {
+				return q.Root, nil
+			}
+		}
+		return "", fmt.Errorf("borg: root %s is not a relation of the join; the join's relations are %s", q.Root, strings.Join(q.relationNames(), ", "))
 	}
 	best := q.join.Relations[0]
 	for _, r := range q.join.Relations[1:] {
@@ -262,7 +271,16 @@ func (q *Query) rootOrLargest() string {
 			best = r
 		}
 	}
-	return best.Name
+	return best.Name, nil
+}
+
+// relationNames lists the join's relations in declaration order.
+func (q *Query) relationNames() []string {
+	out := make([]string, len(q.join.Relations))
+	for i, r := range q.join.Relations {
+		out[i] = r.Name
+	}
+	return out
 }
 
 func (q *Query) opts() core.Options {

@@ -18,12 +18,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 3, 4l, 4r, 5, 6, compress, ifaq, ineq, reuse, exec, serve, shard, models, scale, or all (the paper figures; exec, serve, shard, models, and scale run individually)")
+	fig := flag.String("fig", "all", "experiment: 3, 4l, 4r, 5, 6, compress, ifaq, ineq, reuse, exec, serve, shard, models, catzoo, scale, or all (the paper figures; exec, serve, shard, models, catzoo, and scale run individually)")
 	sf := flag.Float64("sf", 0.2, "dataset scale factor (1.0 = full laptop-scale run)")
 	seed := flag.Uint64("seed", 2020, "random seed for data generation")
 	workers := flag.Int("workers", 2, "LMFAO worker goroutines")
 	budget := flag.Duration("budget", 5*time.Second, "per-strategy time budget for the IVM experiment")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (supported by -fig exec, serve, shard, and models)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (supported by -fig exec, serve, shard, models, catzoo, and scale)")
 	flag.Parse()
 
 	o := bench.Options{Out: os.Stdout, Seed: *seed, SF: *sf, Workers: *workers, Budget: *budget, JSON: *jsonOut}
@@ -41,6 +41,7 @@ func main() {
 		"serve":    bench.ServeBenchTable,
 		"shard":    bench.ShardBenchTable,
 		"models":   bench.ModelsBenchTable,
+		"catzoo":   bench.CatZooBenchTable,
 		"scale":    bench.ScaleBenchTable,
 		"all":      bench.All,
 	}

@@ -15,6 +15,11 @@
 //   - the model-zoo benchmark (`-fig models`, per model-kind × strategy
 //     cell, compared on snapshot trainings/sec — so a regression in the
 //     epoch→model path of any model kind trips the gate), and
+//   - the categorical-zoo benchmark (`-fig catzoo`, per kind × strategy
+//     × payload cell: cofactor-payload ingest throughput plus
+//     snapshot-training rates of the mixed continuous/categorical kinds
+//     — one-hot linreg, varying-coefficients polyreg, Chow–Liu,
+//     categorical trees, LS-SVM), and
 //   - the multi-core ingest benchmark (`-fig scale`, per strategy ×
 //     GOMAXPROCS × shard-count × mix cell on applied ops/sec, plus a
 //     scaling-efficiency floor: on hosts with 4+ CPUs the best
@@ -28,11 +33,13 @@
 //	borg-bench -fig serve -json > serve-fresh.json
 //	borg-bench -fig shard -json > shard-fresh.json
 //	borg-bench -fig models -json > models-fresh.json
+//	borg-bench -fig catzoo -json > catzoo-fresh.json
 //	borg-bench -fig scale -json > scale-fresh.json
 //	borg-perfgate -baseline benchmarks/baseline.json -fresh exec-fresh.json \
 //	              -serve-baseline benchmarks/serve.json -serve-fresh serve-fresh.json \
 //	              -shard-baseline benchmarks/shard.json -shard-fresh shard-fresh.json \
 //	              -models-baseline benchmarks/models.json -models-fresh models-fresh.json \
+//	              -catzoo-baseline benchmarks/catzoo.json -catzoo-fresh catzoo-fresh.json \
 //	              -scale-baseline benchmarks/scale.json -scale-fresh scale-fresh.json
 //
 // The tolerance is deliberately generous — CI runners are noisy and the
@@ -80,6 +87,8 @@ func main() {
 	shardFreshPath := flag.String("shard-fresh", "", "fresh sharded-serving report to gate")
 	modelsBaselinePath := flag.String("models-baseline", "benchmarks/models.json", "committed model-zoo baseline report")
 	modelsFreshPath := flag.String("models-fresh", "", "fresh model-zoo report to gate")
+	catZooBaselinePath := flag.String("catzoo-baseline", "benchmarks/catzoo.json", "committed categorical-zoo baseline report")
+	catZooFreshPath := flag.String("catzoo-fresh", "", "fresh categorical-zoo report to gate")
 	scaleBaselinePath := flag.String("scale-baseline", "benchmarks/scale.json", "committed multi-core ingest baseline report")
 	scaleFreshPath := flag.String("scale-fresh", "", "fresh multi-core ingest report to gate")
 	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
@@ -104,8 +113,8 @@ func main() {
 		}
 		*minScale = v
 	}
-	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" && *scaleFreshPath == "" {
-		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, -models-fresh, or -scale-fresh is required"))
+	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" && *catZooFreshPath == "" && *scaleFreshPath == "" {
+		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, -models-fresh, -catzoo-fresh, or -scale-fresh is required"))
 	}
 	failed := false
 	if *freshPath != "" {
@@ -119,6 +128,9 @@ func main() {
 	}
 	if *modelsFreshPath != "" {
 		failed = gateModels(*modelsBaselinePath, *modelsFreshPath, *maxRatio) || failed
+	}
+	if *catZooFreshPath != "" {
+		failed = gateCatZoo(*catZooBaselinePath, *catZooFreshPath, *maxRatio) || failed
 	}
 	if *scaleFreshPath != "" {
 		failed = gateScale(*scaleBaselinePath, *scaleFreshPath, *maxRatio, *minScale) || failed
@@ -312,6 +324,38 @@ func gateModels(baselinePath, freshPath string, maxRatio float64) bool {
 		return out
 	}
 	return gateThroughput("models", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
+}
+
+// gateCatZoo compares the categorical-zoo report per kind × strategy ×
+// payload cell: the "ingest" cells gate cofactor maintenance throughput
+// and the model cells gate snapshot trainings/sec, so both halves of
+// the categorical pipeline — statistics production and consumption —
+// are regression-gated. Loading and training are single-threaded at the
+// cell level (clients = 1). Returns true when any cell regressed.
+func gateCatZoo(baselinePath, freshPath string, maxRatio float64) bool {
+	base, err := loadReport[bench.CatZooReport](baselinePath, func(r *bench.CatZooReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport[bench.CatZooReport](freshPath, func(r *bench.CatZooReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	ensureComparable("catzoo", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("catzoo", reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env))
+	cells := func(cs []bench.CatZooCell) []throughputCell {
+		out := make([]throughputCell, len(cs))
+		for i, c := range cs {
+			out[i] = throughputCell{
+				key:     fmt.Sprintf("%s|%s|%s", c.Kind, c.Strategy, c.Payload),
+				label:   fmt.Sprintf("%s %s %s", c.Kind, c.Strategy, c.Payload),
+				ops:     c.OpsPerSec,
+				clients: 1,
+			}
+		}
+		return out
+	}
+	return gateThroughput("catzoo", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
 }
 
 // opsPerSec reads a cell's applied-op throughput, falling back to the

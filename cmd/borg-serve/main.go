@@ -6,16 +6,25 @@
 // Every relation carries the tenant key "store", so the service shards
 // horizontally: -shards N hash-partitions ingest by -partition-by
 // (default "store") across N independent serving shards — each with its
-// own IVM maintainer and single-writer queue — while /stats and /model
-// serve ring-merged global views. Tuples stream in through POST /insert
-// (inserts, deletes, and updates) while GET /stats and GET /model serve
+// own IVM maintainer and single-writer queue — while /stats and the
+// model endpoints serve ring-merged global views. Tuples stream in
+// through POST /insert (inserts, deletes, and updates) while reads serve
 // snapshot-consistent statistics and freshly trained models to any
 // number of concurrent clients — writes never block reads and reads
 // never block writes.
 //
+// -payload selects the maintained ring statistics and, with them, the
+// trainable model zoo:
+//
+//	covar     covariance triple: linreg, pca, kmeans
+//	poly2     + lifted degree-2 ring: polyreg (continuous pairs)
+//	cofactor  + categorical cofactor group maps over item and store:
+//	          one-hot linreg, varying-coefficients polyreg, chowliu,
+//	          ctree, svm  (the default)
+//
 // Usage:
 //
-//	borg-serve -addr :8080 -strategy fivm -batch 64 -flush 1ms -shards 4 -partition-by store
+//	borg-serve -addr :8080 -strategy fivm -payload cofactor -shards 4 -partition-by store
 //
 // -pprof additionally mounts the Go runtime profiling endpoints under
 // /debug/pprof/ (opt-in; exposes internals — keep it off on untrusted
@@ -33,39 +42,31 @@
 //	                fail: 207 with per-row errors; if all fail: 400.
 //	DELETE /insert  same body; every row is treated as a delete.
 //	GET  /stats     {"epoch", "inserts", "deletes", "queued", "count",
-//	                 "means": {...}, "shards": [{"shard", "epoch",
-//	                 "inserts", "deletes", "queued", "count"}, ...],
-//	                 "last_error": null | "..."}
-//	                The top-level fields aggregate across shards (epoch
-//	                is the sum of shard epochs); "shards" reports each
-//	                shard's own epoch and queue depth. last_error
-//	                reports the first asynchronous maintenance failure
-//	                (e.g. a delete whose target was never live) on any
-//	                shard, which cannot be reported on the insert
-//	                response.
-//	GET  /model?kind=linreg|pca|polyreg|kmeans&...
-//	                The snapshot model zoo: every kind trains purely from
-//	                the current epoch's ring statistics (ring-merged
-//	                across shards), identical to an unsharded model.
-//	                  kind=linreg  (default): ?response=units&lambda=0.001
-//	                    &max_iters=50000&tol=1e-10 →
-//	                    {"epoch", "count", "response", "lambda",
-//	                     "intercept", "coefficients", "converged",
-//	                     "iterations"}
-//	                  kind=polyreg: ?response=units&lambda=0.001 →
-//	                    linear + "pair_coefficients" (requires -lifted)
-//	                  kind=pca: ?k=2 →
-//	                    {"components", "eigenvalues", "means"}
-//	                  kind=kmeans: ?k=3 →
-//	                    {"centers", "total_variance"}
-//	                Bad kinds or query params are 400; an empty join (no
-//	                model to train — the degenerate-snapshot contract) is
-//	                409, never a 200 with NaNs in the body.
-//	POST /predict   {"kind": "linreg|polyreg", "response": "units",
-//	                 "lambda": 0.001, "features": {"price": 6, "area": 120}}
-//	                → {"prediction": ...}; kind=pca projects instead:
-//	                {"kind": "pca", "k": 2, "features": {...}} →
-//	                {"projection": [...]}.
+//	                 "means": {...}, "shards": [...], "last_error": ...}
+//	POST /v1/model  The snapshot model zoo behind one JSON request:
+//	                  {"kind": "linreg|polyreg|pca|kmeans|chowliu|ctree|svm",
+//	                   "params": {"response": "units", "lambda": 0.001,
+//	                              "k": 2, "max_iters": 50000, "tol": 1e-10,
+//	                              "max_depth": 4, "min_rows": 2},
+//	                   "predict": {"values": {"price": 6, "area": 120},
+//	                               "cats": {"item": "patty", "store": "s1"}}}
+//	                Every kind trains purely from the current epoch's
+//	                ring statistics (ring-merged across shards),
+//	                identical to an unsharded model. "params" keys are
+//	                per kind (all optional); the optional "predict"
+//	                object evaluates the freshly trained model and adds
+//	                "prediction" (regressions), "projection" (pca), or
+//	                "decision"/"class" (svm) to the response. Bad kinds
+//	                or params are 400; a model kind whose ring payload
+//	                the server does not maintain, or an empty join, is
+//	                409 — never a 200 with NaNs in the body.
+//	GET  /model     Deprecated query-string adapter for POST /v1/model
+//	                (?kind=...&response=...&lambda=...); same kinds, same
+//	                statuses, response carries "Deprecation: true" and a
+//	                successor Link header.
+//	POST /predict   Deprecated adapter for POST /v1/model with "predict";
+//	                {"kind", "response", "lambda", "k", "features": {...},
+//	                 "cats": {...}} → {"prediction"|"projection": ...}.
 //	GET  /healthz   200 {"status": "ok"}
 package main
 
@@ -91,7 +92,13 @@ import (
 	"borg"
 )
 
-var features = []string{"units", "price", "area"}
+// contFeatures are the demo schema's continuous features; catFeatures
+// the categorical ones maintained as cofactor group-by slots when
+// -payload cofactor.
+var (
+	contFeatures = []string{"units", "price", "area"}
+	catFeatures  = []string{"item", "store"}
+)
 
 type insertReq struct {
 	Rel    string `json:"rel"`
@@ -134,12 +141,37 @@ func main() {
 	flush := flag.Duration("flush", time.Millisecond, "max snapshot staleness for a partial batch")
 	queue := flag.Int("queue", 1024, "ingest queue depth (backpressure beyond it)")
 	workers := flag.Int("workers", 2, "exec worker pool size for maintenance scans")
-	lifted := flag.Bool("lifted", true, "maintain the lifted degree-2 ring so kind=polyreg can train (constant-factor maintenance cost)")
+	payload := flag.String("payload", "", `ring payload: "covar", "poly2" (lifted degree-2, enables polyreg pairs), or "cofactor" (categorical group maps, enables the full zoo; the default)`)
+	lifted := flag.Bool("lifted", false, "deprecated: equivalent to -payload poly2 when -payload is unset")
 	shards := flag.Int("shards", 1, "serving shards; ingest is hash-partitioned across them and reads are ring-merged")
 	partitionBy := flag.String("partition-by", "store", "partition attribute (must appear in every relation of the join)")
 	oneShot := flag.Bool("oneshot", false, "start, self-check the endpoints, and exit (CI smoke)")
 	pprofOn := flag.Bool("pprof", false, "expose Go runtime profiling under /debug/pprof/ (opt-in; do not enable on untrusted networks)")
 	flag.Parse()
+
+	opt := borg.ServerOptions{
+		Strategy:      *strategy,
+		BatchSize:     *batch,
+		FlushInterval: *flush,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+	}
+	switch *payload {
+	case "covar":
+		opt.Payload = borg.PayloadCovar
+	case "poly2":
+		opt.Payload = borg.PayloadPoly2
+	case "cofactor":
+		opt.Payload = borg.PayloadCofactor
+	case "":
+		if *lifted {
+			opt.Payload = borg.PayloadPoly2
+		} else {
+			opt.Payload = borg.PayloadCofactor
+		}
+	default:
+		log.Fatalf("borg-serve: unknown -payload %q (want covar, poly2, or cofactor)", *payload)
+	}
 
 	db := borg.NewDatabase()
 	db.AddRelation("Sales", borg.Cat("item"), borg.Cat("store"), borg.Num("units"))
@@ -149,17 +181,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	features := contFeatures
+	if opt.Payload == borg.PayloadCofactor {
+		features = append(append([]string(nil), contFeatures...), catFeatures...)
+	}
 	srv, err := q.ServeSharded(features, borg.ShardOptions{
-		ServerOptions: borg.ServerOptions{
-			Strategy:      *strategy,
-			BatchSize:     *batch,
-			FlushInterval: *flush,
-			QueueDepth:    *queue,
-			Workers:       *workers,
-			Lifted:        *lifted,
-		},
-		Shards:      *shards,
-		PartitionBy: *partitionBy,
+		ServerOptions: opt,
+		Shards:        *shards,
+		PartitionBy:   *partitionBy,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -189,7 +218,7 @@ func main() {
 		defer done()
 		_ = httpSrv.Shutdown(shutCtx)
 	}()
-	log.Printf("borg-serve: %s strategy, %d shard(s) partitioned by %q, listening on %s", *strategy, srv.NumShards(), *partitionBy, *addr)
+	log.Printf("borg-serve: %s strategy, %s payload, %d shard(s) partitioned by %q, listening on %s", *strategy, srv.Payload(), srv.NumShards(), *partitionBy, *addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -201,16 +230,20 @@ func main() {
 	}
 }
 
+// allKinds is every model kind the zoo can serve, in documentation
+// order.
+var allKinds = []string{"linreg", "polyreg", "pca", "kmeans", "chowliu", "ctree", "svm"}
+
 // selfCheck drives every endpoint once through the handler (no network),
 // so CI can smoke-test the whole service path in one process — at any
-// shard count, since the endpoints are shard-transparent.
+// shard count and payload, since the endpoints are shard-transparent and
+// payload gating is part of the contract under test.
 func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	do := func(method, path, body string) (int, string) {
-		req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, req)
-		return rec.Code, rec.Body.String()
+		code, b, _ := doHeader(h, method, path, body)
+		return code, b
 	}
+	pl := srv.Payload()
 	count := func() (float64, error) {
 		if err := srv.Flush(); err != nil {
 			return 0, err
@@ -242,14 +275,23 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	}
 	// The degenerate-snapshot contract, before anything streams in: an
 	// empty join trains NO model of any kind — 409, never a 200 carrying
-	// NaNs — while /stats stays a healthy 200 reporting count 0.
-	for _, kind := range []string{"linreg", "pca", "polyreg", "kmeans"} {
-		code, body := do("GET", "/model?kind="+kind, "")
+	// NaNs — whether because the join is empty or because the payload is
+	// not maintained; /stats stays a healthy 200 reporting count 0. Both
+	// the v1 route and the deprecated GET adapter honor it.
+	for _, kind := range allKinds {
+		code, body := do("POST", "/v1/model", `{"kind": "`+kind+`"}`)
+		if code != http.StatusConflict {
+			return fmt.Errorf("v1 model kind=%s on empty join: %d %s, want 409", kind, code, body)
+		}
+		if strings.Contains(body, "NaN") {
+			return fmt.Errorf("v1 model kind=%s on empty join leaked NaN: %s", kind, body)
+		}
+		code, body, hdr := doHeader(h, "GET", "/model?kind="+kind, "")
 		if code != http.StatusConflict {
 			return fmt.Errorf("model kind=%s on empty join: %d %s, want 409", kind, code, body)
 		}
-		if strings.Contains(body, "NaN") {
-			return fmt.Errorf("model kind=%s on empty join leaked NaN: %s", kind, body)
+		if hdr.Get("Deprecation") == "" {
+			return fmt.Errorf("GET /model response is missing the Deprecation header")
 		}
 	}
 	if c, err := count(); err != nil || c != 0 {
@@ -258,68 +300,140 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 
 	if code, body := do("POST", "/insert", `[
 		{"rel": "Items", "values": ["patty", "s1", 6]},
+		{"rel": "Items", "values": ["bun", "s2", 2]},
 		{"rel": "Stores", "values": ["s1", 120]},
+		{"rel": "Stores", "values": ["s2", 80]},
 		{"rel": "Sales", "values": ["patty", "s1", 3]},
-		{"rel": "Sales", "values": ["patty", "s1", 5]}
+		{"rel": "Sales", "values": ["patty", "s1", 5]},
+		{"rel": "Sales", "values": ["bun", "s2", 4]}
 	]`); code != http.StatusOK {
 		return fmt.Errorf("insert: %d %s", code, body)
 	}
-	if c, err := count(); err != nil || c != 2 {
-		return fmt.Errorf("count after inserts = %v, want 2 (%v)", c, err)
+	if c, err := count(); err != nil || c != 3 {
+		return fmt.Errorf("count after inserts = %v, want 3 (%v)", c, err)
 	}
 
-	// The model zoo: every kind trains from the same epoch statistics.
+	// The model zoo over the v1 route: every payload-supported kind
+	// trains from the same epoch statistics; the rest refuse with 409.
+	var zoo, gated []string
+	zoo = append(zoo, `{"kind": "linreg", "params": {"response": "units", "lambda": 0.001}}`,
+		`{"kind": "linreg", "params": {"max_iters": 20000, "tol": 1e-8}}`,
+		`{"kind": "pca", "params": {"k": 2}}`,
+		`{"kind": "kmeans", "params": {"k": 3}}`)
+	switch pl {
+	case borg.PayloadPoly2:
+		zoo = append(zoo, `{"kind": "polyreg", "params": {"response": "units"}}`)
+		gated = append(gated, "chowliu", "ctree", "svm")
+	case borg.PayloadCofactor:
+		zoo = append(zoo,
+			`{"kind": "polyreg", "params": {"response": "units"}}`,
+			`{"kind": "chowliu"}`,
+			`{"kind": "ctree", "params": {"response": "units", "max_depth": 3}}`,
+			`{"kind": "svm", "params": {"response": "units", "lambda": 0.01}}`)
+	default:
+		gated = append(gated, "polyreg", "chowliu", "ctree", "svm")
+	}
+	for _, body := range zoo {
+		if code, out := do("POST", "/v1/model", body); code != http.StatusOK {
+			return fmt.Errorf("v1 model %s: %d %s", body, code, out)
+		}
+	}
+	for _, kind := range gated {
+		if code, out := do("POST", "/v1/model", `{"kind": "`+kind+`"}`); code != http.StatusConflict {
+			return fmt.Errorf("v1 model kind=%s without its payload: %d %s, want 409", kind, code, out)
+		}
+	}
+	// The deprecated GET adapter serves the same kinds with the same
+	// statuses, plus the Deprecation/Link headers.
 	var linreg struct {
 		Converged  bool `json:"converged"`
 		Iterations int  `json:"iterations"`
 	}
-	code, body := do("GET", "/model?response=units&lambda=0.001", "")
+	code, body, hdr := doHeader(h, "GET", "/model?response=units&lambda=0.001", "")
 	if code != http.StatusOK {
 		return fmt.Errorf("model: %d %s", code, body)
+	}
+	if hdr.Get("Deprecation") == "" || !strings.Contains(hdr.Get("Link"), "/v1/model") {
+		return fmt.Errorf("GET /model is missing the Deprecation/Link headers")
 	}
 	if err := json.Unmarshal([]byte(body), &linreg); err != nil || !linreg.Converged {
 		return fmt.Errorf("linreg convergence not reported: %s (%v)", body, err)
 	}
-	zoo := []string{"kind=pca&k=2", "kind=kmeans&k=3", "kind=linreg&max_iters=20000&tol=1e-8"}
-	if srv.CovarSnapshot().Lifted() {
-		zoo = append(zoo, "kind=polyreg&response=units")
-	} else if code, body := do("GET", "/model?kind=polyreg", ""); code != http.StatusConflict {
-		return fmt.Errorf("polyreg without -lifted: %d %s, want 409", code, body)
+	legacy := []string{"kind=pca&k=2", "kind=kmeans&k=3"}
+	if pl == borg.PayloadCofactor {
+		legacy = append(legacy, "kind=chowliu", "kind=ctree&response=units", "kind=svm&response=units")
 	}
-	for _, q := range zoo {
+	for _, q := range legacy {
 		if code, body := do("GET", "/model?"+q, ""); code != http.StatusOK {
 			return fmt.Errorf("model?%s: %d %s", q, code, body)
 		}
 	}
-	// Malformed model queries are client errors (400), not server faults.
+	// Categorical predictions: the cofactor payload's models evaluate on
+	// mixed continuous values + category strings, in the same request
+	// that trains them.
+	if pl == borg.PayloadCofactor {
+		code, body := do("POST", "/v1/model", `{
+			"kind": "linreg", "params": {"response": "units"},
+			"predict": {"values": {"price": 6, "area": 120}, "cats": {"item": "patty", "store": "s1"}}}`)
+		if code != http.StatusOK || !strings.Contains(body, "prediction") {
+			return fmt.Errorf("v1 categorical linreg predict: %d %s", code, body)
+		}
+		code, body = do("POST", "/v1/model", `{
+			"kind": "svm", "params": {"response": "units"},
+			"predict": {"values": {"price": 6, "area": 120}, "cats": {"item": "patty", "store": "s1"}}}`)
+		if code != http.StatusOK || !strings.Contains(body, "class") {
+			return fmt.Errorf("v1 svm classify: %d %s", code, body)
+		}
+		// A predict body that omits a categorical feature is a client
+		// error, not a server fault.
+		if code, body := do("POST", "/v1/model", `{
+			"kind": "linreg", "params": {"response": "units"},
+			"predict": {"values": {"price": 6, "area": 120}}}`); code != http.StatusBadRequest {
+			return fmt.Errorf("v1 predict missing cats: %d %s, want 400", code, body)
+		}
+	}
+	// Malformed model requests are client errors (400), not server
+	// faults — on both routes.
 	for _, q := range []string{
 		"kind=transformer", "kind=pca&k=zero", "kind=kmeans&k=-3",
 		"lambda=banana", "response=ghost", "kind=linreg&max_iters=0", "tol=-1",
+		"kind=ctree&max_depth=-1", "kind=ctree&min_rows=banana",
 	} {
 		if code, body := do("GET", "/model?"+q, ""); code != http.StatusBadRequest {
 			return fmt.Errorf("model?%s: %d %s, want 400", q, code, body)
 		}
 	}
-	// Prediction round trips: regression kinds predict, pca projects.
+	for _, body := range []string{
+		`{"kind": "transformer"}`,
+		`{"kind": "pca", "params": {"k": -1}}`,
+		`{"kind": "kmeans", "predict": {"values": {"price": 6}}}`,
+		`not json`,
+	} {
+		if code, out := do("POST", "/v1/model", body); code != http.StatusBadRequest {
+			return fmt.Errorf("v1 model %s: %d %s, want 400", body, code, out)
+		}
+	}
+	// Deprecated prediction round trips: regression kinds predict, pca
+	// projects, and the adapter carries the Deprecation header.
 	var pred struct {
 		Prediction float64 `json:"prediction"`
 	}
-	regKind := "linreg"
-	if srv.CovarSnapshot().Lifted() {
-		regKind = "polyreg"
+	regBody := `{"kind": "linreg", "response": "units", "features": {"price": 6, "area": 120}}`
+	if pl == borg.PayloadCofactor {
+		regBody = `{"kind": "linreg", "response": "units", "features": {"price": 6, "area": 120}, "cats": {"item": "patty", "store": "s1"}}`
 	}
-	code, body = do("POST", "/predict", `{"kind": "`+regKind+`", "response": "units", "features": {"price": 6, "area": 120}}`)
+	code, body, hdr = doHeader(h, "POST", "/predict", regBody)
 	if code != http.StatusOK {
-		return fmt.Errorf("predict %s: %d %s", regKind, code, body)
+		return fmt.Errorf("predict linreg: %d %s", code, body)
+	}
+	if hdr.Get("Deprecation") == "" {
+		return fmt.Errorf("POST /predict is missing the Deprecation header")
 	}
 	if err := json.Unmarshal([]byte(body), &pred); err != nil {
 		return fmt.Errorf("predict body: %v", err)
 	}
 	if code, body := do("POST", "/predict", `{"kind": "pca", "k": 1, "features": {"units": 4, "price": 6, "area": 120}}`); code != http.StatusOK || !strings.Contains(body, "projection") {
 		return fmt.Errorf("predict pca: %d %s", code, body)
-	}
-	if code, body := do("POST", "/predict", `{"kind": "linreg", "features": {"price": 6}}`); code != http.StatusBadRequest {
-		return fmt.Errorf("predict with missing feature: %d %s, want 400", code, body)
 	}
 	if code, body := do("POST", "/predict", `{"kind": "kmeans", "features": {"price": 6}}`); code != http.StatusBadRequest {
 		return fmt.Errorf("predict kmeans: %d %s, want 400", code, body)
@@ -336,19 +450,19 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	if code, body := do("POST", "/insert", `{"rel": "Sales", "values": ["patty", "s1", 5], "op": "delete"}`); code != http.StatusOK {
 		return fmt.Errorf("delete op: %d %s", code, body)
 	}
-	if c, err := count(); err != nil || c != 1 {
-		return fmt.Errorf("count after delete = %v, want 1 (%v)", c, err)
+	if c, err := count(); err != nil || c != 2 {
+		return fmt.Errorf("count after delete = %v, want 2 (%v)", c, err)
 	}
 	if code, body := do("POST", "/insert", `{"rel": "Sales", "values": ["patty", "s1", 3], "op": "update", "new": ["patty", "s1", 7]}`); code != http.StatusOK {
 		return fmt.Errorf("update op: %d %s", code, body)
 	}
-	if c, err := count(); err != nil || c != 1 {
-		return fmt.Errorf("count after update = %v, want 1 (%v)", c, err)
+	if c, err := count(); err != nil || c != 2 {
+		return fmt.Errorf("count after update = %v, want 2 (%v)", c, err)
 	}
-	if m, err := srv.Mean("units"); err != nil || m != 7 {
-		return fmt.Errorf("mean(units) after update = %v, want 7 (%v)", m, err)
-	}
-	if code, body := do("DELETE", "/insert", `{"rel": "Sales", "values": ["patty", "s1", 7]}`); code != http.StatusOK {
+	if code, body := do("DELETE", "/insert", `[
+		{"rel": "Sales", "values": ["patty", "s1", 7]},
+		{"rel": "Sales", "values": ["bun", "s2", 4]}
+	]`); code != http.StatusOK {
 		return fmt.Errorf("DELETE method: %d %s", code, body)
 	}
 	if c, err := count(); err != nil || c != 0 {
@@ -361,7 +475,7 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	// Array status semantics: partial failure is 207 with per-row
 	// errors, total failure is 400 — never a blanket 200.
 	code, body = do("POST", "/insert", `[
-		{"rel": "Items", "values": ["bun", "s1", 2]},
+		{"rel": "Items", "values": ["onion", "s1", 2]},
 		{"rel": "Nope", "values": []}
 	]`)
 	if code != http.StatusMultiStatus {
@@ -387,15 +501,24 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 
 	// Churned-to-empty is the same degenerate state as never-populated:
 	// every Sales row was retracted above, so the join is empty again and
-	// every trainer must refuse with 409 — the bug class this release
-	// fixes is exactly a 200 full of NaNs here.
-	for _, kind := range []string{"linreg", "pca", "polyreg", "kmeans"} {
-		code, body := do("GET", "/model?kind="+kind, "")
+	// every trainer must refuse with 409 — the bug class this contract
+	// rules out is exactly a 200 full of NaNs here.
+	for _, kind := range allKinds {
+		code, body := do("POST", "/v1/model", `{"kind": "`+kind+`"}`)
 		if code != http.StatusConflict {
-			return fmt.Errorf("model kind=%s on churned-to-empty join: %d %s, want 409", kind, code, body)
+			return fmt.Errorf("v1 model kind=%s on churned-to-empty join: %d %s, want 409", kind, code, body)
 		}
 	}
 	return nil
+}
+
+// doHeader drives one request through the handler and returns status,
+// body, and response headers.
+func doHeader(h http.Handler, method, path, body string) (int, string, http.Header) {
+	req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String(), rec.Result().Header
 }
 
 // withPprof mounts the Go runtime profiling endpoints beside the
@@ -412,6 +535,13 @@ func withPprof(h http.Handler) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/", h)
 	return mux
+}
+
+// markDeprecated stamps a legacy endpoint's response with the RFC 8594
+// Deprecation header and a Link to the successor route.
+func markDeprecated(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/model>; rel="successor-version"`)
 }
 
 // newHandler wires the endpoints over a running (possibly sharded)
@@ -467,8 +597,8 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 		// rows are inherently live readings taken alongside (each shard
 		// row is itself consistent — one snapshot load per shard).
 		snap := srv.CovarSnapshot()
-		means := make(map[string]float64, len(features))
-		for _, f := range features {
+		means := make(map[string]float64, len(contFeatures))
+		for _, f := range contFeatures {
 			m, err := snap.Mean(f)
 			if errors.Is(err, borg.ErrEmptySnapshot) {
 				// /stats is a health view, not a trainer: an empty join is
@@ -508,56 +638,105 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 			"last_error": lastErr,
 		})
 	})
-	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
-		p, err := parseModelParams(r.URL.Query())
-		if err != nil {
-			// Malformed client input — unknown kind, unknown response
-			// attribute, unparsable numbers — is 400, not 500: nothing
-			// broke on the server.
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		snap := srv.CovarSnapshot()
-		body, err := trainModel(snap, p)
-		if err != nil {
-			httpError(w, modelStatus(err), err)
-			return
-		}
-		body["epoch"] = snap.Epoch()
-		body["count"] = snap.Count()
-		body["kind"] = p.kind
-		writeJSON(w, http.StatusOK, body)
-	})
-	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/model", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		var req predictReq
+		var req v1ModelReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad predict body: %v", err))
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad model body: %v", err))
 			return
 		}
-		p, err := req.params()
+		serveModel(w, srv, req)
+	})
+	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
+		// Deprecated adapter: the query string maps onto a v1 body.
+		markDeprecated(w)
+		req, err := queryToV1(r.URL.Query())
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		snap := srv.CovarSnapshot()
-		out, err := predict(snap, p, req.Features)
+		serveModel(w, srv, req)
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		// Deprecated adapter: the flat predict body maps onto a v1 body
+		// with a "predict" object.
+		markDeprecated(w)
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
-			httpError(w, modelStatus(err), err)
+			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		out["epoch"] = snap.Epoch()
-		out["kind"] = p.kind
-		writeJSON(w, http.StatusOK, out)
+		var legacy predictReq
+		if err := json.Unmarshal(body, &legacy); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad predict body: %v", err))
+			return
+		}
+		req, err := legacy.v1()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		serveModel(w, srv, req)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// v1ModelReq is the POST /v1/model body: one kind, its parameters, and
+// an optional evaluation of the freshly trained model.
+type v1ModelReq struct {
+	Kind    string     `json:"kind"`
+	Params  v1Params   `json:"params"`
+	Predict *v1Predict `json:"predict,omitempty"`
+}
+
+// v1Params carries every kind's tuning knobs; keys irrelevant to the
+// requested kind are ignored, malformed values are 400.
+type v1Params struct {
+	Response string   `json:"response,omitempty"`
+	Lambda   *float64 `json:"lambda,omitempty"`
+	K        int      `json:"k,omitempty"`
+	MaxIters int      `json:"max_iters,omitempty"`
+	Tol      float64  `json:"tol,omitempty"`
+	MaxDepth int      `json:"max_depth,omitempty"`
+	MinRows  float64  `json:"min_rows,omitempty"`
+}
+
+// v1Predict evaluates the trained model on continuous values and
+// category strings.
+type v1Predict struct {
+	Values map[string]float64 `json:"values"`
+	Cats   map[string]string  `json:"cats,omitempty"`
+}
+
+// serveModel validates, trains, optionally evaluates, and renders one
+// model request — the shared core of POST /v1/model and both deprecated
+// adapters.
+func serveModel(w http.ResponseWriter, srv *borg.ShardedServer, req v1ModelReq) {
+	p, err := req.validate()
+	if err != nil {
+		// Malformed client input — unknown kind, unknown response
+		// attribute, out-of-range numbers — is 400, not 500: nothing
+		// broke on the server.
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := srv.CovarSnapshot()
+	body, err := trainModel(snap, p, req.Predict)
+	if err != nil {
+		httpError(w, modelStatus(err), err)
+		return
+	}
+	body["epoch"] = snap.Epoch()
+	body["count"] = snap.Count()
+	body["kind"] = p.kind
+	writeJSON(w, http.StatusOK, body)
 }
 
 // modelParams is the validated parameter set of one model-zoo request.
@@ -567,60 +746,139 @@ type modelParams struct {
 	lambda   float64
 	k        int
 	gd       borg.GDOptions
+	tree     borg.TreeOptions
 }
 
-// parseModelParams validates the /model query: every malformed or
-// unknown input is rejected here, so the handler can map parse failures
-// to 400 uniformly.
-func parseModelParams(q url.Values) (modelParams, error) {
-	p := modelParams{kind: q.Get("kind"), response: q.Get("response"), lambda: 1e-3, k: 2}
+// validate checks a v1 body the way parseModelParams checks the legacy
+// query string: every malformed or unknown input is rejected here, so
+// the handlers map validation failures to 400 uniformly.
+func (r v1ModelReq) validate() (modelParams, error) {
+	p := modelParams{kind: r.Kind, response: r.Params.Response, lambda: 1e-3, k: 2}
 	if p.kind == "" {
 		p.kind = "linreg"
 	}
-	switch p.kind {
-	case "linreg", "polyreg", "pca", "kmeans":
-	default:
-		return p, fmt.Errorf("unknown model kind %q (want linreg, polyreg, pca, or kmeans)", p.kind)
+	known := false
+	for _, k := range allKinds {
+		known = known || k == p.kind
+	}
+	if !known {
+		return p, fmt.Errorf("unknown model kind %q (want one of %s)", p.kind, strings.Join(allKinds, ", "))
 	}
 	if p.response == "" {
 		p.response = "units"
 	}
-	if p.kind == "linreg" || p.kind == "polyreg" {
+	switch p.kind {
+	case "linreg", "polyreg", "ctree", "svm":
 		ok := false
-		for _, f := range features {
+		for _, f := range contFeatures {
 			ok = ok || f == p.response
 		}
 		if !ok {
-			return p, fmt.Errorf("unknown response attribute %q (maintained features: %v)", p.response, features)
+			return p, fmt.Errorf("unknown response attribute %q (maintained features: %v)", p.response, contFeatures)
 		}
 	}
-	var err error
-	if s := q.Get("lambda"); s != "" {
-		if p.lambda, err = strconv.ParseFloat(s, 64); err != nil || p.lambda < 0 {
-			return p, fmt.Errorf("bad lambda %q: want a non-negative number", s)
+	if r.Params.Lambda != nil {
+		if *r.Params.Lambda < 0 {
+			return p, fmt.Errorf("bad lambda %v: want a non-negative number", *r.Params.Lambda)
 		}
+		p.lambda = *r.Params.Lambda
 	}
-	if s := q.Get("k"); s != "" {
-		if p.k, err = strconv.Atoi(s); err != nil || p.k < 1 {
-			return p, fmt.Errorf("bad k %q: want an integer >= 1", s)
+	if r.Params.K != 0 {
+		if r.Params.K < 1 {
+			return p, fmt.Errorf("bad k %d: want an integer >= 1", r.Params.K)
 		}
+		p.k = r.Params.K
 	}
-	if s := q.Get("max_iters"); s != "" {
-		if p.gd.MaxIters, err = strconv.Atoi(s); err != nil || p.gd.MaxIters < 1 {
-			return p, fmt.Errorf("bad max_iters %q: want an integer >= 1", s)
+	if r.Params.MaxIters != 0 {
+		if r.Params.MaxIters < 1 {
+			return p, fmt.Errorf("bad max_iters %d: want an integer >= 1", r.Params.MaxIters)
 		}
+		p.gd.MaxIters = r.Params.MaxIters
 	}
-	if s := q.Get("tol"); s != "" {
-		if p.gd.Tol, err = strconv.ParseFloat(s, 64); err != nil || p.gd.Tol <= 0 {
-			return p, fmt.Errorf("bad tol %q: want a positive number", s)
+	if r.Params.Tol != 0 {
+		if r.Params.Tol <= 0 {
+			return p, fmt.Errorf("bad tol %v: want a positive number", r.Params.Tol)
+		}
+		p.gd.Tol = r.Params.Tol
+	}
+	if r.Params.MaxDepth != 0 {
+		if r.Params.MaxDepth < 1 {
+			return p, fmt.Errorf("bad max_depth %d: want an integer >= 1", r.Params.MaxDepth)
+		}
+		p.tree.MaxDepth = r.Params.MaxDepth
+	}
+	if r.Params.MinRows != 0 {
+		if r.Params.MinRows < 0 {
+			return p, fmt.Errorf("bad min_rows %v: want a non-negative number", r.Params.MinRows)
+		}
+		p.tree.MinRows = r.Params.MinRows
+	}
+	if r.Predict != nil {
+		switch p.kind {
+		case "kmeans", "chowliu", "ctree":
+			return p, fmt.Errorf("kind %q has no prediction; use linreg, polyreg, pca, or svm", p.kind)
+		}
+		if len(r.Predict.Values) == 0 {
+			return p, fmt.Errorf(`"predict" needs a "values" object of continuous feature values`)
+		}
+		for f := range r.Predict.Values {
+			known := false
+			for _, g := range contFeatures {
+				known = known || f == g
+			}
+			if !known {
+				return p, fmt.Errorf("unknown feature %q (maintained features: %v)", f, contFeatures)
+			}
 		}
 	}
 	return p, nil
 }
 
-// trainModel trains one model-zoo kind on a frozen snapshot and renders
-// its JSON body (without the shared epoch/count/kind envelope).
-func trainModel(snap *borg.ServerSnapshot, p modelParams) (map[string]any, error) {
+// queryToV1 maps the deprecated GET /model query string onto a v1 body.
+func queryToV1(q url.Values) (v1ModelReq, error) {
+	r := v1ModelReq{Kind: q.Get("kind"), Params: v1Params{Response: q.Get("response")}}
+	var err error
+	if s := q.Get("lambda"); s != "" {
+		var l float64
+		if l, err = strconv.ParseFloat(s, 64); err != nil {
+			return r, fmt.Errorf("bad lambda %q: want a non-negative number", s)
+		}
+		r.Params.Lambda = &l
+	}
+	if s := q.Get("k"); s != "" {
+		if r.Params.K, err = strconv.Atoi(s); err != nil || r.Params.K < 1 {
+			return r, fmt.Errorf("bad k %q: want an integer >= 1", s)
+		}
+	}
+	if s := q.Get("max_iters"); s != "" {
+		// Zero means "unset" in the v1 body, so the legacy adapter must
+		// range-check eagerly to keep rejecting max_iters=0.
+		if r.Params.MaxIters, err = strconv.Atoi(s); err != nil || r.Params.MaxIters < 1 {
+			return r, fmt.Errorf("bad max_iters %q: want an integer >= 1", s)
+		}
+	}
+	if s := q.Get("tol"); s != "" {
+		if r.Params.Tol, err = strconv.ParseFloat(s, 64); err != nil {
+			return r, fmt.Errorf("bad tol %q: want a positive number", s)
+		}
+	}
+	if s := q.Get("max_depth"); s != "" {
+		if r.Params.MaxDepth, err = strconv.Atoi(s); err != nil {
+			return r, fmt.Errorf("bad max_depth %q: want an integer >= 1", s)
+		}
+	}
+	if s := q.Get("min_rows"); s != "" {
+		if r.Params.MinRows, err = strconv.ParseFloat(s, 64); err != nil {
+			return r, fmt.Errorf("bad min_rows %q: want a non-negative number", s)
+		}
+	}
+	return r, nil
+}
+
+// trainModel trains one model-zoo kind on a frozen snapshot, optionally
+// evaluates it, and renders its JSON body (without the shared
+// epoch/count/kind envelope).
+func trainModel(snap *borg.ServerSnapshot, p modelParams, pr *v1Predict) (map[string]any, error) {
 	switch p.kind {
 	case "linreg":
 		model, err := snap.TrainLinRegGD(p.response, p.lambda, p.gd)
@@ -628,7 +886,7 @@ func trainModel(snap *borg.ServerSnapshot, p modelParams) (map[string]any, error
 			return nil, err
 		}
 		coefs := make(map[string]float64)
-		for _, f := range features {
+		for _, f := range snap.Features() {
 			if f == p.response {
 				continue
 			}
@@ -638,54 +896,89 @@ func trainModel(snap *borg.ServerSnapshot, p modelParams) (map[string]any, error
 			}
 			coefs[f] = c
 		}
-		return map[string]any{
+		body := map[string]any{
 			"response":     p.response,
 			"lambda":       p.lambda,
 			"intercept":    model.Intercept(),
 			"coefficients": coefs,
 			"converged":    model.Converged(),
 			"iterations":   model.IterationsRun(),
-		}, nil
+		}
+		if cats := snap.CatFeatures(); len(cats) > 0 {
+			body["cat_features"] = cats
+		}
+		if pr != nil {
+			pred, err := predictReg(model.Predict, model.PredictCat, snap, pr)
+			if err != nil {
+				return nil, err
+			}
+			body["prediction"] = pred
+		}
+		return body, nil
 	case "polyreg":
 		model, err := snap.TrainPolyReg(p.response, p.lambda)
 		if err != nil {
 			return nil, err
 		}
 		coefs := make(map[string]float64)
-		pairs := make(map[string]float64)
 		base := model.Features()
-		for i, f := range base {
+		for _, f := range base {
 			c, err := model.Coefficient(f)
 			if err != nil {
 				return nil, err
 			}
 			coefs[f] = c
-			for _, g := range base[i:] {
-				pc, err := model.PairCoefficient(f, g)
-				if err != nil {
-					return nil, err
-				}
-				pairs[f+"*"+g] = pc
-			}
 		}
-		return map[string]any{
-			"response":          p.response,
-			"lambda":            p.lambda,
-			"intercept":         model.Intercept(),
-			"coefficients":      coefs,
-			"pair_coefficients": pairs,
-		}, nil
+		body := map[string]any{
+			"response":     p.response,
+			"lambda":       p.lambda,
+			"intercept":    model.Intercept(),
+			"coefficients": coefs,
+		}
+		if cats := model.CatFeatures(); len(cats) > 0 {
+			// The cofactor form's interactions are continuous×category
+			// (varying coefficients), not continuous pairs.
+			body["cat_features"] = cats
+		} else {
+			pairs := make(map[string]float64)
+			for i, f := range base {
+				for _, g := range base[i:] {
+					pc, err := model.PairCoefficient(f, g)
+					if err != nil {
+						return nil, err
+					}
+					pairs[f+"*"+g] = pc
+				}
+			}
+			body["pair_coefficients"] = pairs
+		}
+		if pr != nil {
+			pred, err := predictReg(model.Predict, model.PredictCat, snap, pr)
+			if err != nil {
+				return nil, err
+			}
+			body["prediction"] = pred
+		}
+		return body, nil
 	case "pca":
 		model, err := snap.TrainPCA(p.k)
 		if err != nil {
 			return nil, err
 		}
-		return map[string]any{
+		body := map[string]any{
 			"features":    model.Features,
 			"components":  model.Components,
 			"eigenvalues": model.Eigenvalues,
 			"means":       model.Means,
-		}, nil
+		}
+		if pr != nil {
+			proj, err := model.Project(pr.Values)
+			if err != nil {
+				return nil, err
+			}
+			body["projection"] = proj
+		}
+		return body, nil
 	case "kmeans":
 		model, err := snap.KMeansSeeds(p.k)
 		if err != nil {
@@ -696,102 +989,110 @@ func trainModel(snap *borg.ServerSnapshot, p modelParams) (map[string]any, error
 			"centers":        model.Centers,
 			"total_variance": model.TotalVariance,
 		}, nil
+	case "chowliu":
+		edges, err := snap.TrainChowLiu()
+		if err != nil {
+			return nil, err
+		}
+		rendered := make([]map[string]any, len(edges))
+		for i, e := range edges {
+			rendered[i] = map[string]any{"a": e.A, "b": e.B, "mi": e.MI}
+		}
+		return map[string]any{
+			"cat_features": snap.CatFeatures(),
+			"edges":        rendered,
+		}, nil
+	case "ctree":
+		model, err := snap.TrainCTree(p.response, p.tree)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"response":     p.response,
+			"cat_features": snap.CatFeatures(),
+			"nodes":        model.Nodes(),
+			"depth":        model.Depth(),
+		}, nil
+	case "svm":
+		model, err := snap.TrainSVM(p.response, p.lambda)
+		if err != nil {
+			return nil, err
+		}
+		coefs := make(map[string]float64)
+		for _, f := range model.Features() {
+			if f == p.response {
+				continue
+			}
+			c, err := model.Coefficient(f)
+			if err != nil {
+				return nil, err
+			}
+			coefs[f] = c
+		}
+		body := map[string]any{
+			"label":        p.response,
+			"lambda":       p.lambda,
+			"bias":         model.Bias(),
+			"coefficients": coefs,
+			"cat_features": model.CatFeatures(),
+		}
+		if pr != nil {
+			dv, err := model.DecisionValue(pr.Values, pr.Cats)
+			if err != nil {
+				return nil, err
+			}
+			cls, err := model.Classify(pr.Values, pr.Cats)
+			if err != nil {
+				return nil, err
+			}
+			body["decision"] = dv
+			body["class"] = cls
+		}
+		return body, nil
 	}
 	return nil, fmt.Errorf("unknown model kind %q", p.kind)
 }
 
-// predictReq is the POST /predict body.
+// predictReg evaluates a trained regression on a predict object,
+// routing to the categorical path when the snapshot maintains
+// categorical features.
+func predictReg(cont func(map[string]float64) (float64, error), cat func(map[string]float64, map[string]string) (float64, error), snap *borg.ServerSnapshot, pr *v1Predict) (float64, error) {
+	if len(snap.CatFeatures()) > 0 {
+		return cat(pr.Values, pr.Cats)
+	}
+	return cont(pr.Values)
+}
+
+// predictReq is the deprecated POST /predict body.
 type predictReq struct {
 	Kind     string             `json:"kind"`
 	Response string             `json:"response,omitempty"`
 	Lambda   *float64           `json:"lambda,omitempty"`
 	K        int                `json:"k,omitempty"`
 	Features map[string]float64 `json:"features"`
+	Cats     map[string]string  `json:"cats,omitempty"`
 }
 
-// params maps a predict body onto the validated model parameter set.
-func (r predictReq) params() (modelParams, error) {
-	q := url.Values{}
-	if r.Kind != "" {
-		q.Set("kind", r.Kind)
-	}
-	if r.Response != "" {
-		q.Set("response", r.Response)
-	}
-	if r.Lambda != nil {
-		q.Set("lambda", strconv.FormatFloat(*r.Lambda, 'g', -1, 64))
-	}
-	if r.K != 0 {
-		q.Set("k", strconv.Itoa(r.K))
-	}
-	p, err := parseModelParams(q)
-	if err != nil {
-		return p, err
-	}
-	if p.kind == "kmeans" {
-		return p, fmt.Errorf("kind %q has no prediction; use linreg, polyreg, or pca", p.kind)
-	}
+// v1 maps a deprecated predict body onto the v1 request shape.
+func (r predictReq) v1() (v1ModelReq, error) {
 	if len(r.Features) == 0 {
-		return p, fmt.Errorf(`predict needs a "features" object of feature values`)
+		return v1ModelReq{}, fmt.Errorf(`predict needs a "features" object of feature values`)
 	}
-	return p, nil
-}
-
-// predict trains the requested kind on the frozen snapshot and evaluates
-// it on the given feature values.
-func predict(snap *borg.ServerSnapshot, p modelParams, vals map[string]float64) (map[string]any, error) {
-	for f := range vals {
-		known := false
-		for _, g := range features {
-			known = known || f == g
-		}
-		if !known {
-			return nil, fmt.Errorf("unknown feature %q (maintained features: %v)", f, features)
-		}
-	}
-	switch p.kind {
-	case "linreg":
-		model, err := snap.TrainLinRegGD(p.response, p.lambda, p.gd)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := model.Predict(vals)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]any{"response": p.response, "prediction": pred}, nil
-	case "polyreg":
-		model, err := snap.TrainPolyReg(p.response, p.lambda)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := model.Predict(vals)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]any{"response": p.response, "prediction": pred}, nil
-	case "pca":
-		model, err := snap.TrainPCA(p.k)
-		if err != nil {
-			return nil, err
-		}
-		proj, err := model.Project(vals)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]any{"projection": proj}, nil
-	}
-	return nil, fmt.Errorf("kind %q has no prediction", p.kind)
+	return v1ModelReq{
+		Kind:    r.Kind,
+		Params:  v1Params{Response: r.Response, Lambda: r.Lambda, K: r.K},
+		Predict: &v1Predict{Values: r.Features, Cats: r.Cats},
+	}, nil
 }
 
 // modelStatus maps a training error onto its HTTP status: degenerate
-// server STATE — an empty join, lifted statistics not maintained — is
-// 409 (the request was well-formed; the resource cannot satisfy it
-// yet), a missing feature value in a predict body is 400, anything else
-// is an internal 500.
+// server STATE — an empty join, a ring payload the server was not
+// started with — is 409 (the request was well-formed; the resource
+// cannot satisfy it yet), a missing feature value in a predict body is
+// 400, anything else is an internal 500.
 func modelStatus(err error) int {
 	switch {
-	case errors.Is(err, borg.ErrEmptySnapshot), errors.Is(err, borg.ErrLiftedNotMaintained):
+	case errors.Is(err, borg.ErrEmptySnapshot), errors.Is(err, borg.ErrPayloadNotMaintained):
 		return http.StatusConflict
 	case errors.Is(err, borg.ErrMissingFeature):
 		return http.StatusBadRequest

@@ -31,7 +31,9 @@ func main() {
 		Strategy:      "fivm", // one ring-valued view hierarchy
 		BatchSize:     32,     // snapshots amortize over up to 32 inserts
 		FlushInterval: time.Millisecond,
-		Lifted:        true, // maintain degree-≤4 moments too (polynomial regression)
+		// The lifted degree-2 ring also maintains degree-≤4 moments, which
+		// is what degree-2 polynomial regression trains from.
+		Payload: borg.PayloadPoly2,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -112,7 +114,7 @@ func main() {
 		pca.Components[0][0], pca.Components[0][1], pca.Components[0][2])
 
 	// Degree-2 polynomial regression needs moments beyond the covariance
-	// ring; the lifted degree-2 ring (Lifted: true above) maintains them
+	// ring; the lifted degree-2 ring (PayloadPoly2 above) maintains them
 	// incrementally through the same propagation machinery.
 	poly, err := snap.TrainPolyReg("units", 1e-3)
 	if err != nil {
@@ -139,7 +141,111 @@ func main() {
 	fmt.Println("every insert updated ONE ring-valued view hierarchy —")
 	fmt.Println("all covariance and degree-4 aggregates were maintained simultaneously")
 
+	categorical()
 	sharded()
+}
+
+// categorical is the mixed continuous/categorical step: with the
+// cofactor payload the server maintains the covariance statistics PER
+// GROUP of categorical values — the sufficient statistics of one-hot
+// regression, Chow–Liu dependency trees, categorical decision trees,
+// and LS-SVMs — and the whole zoo trains from live epochs.
+func categorical() {
+	db := borg.NewDatabase()
+	db.AddRelation("Sales", borg.Cat("item"), borg.Cat("store"), borg.Num("units"))
+	db.AddRelation("Items", borg.Cat("item"), borg.Num("price"))
+	db.AddRelation("Stores", borg.Cat("store"), borg.Num("area"))
+	q, err := db.Query()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Categorical features ("item", "store") join the feature list; they
+	// require the cofactor payload, and construction says so if asked
+	// without it.
+	srv, err := q.Serve([]string{"units", "price", "area", "item", "store"},
+		borg.ServerOptions{Payload: borg.PayloadCofactor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for s := 0; s < 2; s++ {
+		store := fmt.Sprintf("s%d", s+1)
+		must(srv.Insert("Stores", store, 100.0+float64(40*s)))
+		for i, item := range []string{"patty", "bun", "onion"} {
+			must(srv.Insert("Items", item, 2.0+float64(2*i)))
+			for n := 0; n < 3; n++ {
+				must(srv.Insert("Sales", item, store, 2+i+2*s+n))
+			}
+		}
+	}
+	must(srv.Flush())
+
+	// One-hot ridge regression: the categorical groups become indicator
+	// blocks assembled from the cofactor maps — no design matrix is ever
+	// materialized. Prediction takes values AND category strings.
+	lr, err := srv.TrainLinRegGD("units", 1e-2, borg.GDOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := lr.PredictCat(
+		map[string]float64{"price": 4, "area": 120},
+		map[string]string{"item": "bun", "store": "s1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncategorical zoo at epoch %d: one-hot units(bun@s1) ~ %.2f\n",
+		srv.CovarSnapshot().Epoch(), pred)
+
+	// Chow–Liu reads pairwise co-occurrence counts off the group keys.
+	edges, err := srv.TrainChowLiu()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range edges {
+		fmt.Printf("dependency tree: %s — %s (MI %.3f)\n", e.A, e.B, e.MI)
+	}
+
+	// A categorical regression tree scores every split from the
+	// group-restricted (count, sum, sum²) triples of ONE snapshot.
+	tree, err := srv.TrainCTree("units", borg.TreeOptions{MaxDepth: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ctree: %d nodes, depth %d — trained from map lookups, no data pass\n",
+		tree.Nodes(), tree.Depth())
+
+	// LS-SVM on the same one-hot moments; Classify returns ±1.
+	svm, err := srv.TrainSVM("units", 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	class, err := svm.Classify(
+		map[string]float64{"price": 4, "area": 120},
+		map[string]string{"item": "bun", "store": "s1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ls-svm: class(bun@s1) = %+.0f\n", class)
+
+	// A kind whose payload the server does not maintain refuses with the
+	// typed ErrPayloadNotMaintained — 409 on the HTTP surface, never a
+	// silently wrong model.
+	plain, err := q.Serve([]string{"units", "price", "area"}, borg.ServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.TrainChowLiu(); errors.Is(err, borg.ErrPayloadNotMaintained) {
+		fmt.Println("covar-payload server: TrainChowLiu correctly refused (ErrPayloadNotMaintained)")
+	} else {
+		log.Fatal("expected ErrPayloadNotMaintained from a covar-payload server")
+	}
 }
 
 // emptySnapshotDemo shows the degenerate-snapshot contract: every

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"borg/internal/datagen"
+	"borg/internal/ivm"
+	"borg/internal/ml"
+	"borg/internal/serve"
+)
+
+// CatZooCell is one measured categorical-zoo configuration. The "ingest"
+// kind reports the cofactor-payload maintenance throughput of the
+// strategy (applied tuples per second while loading); every other kind
+// reports how many times per second that model trains from a published
+// cofactor epoch snapshot — aggregate-only, no data access.
+type CatZooCell struct {
+	Kind     string `json:"kind"`
+	Strategy string `json:"strategy"`
+	Payload  string `json:"payload"`
+	// Loaded is the stream size (dimensions + facts) the server held.
+	Loaded    int     `json:"loaded"`
+	Ops       uint64  `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// CatZooReport is the machine-readable result of the categorical-zoo
+// benchmark: cofactor ingest throughput plus snapshot-training rates
+// for the mixed continuous/categorical model kinds, per IVM strategy.
+// Committed runs live under benchmarks/catzoo.json.
+type CatZooReport struct {
+	Dataset       string       `json:"dataset"`
+	SF            float64      `json:"sf"`
+	Seed          uint64       `json:"seed"`
+	Features      int          `json:"features"`
+	CatFeatures   int          `json:"cat_features"`
+	CPUs          int          `json:"cpus"`
+	BudgetSeconds float64      `json:"budget_seconds"`
+	Env           Environment  `json:"env"`
+	Cells         []CatZooCell `json:"cells"`
+}
+
+// CatZooKinds lists the measured categorical model kinds, in report
+// order; "ingest" is prepended per strategy as the maintenance cell.
+var CatZooKinds = []string{"linreg-cat", "polyreg-cat", "chowliu", "ctree", "svm"}
+
+var catZooSink float64
+
+// CatZooBench loads the Retailer stream into one cofactor-payload
+// serving stack per IVM strategy — three continuous features and three
+// categorical features, each trio spread across three relations, so the
+// group-wise ring products cross the join tree — then measures ingest
+// throughput and the training rate of every categorical model kind from
+// the published epoch snapshot.
+func CatZooBench(o Options) (*CatZooReport, error) {
+	o.defaults()
+	d := datagen.Retailer(o.Seed, o.SF)
+	stream := interleavedStream(d, o.Seed)
+	// One continuous and one low-cardinality categorical feature from
+	// each of Item, Stores and Weather: 12 × 8 × 2 = at most 192 root
+	// groups, so the cofactor maps stay CI-sized while every ring product
+	// still merges categorical slots across relations.
+	cont := []string{"prize", "sellarea", "maxtemp"}
+	cats := []string{"category", "rgn_cd", "rain"}
+	features := append(append([]string(nil), cont...), cats...)
+	response := cont[0]
+	var dims, facts []ivm.Tuple
+	for _, t := range stream {
+		if t.Rel == d.Root {
+			facts = append(facts, t)
+		} else {
+			dims = append(dims, t)
+		}
+	}
+	rep := &CatZooReport{
+		Dataset:       d.Name,
+		SF:            o.SF,
+		Seed:          o.Seed,
+		Features:      len(cont),
+		CatFeatures:   len(cats),
+		CPUs:          runtime.NumCPU(),
+		BudgetSeconds: o.Budget.Seconds(),
+		Env:           captureEnv(o.Workers, 0),
+	}
+	cellBudget := o.Budget / time.Duration(len(serve.Strategies())*len(CatZooKinds))
+	if cellBudget < 50*time.Millisecond {
+		cellBudget = 50 * time.Millisecond
+	}
+	for _, strategy := range serve.Strategies() {
+		nFacts := len(facts)
+		if nFacts > 2000 {
+			nFacts = 2000
+		}
+		if strategy == serve.FirstOrder && nFacts > 120 {
+			nFacts = 120
+		}
+		srv, err := serve.New(d.Join, d.Root, features, serve.Config{
+			Strategy: strategy,
+			Payload:  serve.PayloadCofactor,
+			Workers:  o.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		load := append(append([]ivm.Tuple(nil), dims...), facts[:nFacts]...)
+		start := time.Now()
+		for _, t := range load {
+			if err := srv.Insert(t); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
+		if err := srv.Flush(); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		loadSec := time.Since(start).Seconds()
+		rep.Cells = append(rep.Cells, CatZooCell{
+			Kind:      "ingest",
+			Strategy:  strategy.String(),
+			Payload:   serve.PayloadCofactor.String(),
+			Loaded:    len(load),
+			Ops:       uint64(len(load)),
+			Seconds:   loadSec,
+			OpsPerSec: float64(len(load)) / loadSec,
+		})
+		for _, kind := range CatZooKinds {
+			cell, err := catZooCell(srv, kind, strategy.String(), cont, cats, response, cellBudget)
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			cell.Loaded = len(load)
+			rep.Cells = append(rep.Cells, cell)
+		}
+		if err := srv.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// catZooCell times one kind × strategy cell: repeated snapshot-read +
+// train rounds until the budget expires (at least three rounds).
+func catZooCell(srv *serve.Server, kind, strategy string, cont, cats []string, response string, budget time.Duration) (CatZooCell, error) {
+	train := func() (float64, error) {
+		cf := srv.Snapshot().Cofactor
+		switch kind {
+		case "linreg-cat":
+			sigma, err := ml.SigmaFromCofactor(cont, cats, response, cf)
+			if err != nil {
+				return 0, err
+			}
+			m := ml.TrainLinRegGD(sigma, 1e-3, 50000, 1e-10)
+			return m.Theta[0], nil
+		case "polyreg-cat":
+			m, err := ml.TrainCatPolyFromCofactor(cont, cats, response, cf, 1e-3)
+			if err != nil {
+				return 0, err
+			}
+			return m.Theta[0], nil
+		case "chowliu":
+			mi, err := ml.MutualInfoFromCofactor(cats, cf)
+			if err != nil {
+				return 0, err
+			}
+			edges := ml.ChowLiu(mi)
+			if len(edges) == 0 {
+				return 0, fmt.Errorf("bench: chow-liu produced no edges")
+			}
+			return edges[0].MI, nil
+		case "ctree":
+			t, err := ml.TrainCTreeFromCofactor(cont, cats, response, cf, ml.CatTreeConfig{MaxDepth: 4})
+			if err != nil {
+				return 0, err
+			}
+			return float64(t.Nodes), nil
+		case "svm":
+			sigma, err := ml.SigmaFromCofactor(cont, cats, response, cf)
+			if err != nil {
+				return 0, err
+			}
+			m, err := ml.TrainLSSVM(sigma, 1e-3)
+			if err != nil {
+				return 0, err
+			}
+			return m.Theta[0], nil
+		}
+		return 0, fmt.Errorf("bench: unknown categorical model kind %q", kind)
+	}
+	var ops uint64
+	start := time.Now()
+	for {
+		v, err := train()
+		if err != nil {
+			return CatZooCell{}, fmt.Errorf("%s × %s: %w", kind, strategy, err)
+		}
+		catZooSink += v
+		ops++
+		if ops >= 3 && time.Since(start) >= budget {
+			break
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return CatZooCell{
+		Kind:      kind,
+		Strategy:  strategy,
+		Payload:   serve.PayloadCofactor.String(),
+		Ops:       ops,
+		Seconds:   elapsed,
+		OpsPerSec: float64(ops) / elapsed,
+	}, nil
+}
+
+// CatZooBenchTable runs the categorical-zoo benchmark and renders it as
+// a table, or as indented JSON when o.JSON is set (the format committed
+// under benchmarks/).
+func CatZooBenchTable(o Options) error {
+	o.defaults()
+	rep, err := CatZooBench(o)
+	if err != nil {
+		return err
+	}
+	if o.JSON {
+		enc := json.NewEncoder(o.Out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	var rows [][]string
+	for _, c := range rep.Cells {
+		rows = append(rows, []string{
+			c.Kind, c.Strategy, c.Payload,
+			fmt.Sprintf("%d", c.Ops),
+			fmt.Sprintf("%.0f/s", c.OpsPerSec),
+			fmt.Sprintf("%.3f ms", 1000*c.Seconds/float64(c.Ops)),
+		})
+	}
+	printTable(o.Out, fmt.Sprintf("Categorical zoo: %s, %d cont + %d cat features (%d CPUs)",
+		rep.Dataset, rep.Features, rep.CatFeatures, rep.CPUs),
+		[]string{"Kind", "Strategy", "Payload", "Ops", "Ops/sec", "Per op"}, rows)
+	return nil
+}

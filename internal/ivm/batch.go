@@ -298,6 +298,19 @@ func (n *node) featValsOf(vals []relation.Value) []float64 {
 	return out
 }
 
+// catValsOf extracts the categorical codes owned by n from a value
+// tuple, mirroring node.catVals for rows that are not (yet) stored.
+func (n *node) catValsOf(vals []relation.Value) []int32 {
+	if len(n.catCols) == 0 {
+		return nil
+	}
+	out := make([]int32, len(n.catCols))
+	for i, c := range n.catCols {
+		out[i] = vals[c].C
+	}
+	return out
+}
+
 // localEvalVals is localEval against a value tuple instead of a stored
 // row: the product of agg a's factors owned by node n.
 func localEvalVals(n *node, vals []relation.Value, a aggDef) float64 {

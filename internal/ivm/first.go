@@ -19,21 +19,34 @@ type FirstOrder struct {
 	*base
 	batch  scalarBatch
 	result []float64
+	// Cofactor payload: per-aggregate group-keyed root results; every
+	// delta query is still recomputed from scratch, it just carries a
+	// map of per-categorical-group scalars instead of one float. Nil
+	// otherwise.
+	cfResult []*ring.CatScalar
+	csr      ring.CatScalarRing
 }
 
 // NewFirstOrder creates a first-order maintainer over an initially empty
 // copy of the join's relations.
 func NewFirstOrder(j *query.Join, root string, features []string, opts ...Option) (*FirstOrder, error) {
-	b, err := newBase(j, root, features)
+	o := buildOptions(opts)
+	b, err := newBase(j, root, features, o.payload)
 	if err != nil {
 		return nil, err
 	}
-	batch := newScalarBatch(len(features), buildOptions(opts).lifted)
-	return &FirstOrder{
-		base:   b,
-		batch:  batch,
-		result: make([]float64, len(batch.aggs)),
-	}, nil
+	batch := newScalarBatch(len(b.contFeats), o.payload == PayloadPoly2)
+	m := &FirstOrder{base: b, batch: batch}
+	if o.payload == PayloadCofactor {
+		m.csr = ring.CatScalarRing{K: len(b.catFeats)}
+		m.cfResult = make([]*ring.CatScalar, len(batch.aggs))
+		for a := range m.cfResult {
+			m.cfResult[a] = m.csr.Zero()
+		}
+		return m, nil
+	}
+	m.result = make([]float64, len(batch.aggs))
+	return m, nil
 }
 
 // Name implements Maintainer.
@@ -45,6 +58,10 @@ func (m *FirstOrder) Insert(t Tuple) error {
 	n, row, err := m.append(t)
 	if err != nil {
 		return err
+	}
+	if m.cfResult != nil {
+		m.catDeltaRow(n, row, false, m.addCatResult)
+		return nil
 	}
 	for a := range m.batch.aggs {
 		partial := localEval(n, row, m.batch.aggs[a])
@@ -71,6 +88,11 @@ func (m *FirstOrder) Delete(t Tuple) error {
 	n, row, err := m.locate(t)
 	if err != nil {
 		return err
+	}
+	if m.cfResult != nil {
+		m.catDeltaRow(n, row, true, m.addCatResult)
+		m.removeRow(n, row)
+		return nil
 	}
 	for a := range m.batch.aggs {
 		partial := localEval(n, row, m.batch.aggs[a])
@@ -135,6 +157,76 @@ func (m *FirstOrder) up(n *node, key uint64, a int, partial float64, emit func(a
 
 func (m *FirstOrder) addResult(a int, v float64) { m.result[a] += v }
 
+func (m *FirstOrder) addCatResult(a int, v *ring.CatScalar) {
+	m.csr.AddInPlace(m.cfResult[a], v)
+}
+
+// catDeltaRow evaluates the full per-aggregate delta queries a stored
+// row triggers under the cofactor payload, emitting group-keyed root
+// arrivals (negated when neg — the delete half).
+func (m *FirstOrder) catDeltaRow(n *node, row int, neg bool, emit func(a int, v *ring.CatScalar)) {
+	for a := range m.batch.aggs {
+		agg := m.batch.aggs[a]
+		partial := m.csr.LiftVal(n.catIdx, n.catVals(row), localEval(n, row, agg))
+		for ci, c := range n.children {
+			if m.csr.IsZero(partial) {
+				break
+			}
+			partial = m.csr.Mul(partial, m.downCat(c, n.childKey(ci, row), agg))
+		}
+		if m.csr.IsZero(partial) {
+			continue
+		}
+		if neg {
+			partial = m.csr.Neg(partial)
+		}
+		m.upCat(n, n.parentKey(row), a, partial, emit)
+	}
+}
+
+// downCat recomputes aggregate a over the subtree rooted at n restricted
+// to rows matching key, carrying the per-categorical-group split — a
+// fresh scan, like down, folded in row order so every maintained float
+// is deterministic.
+func (m *FirstOrder) downCat(n *node, key uint64, a aggDef) *ring.CatScalar {
+	keyOf := exec.KeyFunc(n.rel.KeyFunc(n.parentKeyCols))
+	out := m.csr.Zero()
+	for _, r := range exec.SelectWhere(m.rt, n.rel.NumRows(), keyOf, key) {
+		v := m.csr.LiftVal(n.catIdx, n.catVals(int(r)), localEval(n, int(r), a))
+		for ci, c := range n.children {
+			if m.csr.IsZero(v) {
+				break
+			}
+			v = m.csr.Mul(v, m.downCat(c, n.childKey(ci, int(r)), a))
+		}
+		m.csr.AddInPlace(out, v)
+	}
+	return out
+}
+
+// upCat expands a group-keyed delta towards the root, mirroring up.
+func (m *FirstOrder) upCat(n *node, key uint64, a int, partial *ring.CatScalar, emit func(a int, v *ring.CatScalar)) {
+	p := n.parent
+	if p == nil {
+		emit(a, partial)
+		return
+	}
+	agg := m.batch.aggs[a]
+	keyOf := exec.KeyFunc(p.rel.KeyFunc(p.childKeyCols[n.childPos]))
+	for _, r := range exec.SelectWhere(m.rt, p.rel.NumRows(), keyOf, key) {
+		contrib := m.csr.Mul(m.csr.LiftVal(p.catIdx, p.catVals(int(r)), localEval(p, int(r), agg)), partial)
+		for ci, c := range p.children {
+			if c == n || m.csr.IsZero(contrib) {
+				continue
+			}
+			contrib = m.csr.Mul(contrib, m.downCat(c, p.childKey(ci, int(r)), agg))
+		}
+		if !m.csr.IsZero(contrib) {
+			m.upCat(p, p.parentKey(int(r)), a, contrib, emit)
+		}
+	}
+}
+
 // tupleEffects evaluates the full delta query a tuple with these values
 // triggers (negated for the delete half), recording the root arrivals
 // as effects. Every scan touches only OTHER relations — down covers
@@ -173,10 +265,62 @@ func (m *FirstOrder) applyEffects(effs []scalarEffect) {
 	}
 }
 
+// catScalarEffect is one group-keyed root arrival of the cofactor
+// payload's batch path.
+type catScalarEffect struct {
+	a     int32
+	delta *ring.CatScalar
+}
+
+// catTupleEffects is tupleEffects for the cofactor payload: full delta
+// queries carrying the per-group split, recording group-keyed root
+// arrivals.
+func (m *FirstOrder) catTupleEffects(n *node, vals []relation.Value, neg bool) []catScalarEffect {
+	var out []catScalarEffect
+	emit := func(a int, v *ring.CatScalar) {
+		out = append(out, catScalarEffect{a: int32(a), delta: v})
+	}
+	for a := range m.batch.aggs {
+		agg := m.batch.aggs[a]
+		partial := m.csr.LiftVal(n.catIdx, n.catValsOf(vals), localEvalVals(n, vals, agg))
+		for ci, c := range n.children {
+			if m.csr.IsZero(partial) {
+				break
+			}
+			partial = m.csr.Mul(partial, m.downCat(c, keyOfVals(n.rel, n.childKeyCols[ci], vals), agg))
+		}
+		if m.csr.IsZero(partial) {
+			continue
+		}
+		if neg {
+			partial = m.csr.Neg(partial)
+		}
+		m.upCat(n, keyOfVals(n.rel, n.parentKeyCols, vals), a, partial, emit)
+	}
+	return out
+}
+
+// applyCatEffects replays recorded group-keyed root arrivals.
+func (m *FirstOrder) applyCatEffects(effs []catScalarEffect) {
+	for _, e := range effs {
+		m.csr.AddInPlace(m.cfResult[e.a], e.delta)
+	}
+}
+
 // ApplyBatch implements Maintainer: the per-op delta-query evaluations
 // — by far the dominant cost of this strategy — run morsel-parallel
 // against batch-start state, then the root sums replay in op order.
 func (m *FirstOrder) ApplyBatch(ops []Op) BatchResult {
+	if m.cfResult != nil {
+		return applyOps(m.base, ops,
+			func(op *Op) opEffects[[]catScalarEffect] {
+				return computeOpEffects(m.base, op, m.catTupleEffects)
+			},
+			func(op *Op, e *opEffects[[]catScalarEffect]) (uint64, uint64, bool, error) {
+				return applyOpEffects(m.base, op, e, m.applyCatEffects)
+			},
+			func(op *Op) (uint64, uint64, bool, error) { return serialApply(m, op) })
+	}
 	return applyOps(m.base, ops,
 		func(op *Op) opEffects[[]scalarEffect] {
 			return computeOpEffects(m.base, op, m.tupleEffects)
@@ -188,24 +332,58 @@ func (m *FirstOrder) ApplyBatch(ops []Op) BatchResult {
 }
 
 // Count implements Maintainer.
-func (m *FirstOrder) Count() float64 { return m.result[m.batch.count()] }
+func (m *FirstOrder) Count() float64 {
+	if m.cfResult != nil {
+		return m.cfResult[m.batch.count()].Total()
+	}
+	return m.result[m.batch.count()]
+}
 
 // Sum implements Maintainer.
-func (m *FirstOrder) Sum(i int) float64 { return m.result[m.batch.sum(i)] }
+func (m *FirstOrder) Sum(i int) float64 {
+	if m.cfResult != nil {
+		return m.cfResult[m.batch.sum(i)].Total()
+	}
+	return m.result[m.batch.sum(i)]
+}
 
 // Moment implements Maintainer.
-func (m *FirstOrder) Moment(i, j int) float64 { return m.result[m.batch.moment(i, j)] }
+func (m *FirstOrder) Moment(i, j int) float64 {
+	if m.cfResult != nil {
+		return m.cfResult[m.batch.moment(i, j)].Total()
+	}
+	return m.result[m.batch.moment(i, j)]
+}
 
 // Snapshot implements Maintainer.
-func (m *FirstOrder) Snapshot() *ring.Covar { return m.batch.covar(m.result) }
+func (m *FirstOrder) Snapshot() *ring.Covar {
+	if m.cfResult != nil {
+		return m.batch.covar(catTotals(m.cfResult))
+	}
+	return m.batch.covar(m.result)
+}
 
 // SnapshotLifted implements Maintainer.
 func (m *FirstOrder) SnapshotLifted() *ring.Poly2 { return m.batch.liftedSnapshot(m.result) }
 
 // SnapshotInto implements Maintainer.
-func (m *FirstOrder) SnapshotInto(dst *ring.Covar) { m.batch.covarInto(m.result, dst) }
+func (m *FirstOrder) SnapshotInto(dst *ring.Covar) {
+	if m.cfResult != nil {
+		m.batch.covarInto(catTotals(m.cfResult), dst)
+		return
+	}
+	m.batch.covarInto(m.result, dst)
+}
 
 // SnapshotLiftedInto implements Maintainer.
 func (m *FirstOrder) SnapshotLiftedInto(dst *ring.Poly2) bool {
 	return m.batch.liftedInto(m.result, dst)
+}
+
+// SnapshotCofactor implements Maintainer.
+func (m *FirstOrder) SnapshotCofactor() *ring.Cofactor {
+	if m.cfResult == nil {
+		return nil
+	}
+	return m.batch.cofactorSnapshot(m.cfResult, m.csr.K)
 }

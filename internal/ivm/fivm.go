@@ -15,13 +15,29 @@ import (
 // the paper's claim that the factorized computation is ring-generic,
 // realized in the maintenance path.
 type viewTree[E any] struct {
-	alg    ring.Algebra[E]
-	views  map[*node]map[uint64]E
-	result E
+	alg ring.Algebra[E]
+	// lift/liftVals map a tuple (a stored row, or a value tuple not yet
+	// stored) to its ring element at node n. The default closures lift
+	// the node's continuous features through the algebra; payloads with
+	// categorical slots (cofactor) or per-aggregate monomials (the
+	// scalar strategies' group-keyed payloads) inject their own.
+	lift     func(n *node, row int) E
+	liftVals func(n *node, vals []relation.Value) E
+	views    map[*node]map[uint64]E
+	result   E
 }
 
 func newViewTree[E any](alg ring.Algebra[E], root *node) *viewTree[E] {
-	vt := &viewTree[E]{alg: alg, views: make(map[*node]map[uint64]E), result: alg.Zero()}
+	return newViewTreeLift(alg, root,
+		func(n *node, row int) E { return alg.Lift(n.featIdx, n.vals(row)) },
+		func(n *node, vals []relation.Value) E { return alg.Lift(n.featIdx, n.featValsOf(vals)) })
+}
+
+// newViewTreeLift is newViewTree with custom tuple-lift closures.
+func newViewTreeLift[E any](alg ring.Algebra[E], root *node,
+	lift func(n *node, row int) E, liftVals func(n *node, vals []relation.Value) E) *viewTree[E] {
+	vt := &viewTree[E]{alg: alg, lift: lift, liftVals: liftVals,
+		views: make(map[*node]map[uint64]E), result: alg.Zero()}
 	var init func(n *node)
 	init = func(n *node) {
 		vt.views[n] = make(map[uint64]E)
@@ -38,7 +54,7 @@ func newViewTree[E any](alg ring.Algebra[E], root *node) *viewTree[E] {
 // tuple contributes nothing (yet); it will contribute when the partner's
 // own delta climbs past this node.
 func (vt *viewTree[E]) tupleDelta(n *node, row int) (delta E, ok bool) {
-	delta = vt.alg.Lift(n.featIdx, n.vals(row))
+	delta = vt.lift(n, row)
 	for ci, c := range n.children {
 		cv, present := vt.views[c][n.childKey(ci, row)]
 		if !present {
@@ -54,7 +70,7 @@ func (vt *viewTree[E]) tupleDelta(n *node, row int) (delta E, ok bool) {
 // stored row — the batch path computes deltas before (inserts) or
 // independently of (deletes) the physical row mutation.
 func (vt *viewTree[E]) tupleDeltaVals(n *node, vals []relation.Value) (delta E, ok bool) {
-	delta = vt.alg.Lift(n.featIdx, n.featValsOf(vals))
+	delta = vt.liftVals(n, vals)
 	for ci, c := range n.children {
 		cv, present := vt.views[c][keyOfVals(n.rel, n.childKeyCols[ci], vals)]
 		if !present {
@@ -97,7 +113,7 @@ func (vt *viewTree[E]) computeEffects(n *node, key uint64, delta E, out []viewEf
 	deltas := exec.GroupedFold(rows,
 		func(r int) uint64 { return p.parentKey(r) },
 		func(r int) (E, bool) {
-			contrib := vt.alg.Mul(vt.alg.Lift(p.featIdx, p.vals(r)), delta)
+			contrib := vt.alg.Mul(vt.lift(p, r), delta)
 			for ci, c := range p.children {
 				if c == n {
 					continue
@@ -154,33 +170,50 @@ func (vt *viewTree[E]) propagate(n *node, key uint64, delta E) {
 // payloads are ring elements. A single delta propagation along the
 // leaf-to-root path maintains the entire aggregate batch.
 //
-// By default the payloads are covariance-ring triples. With WithLifted
-// the SAME single hierarchy instead carries lifted degree-2 elements
-// (ring.Poly2), whose degree-≤2 prefix is the covariance triple — so the
-// covariance statistics come for free and the degree-≤4 moments needed
-// by polynomial regression are maintained by the identical propagation,
-// at a constant-factor higher payload cost.
+// By default the payloads are covariance-ring triples. With
+// WithPayload(PayloadPoly2) the SAME single hierarchy instead carries
+// lifted degree-2 elements (ring.Poly2), whose degree-≤2 prefix is the
+// covariance triple — so the covariance statistics come for free and
+// the degree-≤4 moments needed by polynomial regression are maintained
+// by the identical propagation, at a constant-factor higher payload
+// cost. With WithPayload(PayloadCofactor) it carries categorical
+// cofactor elements (ring.Cofactor): the covariance triple per group of
+// categorical values, lifted over each node's owned categorical AND
+// continuous variables at once.
 type FIVM struct {
 	*base
 	ring ring.CovarRing
-	// Exactly one of cv/p2 is non-nil, selecting the payload ring.
-	cv *viewTree[*ring.Covar]
-	p2 *viewTree[*ring.Poly2]
-	pr *ring.Poly2Ring
+	// Exactly one of cv/p2/cf is non-nil, selecting the payload ring.
+	cv  *viewTree[*ring.Covar]
+	p2  *viewTree[*ring.Poly2]
+	pr  *ring.Poly2Ring
+	cf  *viewTree[*ring.Cofactor]
+	cfr ring.CofactorRing
 }
 
 // NewFIVM creates an F-IVM maintainer over an initially empty copy of the
 // join's relations, rooted at the named relation.
 func NewFIVM(j *query.Join, root string, features []string, opts ...Option) (*FIVM, error) {
-	b, err := newBase(j, root, features)
+	o := buildOptions(opts)
+	b, err := newBase(j, root, features, o.payload)
 	if err != nil {
 		return nil, err
 	}
-	m := &FIVM{base: b, ring: ring.CovarRing{N: len(features)}}
-	if buildOptions(opts).lifted {
-		m.pr = ring.NewPoly2Ring(len(features))
+	m := &FIVM{base: b, ring: ring.CovarRing{N: len(b.contFeats)}}
+	switch o.payload {
+	case PayloadPoly2:
+		m.pr = ring.NewPoly2Ring(len(b.contFeats))
 		m.p2 = newViewTree[*ring.Poly2](m.pr, m.root)
-	} else {
+	case PayloadCofactor:
+		m.cfr = ring.CofactorRing{N: len(b.contFeats), K: len(b.catFeats)}
+		m.cf = newViewTreeLift[*ring.Cofactor](m.cfr, m.root,
+			func(n *node, row int) *ring.Cofactor {
+				return m.cfr.LiftCat(n.featIdx, n.vals(row), n.catIdx, n.catVals(row))
+			},
+			func(n *node, vals []relation.Value) *ring.Cofactor {
+				return m.cfr.LiftCat(n.featIdx, n.featValsOf(vals), n.catIdx, n.catValsOf(vals))
+			})
+	default:
 		m.cv = newViewTree[*ring.Covar](m.ring, m.root)
 	}
 	return m, nil
@@ -198,6 +231,12 @@ func (m *FIVM) Insert(t Tuple) error {
 	if m.p2 != nil {
 		if delta, ok := m.p2.tupleDelta(n, row); ok {
 			m.p2.propagate(n, n.parentKey(row), delta)
+		}
+		return nil
+	}
+	if m.cf != nil {
+		if delta, ok := m.cf.tupleDelta(n, row); ok {
+			m.cf.propagate(n, n.parentKey(row), delta)
 		}
 		return nil
 	}
@@ -224,6 +263,14 @@ func (m *FIVM) Delete(t Tuple) error {
 		m.removeRow(n, row)
 		if contributed {
 			m.p2.propagate(n, key, m.pr.Neg(delta))
+		}
+		return nil
+	}
+	if m.cf != nil {
+		delta, contributed := m.cf.tupleDelta(n, row)
+		m.removeRow(n, row)
+		if contributed {
+			m.cf.propagate(n, key, m.cfr.Neg(delta))
 		}
 		return nil
 	}
@@ -260,6 +307,26 @@ func (m *FIVM) ApplyBatch(ops []Op) BatchResult {
 			},
 			serial)
 	}
+	if m.cf != nil {
+		effects := func(n *node, vals []relation.Value, neg bool) []viewEffect[*ring.Cofactor] {
+			delta, ok := m.cf.tupleDeltaVals(n, vals)
+			if !ok {
+				return nil
+			}
+			if neg {
+				delta = m.cfr.Neg(delta)
+			}
+			return m.cf.computeEffects(n, keyOfVals(n.rel, n.parentKeyCols, vals), delta, nil)
+		}
+		return applyOps(m.base, ops,
+			func(op *Op) opEffects[[]viewEffect[*ring.Cofactor]] {
+				return computeOpEffects(m.base, op, effects)
+			},
+			func(op *Op, e *opEffects[[]viewEffect[*ring.Cofactor]]) (uint64, uint64, bool, error) {
+				return applyOpEffects(m.base, op, e, m.cf.applyEffects)
+			},
+			serial)
+	}
 	effects := func(n *node, vals []relation.Value, neg bool) []viewEffect[*ring.Covar] {
 		delta, ok := m.cv.tupleDeltaVals(n, vals)
 		if !ok {
@@ -285,6 +352,13 @@ func (m *FIVM) Count() float64 {
 	if m.p2 != nil {
 		return m.p2.result.Count()
 	}
+	if m.cf != nil {
+		c := 0.0
+		for _, g := range m.cf.result.Groups {
+			c += g.Count
+		}
+		return c
+	}
 	return m.cv.result.Count
 }
 
@@ -292,6 +366,9 @@ func (m *FIVM) Count() float64 {
 func (m *FIVM) Sum(i int) float64 {
 	if m.p2 != nil {
 		return m.p2.result.M[m.pr.SumIndex(i)]
+	}
+	if m.cf != nil {
+		return m.cf.result.Marginal().Sum[i]
 	}
 	return m.cv.result.Sum[i]
 }
@@ -301,14 +378,21 @@ func (m *FIVM) Moment(i, j int) float64 {
 	if m.p2 != nil {
 		return m.p2.result.M[m.pr.MomentIndex(i, j)]
 	}
+	if m.cf != nil {
+		return m.cf.result.Marginal().Q[i*m.ring.N+j]
+	}
 	return m.cv.result.Q[i*m.ring.N+j]
 }
 
 // Snapshot implements Maintainer: a deep copy of the root triple (for a
-// lifted maintainer, the degree-≤2 extraction of the root element).
+// lifted maintainer the degree-≤2 extraction, for a cofactor maintainer
+// the marginal over all categorical groups).
 func (m *FIVM) Snapshot() *ring.Covar {
 	if m.p2 != nil {
 		return m.p2.result.Covar()
+	}
+	if m.cf != nil {
+		return m.cf.result.Marginal()
 	}
 	return m.cv.result.Clone()
 }
@@ -329,6 +413,10 @@ func (m *FIVM) SnapshotInto(dst *ring.Covar) {
 		m.p2.result.CovarInto(dst)
 		return
 	}
+	if m.cf != nil {
+		m.cf.result.MarginalInto(dst)
+		return
+	}
 	m.cv.result.CopyInto(dst)
 }
 
@@ -341,11 +429,23 @@ func (m *FIVM) SnapshotLiftedInto(dst *ring.Poly2) bool {
 	return true
 }
 
+// SnapshotCofactor implements Maintainer: a deep copy of the maintained
+// categorical cofactor element, or nil for other payloads.
+func (m *FIVM) SnapshotCofactor() *ring.Cofactor {
+	if m.cf == nil {
+		return nil
+	}
+	return m.cfr.Clone(m.cf.result)
+}
+
 // Result exposes the maintained covariance triple (read-only; for a
-// lifted maintainer it is extracted fresh per call).
+// lifted or cofactor maintainer it is extracted fresh per call).
 func (m *FIVM) Result() *ring.Covar {
 	if m.p2 != nil {
 		return m.p2.result.Covar()
+	}
+	if m.cf != nil {
+		return m.cf.result.Marginal()
 	}
 	return m.cv.result
 }

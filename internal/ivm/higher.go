@@ -23,20 +23,42 @@ type HigherOrder struct {
 	// views[n][a] is aggregate a's view at node n: join key → value.
 	views  map[*node][]map[uint64]float64
 	result []float64
+	// Cofactor payload: one independent group-keyed view hierarchy per
+	// aggregate (the per-aggregate architecture unchanged — each scalar
+	// becomes a map of per-categorical-group scalars). Nil otherwise.
+	cfTrees []*viewTree[*ring.CatScalar]
+	csr     ring.CatScalarRing
 }
 
 // NewHigherOrder creates a higher-order maintainer over an initially
 // empty copy of the join's relations.
 func NewHigherOrder(j *query.Join, root string, features []string, opts ...Option) (*HigherOrder, error) {
-	b, err := newBase(j, root, features)
+	o := buildOptions(opts)
+	b, err := newBase(j, root, features, o.payload)
 	if err != nil {
 		return nil, err
 	}
 	m := &HigherOrder{
 		base:  b,
-		batch: newScalarBatch(len(features), buildOptions(opts).lifted),
-		views: make(map[*node][]map[uint64]float64),
+		batch: newScalarBatch(len(b.contFeats), o.payload == PayloadPoly2),
 	}
+	if o.payload == PayloadCofactor {
+		m.csr = ring.CatScalarRing{K: len(b.catFeats)}
+		m.cfTrees = make([]*viewTree[*ring.CatScalar], len(m.batch.aggs))
+		csr := m.csr
+		for a := range m.batch.aggs {
+			agg := m.batch.aggs[a]
+			m.cfTrees[a] = newViewTreeLift[*ring.CatScalar](csr, m.root,
+				func(n *node, row int) *ring.CatScalar {
+					return csr.LiftVal(n.catIdx, n.catVals(row), localEval(n, row, agg))
+				},
+				func(n *node, vals []relation.Value) *ring.CatScalar {
+					return csr.LiftVal(n.catIdx, n.catValsOf(vals), localEvalVals(n, vals, agg))
+				})
+		}
+		return m, nil
+	}
+	m.views = make(map[*node][]map[uint64]float64)
 	m.result = make([]float64, len(m.batch.aggs))
 	var initViews func(n *node)
 	initViews = func(n *node) {
@@ -61,6 +83,14 @@ func (m *HigherOrder) Insert(t Tuple) error {
 	n, row, err := m.append(t)
 	if err != nil {
 		return err
+	}
+	if m.cfTrees != nil {
+		for _, vt := range m.cfTrees {
+			if delta, ok := vt.tupleDelta(n, row); ok {
+				vt.propagate(n, n.parentKey(row), delta)
+			}
+		}
+		return nil
 	}
 	for a := range m.batch.aggs {
 		delta := localEval(n, row, m.batch.aggs[a])
@@ -94,6 +124,15 @@ func (m *HigherOrder) Delete(t Tuple) error {
 		return err
 	}
 	key := n.parentKey(row)
+	if m.cfTrees != nil {
+		for _, vt := range m.cfTrees {
+			if delta, ok := vt.tupleDelta(n, row); ok {
+				vt.propagate(n, key, m.csr.Neg(delta))
+			}
+		}
+		m.removeRow(n, row)
+		return nil
+	}
 	for a := range m.batch.aggs {
 		delta := localEval(n, row, m.batch.aggs[a])
 		zero := false
@@ -209,10 +248,54 @@ func (m *HigherOrder) tupleEffects(n *node, vals []relation.Value, neg bool) []s
 	return out
 }
 
+// catTupleEffects is tupleEffects for the cofactor payload: the
+// per-aggregate group-keyed propagations a tuple with these values
+// triggers, one effect list per aggregate tree.
+func (m *HigherOrder) catTupleEffects(n *node, vals []relation.Value, neg bool) [][]viewEffect[*ring.CatScalar] {
+	out := make([][]viewEffect[*ring.CatScalar], len(m.cfTrees))
+	for a, vt := range m.cfTrees {
+		delta, ok := vt.tupleDeltaVals(n, vals)
+		if !ok {
+			continue
+		}
+		if neg {
+			delta = m.csr.Neg(delta)
+		}
+		out[a] = vt.computeEffects(n, keyOfVals(n.rel, n.parentKeyCols, vals), delta, nil)
+	}
+	return out
+}
+
+// applyCatEffects replays per-aggregate recorded propagations.
+func (m *HigherOrder) applyCatEffects(effs [][]viewEffect[*ring.CatScalar]) {
+	for a, e := range effs {
+		m.cfTrees[a].applyEffects(e)
+	}
+}
+
+// catResults collects the per-aggregate root elements.
+func (m *HigherOrder) catResults() []*ring.CatScalar {
+	out := make([]*ring.CatScalar, len(m.cfTrees))
+	for a, vt := range m.cfTrees {
+		out[a] = vt.result
+	}
+	return out
+}
+
 // ApplyBatch implements Maintainer: the per-aggregate delta
 // propagations of each op run morsel-parallel against batch-start
 // state, then replay serially in op order.
 func (m *HigherOrder) ApplyBatch(ops []Op) BatchResult {
+	if m.cfTrees != nil {
+		return applyOps(m.base, ops,
+			func(op *Op) opEffects[[][]viewEffect[*ring.CatScalar]] {
+				return computeOpEffects(m.base, op, m.catTupleEffects)
+			},
+			func(op *Op, e *opEffects[[][]viewEffect[*ring.CatScalar]]) (uint64, uint64, bool, error) {
+				return applyOpEffects(m.base, op, e, m.applyCatEffects)
+			},
+			func(op *Op) (uint64, uint64, bool, error) { return serialApply(m, op) })
+	}
 	return applyOps(m.base, ops,
 		func(op *Op) opEffects[[]scalarEffect] {
 			return computeOpEffects(m.base, op, m.tupleEffects)
@@ -224,24 +307,58 @@ func (m *HigherOrder) ApplyBatch(ops []Op) BatchResult {
 }
 
 // Count implements Maintainer.
-func (m *HigherOrder) Count() float64 { return m.result[m.batch.count()] }
+func (m *HigherOrder) Count() float64 {
+	if m.cfTrees != nil {
+		return m.cfTrees[m.batch.count()].result.Total()
+	}
+	return m.result[m.batch.count()]
+}
 
 // Sum implements Maintainer.
-func (m *HigherOrder) Sum(i int) float64 { return m.result[m.batch.sum(i)] }
+func (m *HigherOrder) Sum(i int) float64 {
+	if m.cfTrees != nil {
+		return m.cfTrees[m.batch.sum(i)].result.Total()
+	}
+	return m.result[m.batch.sum(i)]
+}
 
 // Moment implements Maintainer.
-func (m *HigherOrder) Moment(i, j int) float64 { return m.result[m.batch.moment(i, j)] }
+func (m *HigherOrder) Moment(i, j int) float64 {
+	if m.cfTrees != nil {
+		return m.cfTrees[m.batch.moment(i, j)].result.Total()
+	}
+	return m.result[m.batch.moment(i, j)]
+}
 
 // Snapshot implements Maintainer.
-func (m *HigherOrder) Snapshot() *ring.Covar { return m.batch.covar(m.result) }
+func (m *HigherOrder) Snapshot() *ring.Covar {
+	if m.cfTrees != nil {
+		return m.batch.covar(catTotals(m.catResults()))
+	}
+	return m.batch.covar(m.result)
+}
 
 // SnapshotLifted implements Maintainer.
 func (m *HigherOrder) SnapshotLifted() *ring.Poly2 { return m.batch.liftedSnapshot(m.result) }
 
 // SnapshotInto implements Maintainer.
-func (m *HigherOrder) SnapshotInto(dst *ring.Covar) { m.batch.covarInto(m.result, dst) }
+func (m *HigherOrder) SnapshotInto(dst *ring.Covar) {
+	if m.cfTrees != nil {
+		m.batch.covarInto(catTotals(m.catResults()), dst)
+		return
+	}
+	m.batch.covarInto(m.result, dst)
+}
 
 // SnapshotLiftedInto implements Maintainer.
 func (m *HigherOrder) SnapshotLiftedInto(dst *ring.Poly2) bool {
 	return m.batch.liftedInto(m.result, dst)
+}
+
+// SnapshotCofactor implements Maintainer.
+func (m *HigherOrder) SnapshotCofactor() *ring.Cofactor {
+	if m.cfTrees == nil {
+		return nil
+	}
+	return m.batch.cofactorSnapshot(m.catResults(), m.csr.K)
 }

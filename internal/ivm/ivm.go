@@ -38,6 +38,7 @@ package ivm
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"borg/internal/exec"
 	"borg/internal/query"
@@ -59,7 +60,7 @@ type Tuple struct {
 type Option func(*options)
 
 type options struct {
-	lifted bool
+	payload Payload
 }
 
 func buildOptions(opts []Option) options {
@@ -70,15 +71,56 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
-// WithLifted selects the lifted degree-2 ring (ring.Poly2) as the
-// maintained payload: every moment SUM(Πx^p) of total degree ≤ 4 over
-// the features, the sufficient statistics of degree-2 polynomial
-// regression. The covariance statistics are the degree-≤2 prefix of the
-// lifted element, so Count/Sum/Moment/Snapshot stay exact and
-// SnapshotLifted becomes non-nil. Maintenance cost grows by a constant
-// factor (C(n+4,4) instead of O(n²) moments per payload).
+// Payload selects which ring element the maintainers carry — the one
+// payload-generic knob that replaced the old lifted bool when the third
+// payload arrived.
+type Payload int
+
+const (
+	// PayloadCovar maintains the covariance-ring triple (ring.Covar):
+	// COUNT, SUM(x_i), SUM(x_i*x_j) over the continuous features. The
+	// default.
+	PayloadCovar Payload = iota
+	// PayloadPoly2 maintains the lifted degree-2 ring (ring.Poly2):
+	// every moment SUM(Πx^p) of total degree ≤ 4, the sufficient
+	// statistics of degree-2 polynomial regression. The covariance
+	// statistics are the degree-≤2 prefix, so Count/Sum/Moment/Snapshot
+	// stay exact and SnapshotLifted becomes non-nil.
+	PayloadPoly2
+	// PayloadCofactor maintains the categorical cofactor ring
+	// (ring.Cofactor): the covariance triple per group of categorical
+	// values. Categorical features become legal in the feature list,
+	// SnapshotCofactor becomes non-nil, and the continuous statistics
+	// (marginal over all groups) stay exact.
+	PayloadCofactor
+)
+
+// String names the payload the way ServerOptions/flags spell it.
+func (p Payload) String() string {
+	switch p {
+	case PayloadPoly2:
+		return "poly2"
+	case PayloadCofactor:
+		return "cofactor"
+	default:
+		return "covar"
+	}
+}
+
+// WithPayload selects the maintained ring payload. Maintenance cost is
+// payload-dependent: poly2 grows the per-payload constant to C(n+4,4)
+// moments, cofactor multiplies it by the number of live categorical
+// groups.
+func WithPayload(p Payload) Option {
+	return func(o *options) { o.payload = p }
+}
+
+// WithLifted selects the lifted degree-2 ring as the maintained payload.
+//
+// Deprecated: use WithPayload(PayloadPoly2). Kept as an alias for the
+// pre-payload API.
 func WithLifted() Option {
-	return func(o *options) { o.lifted = true }
+	return WithPayload(PayloadPoly2)
 }
 
 // Maintainer is the common interface of the three IVM strategies.
@@ -125,6 +167,17 @@ type Maintainer interface {
 	// (same reuse contract), reporting false and leaving dst alone when
 	// the maintainer was built without WithLifted.
 	SnapshotLiftedInto(dst *ring.Poly2) bool
+	// SnapshotCofactor returns a deep copy of the maintained categorical
+	// cofactor element, or nil when the maintainer was not built with
+	// WithPayload(PayloadCofactor). Like Snapshot, the copy shares no
+	// state with the maintainer.
+	SnapshotCofactor() *ring.Cofactor
+	// ContFeatures returns the continuous feature names in maintained
+	// (Sum/Moment index) order.
+	ContFeatures() []string
+	// CatFeatures returns the categorical feature names in cofactor
+	// group-slot order; empty unless the cofactor payload is maintained.
+	CatFeatures() []string
 	// Name identifies the strategy in benchmark tables.
 	Name() string
 }
@@ -144,10 +197,15 @@ type node struct {
 	childKeyCols  [][]int
 	childIndexes  []*relation.Index
 
-	// featIdx/featCols: global feature indexes owned by this node and
-	// their columns in rel.
+	// featIdx/featCols: global continuous-feature indexes owned by this
+	// node and their columns in rel.
 	featIdx  []int
 	featCols []int
+
+	// catIdx/catCols: global categorical group-slot indexes owned by
+	// this node and their columns in rel (cofactor payload only).
+	catIdx  []int
+	catCols []int
 
 	// rowIdx locates live rows by a hash of their full value tuple, so a
 	// delete resolves its target in O(1) expected time instead of
@@ -162,10 +220,22 @@ type base struct {
 	root     *node
 	byName   map[string]*node
 	features []string
+	// contFeats/catFeats split features by column type: continuous
+	// features in Sum/Moment index order, categorical features in
+	// cofactor group-slot order. With any payload other than cofactor,
+	// catFeats is empty and contFeats == features.
+	contFeats []string
+	catFeats  []string
 	// rt schedules the delta scans routed through internal/exec. The
 	// zero value is the serial runtime; SetRuntime overrides it.
 	rt exec.Runtime
 }
+
+// ContFeatures implements Maintainer.
+func (b *base) ContFeatures() []string { return b.contFeats }
+
+// CatFeatures implements Maintainer.
+func (b *base) CatFeatures() []string { return b.catFeats }
 
 // SetRuntime points the maintainer's scan kernels at the given exec
 // runtime. First-order maintenance routes its delta scans through it,
@@ -174,9 +244,27 @@ type base struct {
 // strategies stays serial (the per-op work is too small to split).
 func (b *base) SetRuntime(rt exec.Runtime) { b.rt = rt }
 
+// joinAttrNames lists every attribute of the join once, in schema
+// order, for error messages.
+func joinAttrNames(j *query.Join) string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, r := range j.Relations {
+		for _, a := range r.Attrs() {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				names = append(names, a.Name)
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
 // newBase clones empty live relations for the given join, builds the
-// tree rooted at root, and resolves feature ownership.
-func newBase(j *query.Join, root string, features []string) (*base, error) {
+// tree rooted at root, and resolves feature ownership. The payload
+// decides whether categorical features are legal: the cofactor ring
+// owns them as group slots, every other payload rejects them.
+func newBase(j *query.Join, root string, features []string, payload Payload) (*base, error) {
 	live := make([]*relation.Relation, len(j.Relations))
 	for i, r := range j.Relations {
 		live[i] = r.CloneEmpty()
@@ -216,17 +304,24 @@ func newBase(j *query.Join, root string, features []string) (*base, error) {
 	}
 	b.root = build(jt.Root, nil)
 
-	for fi, f := range features {
+	for _, f := range features {
 		n, ok := owner[f]
 		if !ok {
-			return nil, fmt.Errorf("ivm: feature %s not in join", f)
+			return nil, fmt.Errorf("ivm: feature %s not in join; available attributes are %s", f, joinAttrNames(j))
 		}
 		col := n.rel.AttrIndex(f)
-		if n.rel.Attrs()[col].Type != relation.Double {
-			return nil, fmt.Errorf("ivm: feature %s is not continuous", f)
+		switch {
+		case n.rel.Attrs()[col].Type == relation.Double:
+			n.featIdx = append(n.featIdx, len(b.contFeats))
+			n.featCols = append(n.featCols, col)
+			b.contFeats = append(b.contFeats, f)
+		case payload == PayloadCofactor:
+			n.catIdx = append(n.catIdx, len(b.catFeats))
+			n.catCols = append(n.catCols, col)
+			b.catFeats = append(b.catFeats, f)
+		default:
+			return nil, fmt.Errorf("ivm: feature %s is not continuous; categorical features need WithPayload(PayloadCofactor)", f)
 		}
-		n.featIdx = append(n.featIdx, fi)
-		n.featCols = append(n.featCols, col)
 	}
 	return b, nil
 }
@@ -383,6 +478,18 @@ func (n *node) vals(row int) []float64 {
 	out := make([]float64, len(n.featCols))
 	for i, c := range n.featCols {
 		out[i] = n.rel.Float(c, row)
+	}
+	return out
+}
+
+// catVals extracts the categorical codes owned by n from row `row`.
+func (n *node) catVals(row int) []int32 {
+	if len(n.catCols) == 0 {
+		return nil
+	}
+	out := make([]int32, len(n.catCols))
+	for i, c := range n.catCols {
+		out[i] = n.rel.Cat(c, row)
 	}
 	return out
 }

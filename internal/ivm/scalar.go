@@ -172,6 +172,47 @@ func (b scalarBatch) covarInto(result []float64, dst *ring.Covar) {
 	}
 }
 
+// catTotals flattens per-aggregate group-keyed results into the plain
+// scalar result-vector layout by marginalizing each aggregate over its
+// categorical groups.
+func catTotals(results []*ring.CatScalar) []float64 {
+	out := make([]float64, len(results))
+	for a, r := range results {
+		out[a] = r.Total()
+	}
+	return out
+}
+
+// cofactorSnapshot packs per-aggregate group-keyed results (covar
+// layout) into one cofactor element with k categorical slots: the
+// inverse of the per-aggregate split, grouping each live categorical
+// key's count/sum/moment scalars back into one covariance triple. The
+// group keys are treated as opaque — the ring owns their encoding.
+func (b scalarBatch) cofactorSnapshot(results []*ring.CatScalar, k int) *ring.Cofactor {
+	cr := ring.CovarRing{N: b.n}
+	out := &ring.Cofactor{N: b.n, K: k, Groups: make(map[string]*ring.Covar)}
+	keys := make(map[string]bool)
+	for _, r := range results {
+		for key := range r.G {
+			keys[key] = true
+		}
+	}
+	for key := range keys {
+		g := cr.Zero()
+		g.Count = results[b.count()].G[key]
+		for i := 0; i < b.n; i++ {
+			g.Sum[i] = results[b.sum(i)].G[key]
+			for j := 0; j < b.n; j++ {
+				g.Q[i*b.n+j] = results[b.moment(i, j)].G[key]
+			}
+		}
+		if !cr.IsZero(g) {
+			out.Groups[key] = g
+		}
+	}
+	return out
+}
+
 // liftedInto copies a lifted-layout result vector into dst (false for
 // the plain covariance layout, leaving dst alone).
 func (b scalarBatch) liftedInto(result []float64, dst *ring.Poly2) bool {

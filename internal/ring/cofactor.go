@@ -1,0 +1,390 @@
+package ring
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Cofactor is the categorical relational ring element of Section 4 of
+// the paper (and F-IVM's general cofactor construction): the covariance
+// statistics COUNT / SUM(x_i) / SUM(x_i*x_j) computed *per group* of
+// categorical values. The element is a sparse map from a packed
+// categorical key (one slot per categorical feature; a slot may be
+// unbound in partial products) to the covariance triple of the
+// continuous features restricted to that group.
+//
+// One-hot encodings fall out for free: the indicator column of category
+// value c has SUM = the COUNT of the groups where slot=c, pairwise
+// indicator products come from joint group keys, and interaction
+// moments SUM(x_i * 1[g=c]) are the group-restricted sums. The trainers
+// in internal/ml consume exactly those projections.
+type Cofactor struct {
+	// N is the number of continuous features of each group's Covar.
+	N int
+	// K is the number of categorical slots of each group key.
+	K int
+	// Groups maps packed categorical keys (see packCatKey) to the
+	// group-restricted continuous statistics.
+	Groups map[string]*Covar
+}
+
+// unboundSlot marks a categorical slot not yet bound by any Lift on
+// this partial product. Fully aggregated results at the join root bind
+// every slot, because every categorical feature is owned by exactly one
+// relation of the tree.
+const unboundSlot = 0xFFFFFFFF
+
+// packCatKey packs the K-slot key where slots idx[t] carry codes[t] and
+// every other slot is unbound. Codes are relation dictionary codes
+// (never negative), so uint32 round-trips them exactly.
+func packCatKey(k int, idx []int, codes []int32) string {
+	b := make([]byte, 4*k)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	for t, i := range idx {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(codes[t]))
+	}
+	return string(b)
+}
+
+// mergeCatKeys combines two packed keys slot-wise: an unbound slot
+// adopts the other side's binding, equal bindings agree, and differing
+// bindings mean the two partial tuples disagree on a categorical value
+// — their product is zero (ok=false).
+func mergeCatKeys(a, b string) (key string, ok bool) {
+	if a == b {
+		return a, true
+	}
+	out := make([]byte, len(a))
+	for i := 0; i < len(a); i += 4 {
+		av := binary.BigEndian.Uint32([]byte(a[i : i+4]))
+		bv := binary.BigEndian.Uint32([]byte(b[i : i+4]))
+		switch {
+		case av == unboundSlot:
+			binary.BigEndian.PutUint32(out[i:], bv)
+		case bv == unboundSlot || av == bv:
+			binary.BigEndian.PutUint32(out[i:], av)
+		default:
+			return "", false
+		}
+	}
+	return string(out), true
+}
+
+// unpackCatKey decodes a packed key into per-slot codes, -1 for unbound.
+func unpackCatKey(key string) []int32 {
+	out := make([]int32, len(key)/4)
+	for i := range out {
+		v := binary.BigEndian.Uint32([]byte(key[4*i : 4*i+4]))
+		if v == unboundSlot {
+			out[i] = -1
+		} else {
+			out[i] = int32(v)
+		}
+	}
+	return out
+}
+
+// NumGroups reports the number of live categorical groups.
+func (e *Cofactor) NumGroups() int { return len(e.Groups) }
+
+// Group returns the statistics of the fully bound group with the given
+// per-slot codes, or nil when that combination has no live tuples.
+func (e *Cofactor) Group(codes []int32) *Covar {
+	idx := make([]int, len(codes))
+	for i := range idx {
+		idx[i] = i
+	}
+	return e.Groups[packCatKey(e.K, idx, codes)]
+}
+
+// Each visits every group in deterministic (sorted-key) order with its
+// decoded per-slot codes (-1 = unbound, which only occurs in partial
+// products, never in root results). The codes slice is reused across
+// calls; copy it to retain.
+func (e *Cofactor) Each(fn func(codes []int32, g *Covar)) {
+	keys := make([]string, 0, len(e.Groups))
+	for k := range e.Groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(unpackCatKey(k), e.Groups[k])
+	}
+}
+
+// Marginal sums every group into one global covariance triple — the
+// continuous statistics ignoring the categorical grouping. It is the
+// bridge that keeps Count/Sum/Moment/Snapshot exact on cofactor
+// maintainers. Groups fold in sorted-key order so the floats are
+// deterministic across runs.
+func (e *Cofactor) Marginal() *Covar {
+	m := CovarRing{N: e.N}.Zero()
+	e.Each(func(_ []int32, g *Covar) { m.AddInPlace(g) })
+	return m
+}
+
+// MarginalInto computes the marginal into dst, reusing dst's backing
+// when pre-sized — the SnapshotInto reuse contract.
+func (e *Cofactor) MarginalInto(dst *Covar) {
+	dst.N = e.N
+	dst.Count = 0
+	if cap(dst.Sum) < e.N {
+		dst.Sum = make([]float64, e.N)
+	} else {
+		dst.Sum = dst.Sum[:e.N]
+		clear(dst.Sum)
+	}
+	nn := e.N * e.N
+	if cap(dst.Q) < nn {
+		dst.Q = make([]float64, nn)
+	} else {
+		dst.Q = dst.Q[:nn]
+		clear(dst.Q)
+	}
+	e.Each(func(_ []int32, g *Covar) { dst.AddInPlace(g) })
+}
+
+// ApproxEqual reports whether the two elements have the same group keys
+// and componentwise equal statistics within tol.
+func (e *Cofactor) ApproxEqual(o *Cofactor, tol float64) bool {
+	if e.N != o.N || e.K != o.K || len(e.Groups) != len(o.Groups) {
+		return false
+	}
+	for k, g := range e.Groups {
+		og, ok := o.Groups[k]
+		if !ok || !g.ApproxEqual(og, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// CofactorRing instantiates ring.Algebra over *Cofactor: componentwise
+// addition and negation, group-wise multiplication (keys of the two
+// sides merge when their bound slots agree; the group values multiply
+// under the covariance ring), and lifting over a relation's owned
+// categorical AND continuous variables at once.
+type CofactorRing struct {
+	// N is the number of continuous features, K the number of
+	// categorical slots.
+	N, K int
+}
+
+func (r CofactorRing) covar() CovarRing { return CovarRing{N: r.N} }
+
+// Zero returns the additive identity: no live groups.
+func (r CofactorRing) Zero() *Cofactor {
+	return &Cofactor{N: r.N, K: r.K, Groups: make(map[string]*Covar)}
+}
+
+// One returns the multiplicative identity: a single all-unbound group
+// whose value is the covariance-ring one.
+func (r CofactorRing) One() *Cofactor {
+	e := r.Zero()
+	e.Groups[packCatKey(r.K, nil, nil)] = r.covar().One()
+	return e
+}
+
+// Lift implements Algebra without categorical bindings; maintenance
+// uses LiftCat.
+func (r CofactorRing) Lift(idx []int, vals []float64) *Cofactor {
+	return r.LiftCat(idx, vals, nil, nil)
+}
+
+// LiftCat maps one tuple to its ring element: a single group binding
+// the owned categorical slots catIdx to the tuple's codes, whose value
+// is the covariance-ring lift of the owned continuous features.
+func (r CofactorRing) LiftCat(idx []int, vals []float64, catIdx []int, cats []int32) *Cofactor {
+	e := r.Zero()
+	e.Groups[packCatKey(r.K, catIdx, cats)] = r.covar().Lift(idx, vals)
+	return e
+}
+
+// Add returns a+b componentwise (group union, covariance addition).
+func (r CofactorRing) Add(a, b *Cofactor) *Cofactor {
+	out := r.Clone(a)
+	r.AddInPlace(out, b)
+	return out
+}
+
+// AddInPlace folds src into dst, pruning groups whose statistics cancel
+// to exact zero so retraction shrinks the map for real.
+func (r CofactorRing) AddInPlace(dst, src *Cofactor) {
+	cr := r.covar()
+	for k, g := range src.Groups {
+		if d, ok := dst.Groups[k]; ok {
+			d.AddInPlace(g)
+			if cr.IsZero(d) {
+				delete(dst.Groups, k)
+			}
+		} else {
+			dst.Groups[k] = cr.Clone(g)
+		}
+	}
+}
+
+// Mul returns the group-wise product: every pair of groups whose bound
+// slots agree contributes the covariance-ring product under the merged
+// key; disagreeing pairs contribute zero.
+func (r CofactorRing) Mul(a, b *Cofactor) *Cofactor {
+	out := r.Zero()
+	cr := r.covar()
+	for ka, ga := range a.Groups {
+		for kb, gb := range b.Groups {
+			k, ok := mergeCatKeys(ka, kb)
+			if !ok {
+				continue
+			}
+			p := cr.Mul(ga, gb)
+			if d, okd := out.Groups[k]; okd {
+				d.AddInPlace(p)
+				if cr.IsZero(d) {
+					delete(out.Groups, k)
+				}
+			} else if !cr.IsZero(p) {
+				out.Groups[k] = p
+			}
+		}
+	}
+	return out
+}
+
+// Neg returns the additive inverse: every group negated.
+func (r CofactorRing) Neg(a *Cofactor) *Cofactor {
+	out := r.Zero()
+	cr := r.covar()
+	for k, g := range a.Groups {
+		out.Groups[k] = cr.Neg(g)
+	}
+	return out
+}
+
+// IsZero reports whether the element is the additive identity. Groups
+// are pruned eagerly on cancellation, so an empty map is the canonical
+// zero; any surviving group with nonzero statistics makes the element
+// nonzero.
+func (r CofactorRing) IsZero(e *Cofactor) bool {
+	cr := r.covar()
+	for _, g := range e.Groups {
+		if !cr.IsZero(g) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the element.
+func (r CofactorRing) Clone(e *Cofactor) *Cofactor {
+	out := &Cofactor{N: e.N, K: e.K, Groups: make(map[string]*Covar, len(e.Groups))}
+	cr := r.covar()
+	for k, g := range e.Groups {
+		out.Groups[k] = cr.Clone(g)
+	}
+	return out
+}
+
+// CatScalar is one group-keyed scalar aggregate — the payload the
+// classical strategies (higher-order, first-order) maintain per
+// covariance aggregate when the cofactor statistics are requested: each
+// SUM(Πx^p) split by categorical group, exactly LMFAO's group-by
+// aggregate batch with one scalar per group.
+type CatScalar struct {
+	K int
+	G map[string]float64
+}
+
+// Total sums every group scalar in sorted-key order — the marginal of
+// this aggregate over the categorical grouping, deterministic across
+// runs.
+func (e *CatScalar) Total() float64 {
+	keys := make([]string, 0, len(e.G))
+	for k := range e.G {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := 0.0
+	for _, k := range keys {
+		t += e.G[k]
+	}
+	return t
+}
+
+// CatScalarRing instantiates ring.Algebra over *CatScalar for one
+// aggregate. Lifting needs the aggregate's local monomial value, which
+// the strategies supply through per-aggregate lift closures; the
+// interface Lift binds no slots and uses the product of vals.
+type CatScalarRing struct{ K int }
+
+// LiftVal maps a tuple's local monomial value to a single-group scalar.
+func (r CatScalarRing) LiftVal(catIdx []int, cats []int32, v float64) *CatScalar {
+	return &CatScalar{K: r.K, G: map[string]float64{packCatKey(r.K, catIdx, cats): v}}
+}
+
+// Zero returns the additive identity: no live groups.
+func (r CatScalarRing) Zero() *CatScalar {
+	return &CatScalar{K: r.K, G: make(map[string]float64)}
+}
+
+// Lift implements Algebra; maintenance injects LiftVal closures instead.
+func (r CatScalarRing) Lift(idx []int, vals []float64) *CatScalar {
+	v := 1.0
+	for _, x := range vals {
+		v *= x
+	}
+	return r.LiftVal(nil, nil, v)
+}
+
+// Mul returns the group-wise product under merged keys.
+func (r CatScalarRing) Mul(a, b *CatScalar) *CatScalar {
+	out := r.Zero()
+	for ka, va := range a.G {
+		for kb, vb := range b.G {
+			if k, ok := mergeCatKeys(ka, kb); ok {
+				out.G[k] += va * vb
+			}
+		}
+	}
+	return out
+}
+
+// Neg returns the additive inverse.
+func (r CatScalarRing) Neg(a *CatScalar) *CatScalar {
+	out := &CatScalar{K: r.K, G: make(map[string]float64, len(a.G))}
+	for k, v := range a.G {
+		out.G[k] = -v
+	}
+	return out
+}
+
+// AddInPlace folds src into dst, pruning exact-zero groups.
+func (r CatScalarRing) AddInPlace(dst, src *CatScalar) {
+	for k, v := range src.G {
+		s := dst.G[k] + v
+		if s == 0 {
+			delete(dst.G, k)
+		} else {
+			dst.G[k] = s
+		}
+	}
+}
+
+// IsZero reports whether every group scalar is zero.
+func (r CatScalarRing) IsZero(e *CatScalar) bool {
+	for _, v := range e.G {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the element.
+func (r CatScalarRing) Clone(e *CatScalar) *CatScalar {
+	out := &CatScalar{K: e.K, G: make(map[string]float64, len(e.G))}
+	for k, v := range e.G {
+		out.G[k] = v
+	}
+	return out
+}

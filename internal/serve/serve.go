@@ -98,6 +98,35 @@ func ParseStrategy(name string) (Strategy, error) {
 // Strategies lists all strategies, for benchmark sweeps.
 func Strategies() []Strategy { return []Strategy{FIVM, HigherOrder, FirstOrder} }
 
+// Payload selects the maintained ring payload; it aliases ivm.Payload so
+// one type flows through every layer.
+type Payload = ivm.Payload
+
+const (
+	// PayloadCovar maintains the covariance triple (default).
+	PayloadCovar = ivm.PayloadCovar
+	// PayloadPoly2 additionally maintains the lifted degree-2 moments.
+	PayloadPoly2 = ivm.PayloadPoly2
+	// PayloadCofactor maintains per-categorical-group covariance triples.
+	PayloadCofactor = ivm.PayloadCofactor
+)
+
+// ParsePayload resolves a payload name as used in flags and configs.
+func ParsePayload(name string) (Payload, error) {
+	switch name {
+	case "covar", "":
+		return PayloadCovar, nil
+	case "poly2", "lifted":
+		return PayloadPoly2, nil
+	case "cofactor":
+		return PayloadCofactor, nil
+	}
+	return PayloadCovar, fmt.Errorf("serve: unknown payload %q (want covar, poly2, or cofactor)", name)
+}
+
+// Payloads lists all payloads, for benchmark sweeps.
+func Payloads() []Payload { return []Payload{PayloadCovar, PayloadPoly2, PayloadCofactor} }
+
 // Config tunes a Server. The zero value selects F-IVM with the default
 // batching knobs.
 type Config struct {
@@ -121,16 +150,26 @@ type Config struct {
 	// serial kernels explicitly. The resolved value is reported by
 	// Workers().
 	Workers int
-	// Lifted additionally maintains the lifted degree-2 ring (every
-	// moment of total degree ≤ 4 over the features) — the sufficient
-	// statistics of degree-2 polynomial regression — and publishes it on
-	// each snapshot. Maintenance cost grows by a constant factor.
+	// Payload selects the maintained ring payload: PayloadCovar (the
+	// default), PayloadPoly2 (degree-≤4 moments for polynomial
+	// regression), or PayloadCofactor (per-categorical-group covariance
+	// triples; categorical features become legal in the feature list).
+	// Each snapshot publishes the payload's statistics alongside the
+	// covariance triple, which stays exact under every payload.
+	Payload Payload
+	// Lifted additionally maintains the lifted degree-2 ring.
+	//
+	// Deprecated: set Payload to PayloadPoly2. Lifted is honored only
+	// when Payload is unset (PayloadCovar).
 	Lifted bool
 	// MorselSize pins the exec scan granularity (0 = automatic).
 	MorselSize int
 }
 
 func (c *Config) defaults() {
+	if c.Payload == PayloadCovar && c.Lifted {
+		c.Payload = PayloadPoly2
+	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 64
 	}
@@ -164,9 +203,13 @@ type Snapshot struct {
 	// Readers must not mutate it.
 	Stats *ring.Covar
 	// Lifted is the lifted degree-2 moment element at this epoch, nil
-	// unless the server was configured with Config.Lifted. Readers must
-	// not mutate it.
+	// unless the server maintains PayloadPoly2. Readers must not mutate
+	// it.
 	Lifted *ring.Poly2
+	// Cofactor is the categorical cofactor element at this epoch, nil
+	// unless the server maintains PayloadCofactor. Readers must not
+	// mutate it.
+	Cofactor *ring.Cofactor
 }
 
 // Count returns SUM(1) over the join at this epoch.
@@ -219,9 +262,12 @@ type runtimeSettable interface {
 type Server struct {
 	cfg      Config
 	features []string
-	m        ivm.Maintainer
-	schemas  map[string]*relation.Relation
-	pool     *exec.Pool
+	// catFeatures are the categorical feature names in cofactor
+	// group-slot order (empty unless Config.Payload is PayloadCofactor).
+	catFeatures []string
+	m           ivm.Maintainer
+	schemas     map[string]*relation.Relation
+	pool        *exec.Pool
 	// liftedRing is the maintainer's lifted ring (nil unless
 	// Config.Lifted), kept so epoch arenas can bind Poly2 elements over
 	// their own backing.
@@ -269,10 +315,7 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 	cfg.defaults()
 	var m ivm.Maintainer
 	var err error
-	var mopts []ivm.Option
-	if cfg.Lifted {
-		mopts = append(mopts, ivm.WithLifted())
-	}
+	mopts := []ivm.Option{ivm.WithPayload(cfg.Payload)}
 	switch cfg.Strategy {
 	case FIVM:
 		m, err = ivm.NewFIVM(j, root, features, mopts...)
@@ -287,13 +330,17 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		features: append([]string(nil), features...),
-		m:        m,
-		schemas:  make(map[string]*relation.Relation, len(j.Relations)),
-		in:       make(chan op, cfg.QueueDepth),
-		stop:     make(chan struct{}),
-		finished: make(chan struct{}),
+		cfg: cfg,
+		// The maintained (continuous) features in snapshot index order;
+		// with the cofactor payload the categorical features split off
+		// into group slots.
+		features:    append([]string(nil), m.ContFeatures()...),
+		catFeatures: append([]string(nil), m.CatFeatures()...),
+		m:           m,
+		schemas:     make(map[string]*relation.Relation, len(j.Relations)),
+		in:          make(chan op, cfg.QueueDepth),
+		stop:        make(chan struct{}),
+		finished:    make(chan struct{}),
 	}
 	live := m.(liveRelations)
 	for _, r := range j.Relations {
@@ -324,8 +371,17 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 // automatic).
 func (s *Server) MorselSize() int { return s.cfg.MorselSize }
 
-// Features returns the maintained feature names, in snapshot index order.
+// Features returns the maintained continuous feature names, in snapshot
+// index order.
 func (s *Server) Features() []string { return s.features }
+
+// CatFeatures returns the maintained categorical feature names in
+// cofactor group-slot order; empty unless Config.Payload is
+// PayloadCofactor.
+func (s *Server) CatFeatures() []string { return s.catFeatures }
+
+// Payload reports the maintained ring payload.
+func (s *Server) Payload() Payload { return s.cfg.Payload }
 
 // Schema returns the live relation with the given name, or nil. Callers
 // may use its schema metadata and dictionaries (to resolve attribute
@@ -615,6 +671,12 @@ func (s *Server) buildSnapshot(epoch, inserts, deletes uint64) *Snapshot {
 		s.liftedRing.Bind(&a.lifted, back[n+n*n:])
 		s.m.SnapshotLiftedInto(&a.lifted)
 		a.snap.Lifted = &a.lifted
+	}
+	if s.cfg.Payload == PayloadCofactor {
+		// The cofactor payload is a sparse group map whose size follows
+		// the live categorical domain, so it cannot pre-size into the
+		// epoch arena; SnapshotCofactor's deep copy is published as-is.
+		a.snap.Cofactor = s.m.SnapshotCofactor()
 	}
 	return &a.snap
 }

@@ -61,9 +61,10 @@ type Config struct {
 // Create with New, feed with Insert/Delete/Update from any number of
 // goroutines, read with Snapshot, and Close when done.
 type Server struct {
-	shards   []*serve.Server
-	features []string
-	partBy   string
+	shards      []*serve.Server
+	features    []string
+	catFeatures []string
+	partBy      string
 	// partCol[rel] is the column of the partition attribute in rel;
 	// partCat[rel] whether that column is categorical there. Empty maps
 	// on the single-shard fast path with no PartitionBy.
@@ -71,8 +72,12 @@ type Server struct {
 	partCat map[string]bool
 	ring    ring.CovarRing
 	// lifted is the lifted degree-2 ring the merged snapshots fold in,
-	// nil unless the shards maintain it (Config.Lifted).
+	// nil unless the shards maintain PayloadPoly2.
 	lifted *ring.Poly2Ring
+	// cofactor is the categorical cofactor ring the merged snapshots
+	// fold in (group-map union with covariance addition per group), set
+	// only when the shards maintain PayloadCofactor.
+	cofactor *ring.CofactorRing
 
 	closeOnce sync.Once
 	closeErr  error
@@ -113,10 +118,6 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 		partBy:  cfg.PartitionBy,
 		partCol: make(map[string]int, len(j.Relations)),
 		partCat: make(map[string]bool, len(j.Relations)),
-		ring:    ring.CovarRing{N: len(features)},
-	}
-	if cfg.Lifted {
-		s.lifted = ring.NewPoly2Ring(len(features))
 	}
 	if cfg.PartitionBy != "" {
 		// Validate the partition attribute against EVERY relation before
@@ -142,7 +143,18 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 		}
 		s.shards = append(s.shards, sh)
 	}
+	// The merge rings size to the continuous feature count the shards
+	// resolved (with the cofactor payload, categorical features split
+	// off into group slots instead of snapshot indexes).
 	s.features = s.shards[0].Features()
+	s.catFeatures = s.shards[0].CatFeatures()
+	s.ring = ring.CovarRing{N: len(s.features)}
+	switch s.shards[0].Payload() {
+	case serve.PayloadPoly2:
+		s.lifted = ring.NewPoly2Ring(len(s.features))
+	case serve.PayloadCofactor:
+		s.cofactor = &ring.CofactorRing{N: len(s.features), K: len(s.catFeatures)}
+	}
 	return s, nil
 }
 
@@ -157,8 +169,17 @@ func (s *Server) Workers() int { return s.shards[0].Workers() }
 // automatic), uniform across shards.
 func (s *Server) MorselSize() int { return s.shards[0].MorselSize() }
 
-// Features returns the maintained feature names, in snapshot index order.
+// Features returns the maintained continuous feature names, in snapshot
+// index order.
 func (s *Server) Features() []string { return s.features }
+
+// CatFeatures returns the maintained categorical feature names in
+// cofactor group-slot order; empty unless the shards maintain
+// PayloadCofactor.
+func (s *Server) CatFeatures() []string { return s.catFeatures }
+
+// Payload reports the maintained ring payload, uniform across shards.
+func (s *Server) Payload() serve.Payload { return s.shards[0].Payload() }
 
 // PartitionBy returns the partition attribute ("" on an unpartitioned
 // single shard).
@@ -273,10 +294,16 @@ type MergedSnapshot struct {
 	// Readers must not mutate it (nor the Epochs slice).
 	Stats *ring.Covar
 	// Lifted is the ring sum of the per-shard lifted degree-2 elements,
-	// nil unless the shards maintain them (Config.Lifted). It folds
-	// under Poly2 addition exactly like Stats folds under Covar
-	// addition — the same disjoint-union algebra at degree 4.
+	// nil unless the shards maintain PayloadPoly2. It folds under Poly2
+	// addition exactly like Stats folds under Covar addition — the same
+	// disjoint-union algebra at degree 4.
 	Lifted *ring.Poly2
+	// Cofactor is the ring sum of the per-shard categorical cofactor
+	// elements (group-map union, covariance addition within a group),
+	// nil unless the shards maintain PayloadCofactor. Disjoint-union
+	// exactness carries over group by group: a categorical group's join
+	// tuples all live on one shard's partition or another, never split.
+	Cofactor *ring.Cofactor
 	// inner identifies the single shard snapshot this view wraps on the
 	// Shards=1 fast path (nil on a real merge); it keys the memo that
 	// makes one-shard reads allocation-free.
@@ -309,13 +336,14 @@ func (s *Server) Snapshot() *MergedSnapshot {
 			return m
 		}
 		m := &MergedSnapshot{
-			Epochs:  []uint64{sn.Epoch},
-			Epoch:   sn.Epoch,
-			Inserts: sn.Inserts,
-			Deletes: sn.Deletes,
-			Stats:   sn.Stats,
-			Lifted:  sn.Lifted,
-			inner:   sn,
+			Epochs:   []uint64{sn.Epoch},
+			Epoch:    sn.Epoch,
+			Inserts:  sn.Inserts,
+			Deletes:  sn.Deletes,
+			Stats:    sn.Stats,
+			Lifted:   sn.Lifted,
+			Cofactor: sn.Cofactor,
+			inner:    sn,
 		}
 		s.single.Store(m)
 		return m
@@ -343,6 +371,9 @@ func (s *Server) Snapshot() *MergedSnapshot {
 	if s.lifted != nil {
 		m.Lifted = s.lifted.Zero()
 	}
+	if s.cofactor != nil {
+		m.Cofactor = s.cofactor.Zero()
+	}
 	for i, sn := range inners {
 		m.Epochs[i] = sn.Epoch
 		m.Epoch += sn.Epoch
@@ -351,6 +382,9 @@ func (s *Server) Snapshot() *MergedSnapshot {
 		m.Stats.AddInPlace(sn.Stats)
 		if m.Lifted != nil && sn.Lifted != nil {
 			m.Lifted.AddInPlace(sn.Lifted)
+		}
+		if m.Cofactor != nil && sn.Cofactor != nil {
+			s.cofactor.AddInPlace(m.Cofactor, sn.Cofactor)
 		}
 	}
 	// A racing publication can make the memo stale the instant it is

@@ -2,6 +2,7 @@ package borg
 
 import (
 	"fmt"
+	"strings"
 
 	"borg/internal/core"
 	"borg/internal/engine"
@@ -15,6 +16,7 @@ import (
 type LinearRegression struct {
 	model *ml.LinReg
 	sigma *ml.Sigma
+	dicts map[string]*relation.Dict
 }
 
 // LinearRegression trains a ridge model with the given features and
@@ -26,7 +28,7 @@ func (q *Query) LinearRegression(f Features, response string, lambda float64) (*
 		return nil, err
 	}
 	m := ml.TrainLinRegGD(sigma, lambda, 50000, 1e-10)
-	return &LinearRegression{model: m, sigma: sigma}, nil
+	return &LinearRegression{model: m, sigma: sigma, dicts: q.dicts(f.Categorical)}, nil
 }
 
 // Intercept returns the intercept parameter.
@@ -83,7 +85,7 @@ func (m *LinearRegression) Retrain(f Features, lambda float64) (*LinearRegressio
 	if err != nil {
 		return nil, err
 	}
-	return &LinearRegression{model: ml.TrainLinRegGD(sub, lambda, 50000, 1e-10), sigma: sub}, nil
+	return &LinearRegression{model: ml.TrainLinRegGD(sub, lambda, 50000, 1e-10), sigma: sub, dicts: m.dicts}, nil
 }
 
 func (q *Query) dict(attr string) *relation.Dict {
@@ -316,7 +318,11 @@ type StreamingCovariance struct {
 // StreamCovariance creates an F-IVM maintainer over an initially empty
 // copy of the query's relations.
 func (q *Query) StreamCovariance(features []string) (*StreamingCovariance, error) {
-	m, err := ivm.NewFIVM(q.join, q.rootOrLargest(), features)
+	root, err := q.rootOrLargest()
+	if err != nil {
+		return nil, err
+	}
+	m, err := ivm.NewFIVM(q.join, root, features)
 	if err != nil {
 		return nil, err
 	}
@@ -377,5 +383,5 @@ func (s *StreamingCovariance) featureIndex(attr string) (int, error) {
 			return i, nil
 		}
 	}
-	return 0, fmt.Errorf("borg: %s is not a maintained feature", attr)
+	return 0, fmt.Errorf("borg: %s is not a maintained feature; the maintained features are %s", attr, strings.Join(s.features, ", "))
 }

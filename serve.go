@@ -2,6 +2,7 @@ package borg
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,8 +20,27 @@ import (
 // concurrent producers do not serialize on known categories.
 var internMu sync.RWMutex
 
+// Payload selects which ring statistics a server maintains — the
+// payload of the relational ring its IVM strategy carries.
+type Payload = serve.Payload
+
+const (
+	// PayloadCovar maintains the continuous covariance triple
+	// (COUNT/SUM/second moments) — the default, sufficient for linear
+	// regression, PCA and k-means seeding.
+	PayloadCovar = serve.PayloadCovar
+	// PayloadPoly2 additionally maintains every moment of total degree
+	// ≤ 4 — the sufficient statistics of degree-2 polynomial regression.
+	PayloadPoly2 = serve.PayloadPoly2
+	// PayloadCofactor maintains the categorical cofactor ring: the
+	// covariance statistics per group of categorical values, the
+	// sufficient statistics of the mixed continuous/categorical zoo
+	// (one-hot regression, Chow–Liu, categorical trees, LS-SVM).
+	PayloadCofactor = serve.PayloadCofactor
+)
+
 // ServerOptions tunes a Server. The zero value selects F-IVM maintenance
-// with the default batching knobs.
+// of the covariance payload with the default batching knobs.
 type ServerOptions struct {
 	// Strategy is the IVM maintenance strategy: "fivm" (default, one
 	// ring-valued view hierarchy), "higher-order" (one view hierarchy
@@ -42,12 +62,133 @@ type ServerOptions struct {
 	// serial kernels explicitly. The resolved value is reported by
 	// ServerStats.Workers.
 	Workers int
-	// Lifted additionally maintains the lifted degree-2 ring — every
-	// moment of total degree ≤ 4 over the features, the sufficient
-	// statistics of degree-2 polynomial regression (TrainPolyReg).
-	// Maintenance cost grows by a constant factor in the payload size.
+	// Payload selects the maintained ring statistics (PayloadCovar,
+	// PayloadPoly2, PayloadCofactor). The zero value is PayloadCovar.
+	Payload Payload
+	// Lifted is the pre-Payload flag for the lifted degree-2 ring.
+	//
+	// Deprecated: set Payload: PayloadPoly2 instead. Lifted: true is
+	// honored as an alias when Payload is unset.
 	Lifted bool
 }
+
+// Ingestor is the write-side API every serving tier satisfies: Server
+// and ShardedServer expose identical ingest surfaces, so replays,
+// examples and tests can take either. Values follow the Relation.Append
+// conventions (any Go numeric type for continuous attributes, string
+// for categorical). All methods are safe for any number of concurrent
+// callers; Insert/Delete/Update block only when an ingest queue is
+// full.
+type Ingestor interface {
+	Insert(rel string, values ...any) error
+	Delete(rel string, values ...any) error
+	Update(rel string, oldValues, newValues []any) error
+	Flush() error
+	Err() error
+	Close() error
+}
+
+var (
+	_ Ingestor = (*Server)(nil)
+	_ Ingestor = (*ShardedServer)(nil)
+)
+
+// ingestSink is the internal surface the serving tiers already share —
+// tuple-level ingest on converted rows plus schema lookup. Both
+// serve.Server and shard.Server satisfy it.
+type ingestSink interface {
+	Schema(rel string) *relation.Relation
+	Insert(t ivm.Tuple) error
+	Delete(t ivm.Tuple) error
+	Update(oldT, newT ivm.Tuple) error
+	Flush() error
+	Err() error
+	Close() error
+}
+
+// ingestAPI is the shared facade ingest plumbing: one coerce/enqueue
+// path embedded by Server and ShardedServer, so the value-conversion
+// conventions cannot drift between the tiers.
+type ingestAPI struct {
+	sink ingestSink
+}
+
+// Insert enqueues one tuple insert into the named relation. Values
+// follow the Relation.Append conventions (any Go numeric type for
+// continuous, string for categorical). Insert is safe for any number of
+// concurrent callers; it blocks only when the ingest queue is full. On
+// a sharded server the tuple is routed to its shard by the partition
+// hash.
+func (a ingestAPI) Insert(rel string, values ...any) error {
+	row, err := a.coerce(rel, values)
+	if err != nil {
+		return err
+	}
+	return a.sink.Insert(ivm.Tuple{Rel: rel, Values: row})
+}
+
+// Delete enqueues the retraction of one previously inserted tuple,
+// identified by value (multiset semantics: one equal-valued occurrence
+// is removed). Values follow the same conventions as Insert. Like
+// Insert it is safe for concurrent callers; a delete whose target is
+// not live when applied surfaces as a maintenance error via Flush and
+// Close. Callers that need insert-before-delete ordering issue both
+// from the same goroutine — the ingest queues preserve per-producer
+// order, and on a sharded server equal values hash to the same shard.
+func (a ingestAPI) Delete(rel string, values ...any) error {
+	row, err := a.coerce(rel, values)
+	if err != nil {
+		return err
+	}
+	return a.sink.Delete(ivm.Tuple{Rel: rel, Values: row})
+}
+
+// Update enqueues a correction: the tuple equal to oldValues is
+// retracted and the newValues tuple inserted, applied back to back by
+// one writer so no published snapshot shows the join with neither (or
+// both). The update is strict — when no live tuple matches oldValues,
+// nothing is inserted and the error surfaces via Flush/Close. Sharded
+// servers reject updates that change the partition attribute; issue an
+// explicit Delete and Insert to move a tuple across shards.
+func (a ingestAPI) Update(rel string, oldValues, newValues []any) error {
+	oldRow, err := a.coerce(rel, oldValues)
+	if err != nil {
+		return err
+	}
+	newRow, err := a.coerce(rel, newValues)
+	if err != nil {
+		return err
+	}
+	return a.sink.Update(ivm.Tuple{Rel: rel, Values: oldRow}, ivm.Tuple{Rel: rel, Values: newRow})
+}
+
+// coerce resolves the relation schema and converts one facade value
+// row. Shards share dictionaries, so one conversion is valid on every
+// shard.
+func (a ingestAPI) coerce(rel string, values []any) ([]relation.Value, error) {
+	r := a.sink.Schema(rel)
+	if r == nil {
+		return nil, fmt.Errorf("borg: unknown relation %s", rel)
+	}
+	return coerceRow(r, values)
+}
+
+// Flush is a write barrier: it returns once every op enqueued before
+// the call is applied and visible in the current snapshot (on a sharded
+// server, in the merged snapshot — all shard barriers run concurrently,
+// two-phase).
+func (a ingestAPI) Flush() error { return a.sink.Flush() }
+
+// Err reports the first maintenance error the writer has encountered
+// (nil while healthy) — the way asynchronous failures like a delete
+// whose target was never live become observable without a Flush
+// barrier. Flush and Close return the same error.
+func (a ingestAPI) Err() error { return a.sink.Err() }
+
+// Close drains already-queued ops, publishes a final snapshot, and
+// stops the writer(s). Producers that need every insert applied call
+// Flush first. Close is idempotent.
+func (a ingestAPI) Close() error { return a.sink.Close() }
 
 // Server is the concurrent streaming-serving layer: a long-lived session
 // that owns an initially empty copy of the query's relations plus an IVM
@@ -57,13 +198,18 @@ type ServerOptions struct {
 // pointer load — they never block the writer, and the writer never waits
 // for readers (epoch/copy-on-write handoff).
 type Server struct {
-	inner    *serve.Server
-	features []string
+	ingestAPI
+	inner       *serve.Server
+	features    []string
+	catFeatures []string
+	dicts       map[string]*relation.Dict
 }
 
-// Serve starts a server maintaining the covariance statistics of the
-// given continuous features over an initially empty copy of the query's
-// relations. Close it when done.
+// Serve starts a server maintaining the selected payload's statistics
+// of the given features over an initially empty copy of the query's
+// relations. With PayloadCovar or PayloadPoly2 every feature must be
+// continuous; with PayloadCofactor categorical features become the
+// cofactor group-by slots. Close it when done.
 func (q *Query) Serve(features []string, opt ServerOptions) (*Server, error) {
 	strategy, err := serve.ParseStrategy(opt.Strategy)
 	if err != nil {
@@ -74,89 +220,57 @@ func (q *Query) Serve(features []string, opt ServerOptions) (*Server, error) {
 		// pass ServerOptions{Workers: 1} for explicitly serial kernels.
 		opt.Workers = q.Workers
 	}
-	inner, err := serve.New(q.join, q.rootOrLargest(), features, serve.Config{
+	root, err := q.rootOrLargest()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := serve.New(q.join, root, features, serve.Config{
 		Strategy:      strategy,
 		BatchSize:     opt.BatchSize,
 		FlushInterval: opt.FlushInterval,
 		QueueDepth:    opt.QueueDepth,
 		Workers:       opt.Workers,
 		MorselSize:    q.MorselSize,
+		Payload:       opt.Payload,
 		Lifted:        opt.Lifted,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{inner: inner, features: inner.Features()}, nil
+	return &Server{
+		ingestAPI:   ingestAPI{sink: inner},
+		inner:       inner,
+		features:    inner.Features(),
+		catFeatures: inner.CatFeatures(),
+		dicts:       q.dicts(inner.CatFeatures()),
+	}, nil
 }
 
-// Insert enqueues one tuple insert into the named relation. Values
-// follow the Relation.Append conventions (any Go numeric type for
-// continuous, string for categorical). Insert is safe for any number of
-// concurrent callers; it blocks only when the ingest queue is full.
-func (s *Server) Insert(rel string, values ...any) error {
-	row, err := s.coerce(rel, values)
-	if err != nil {
-		return err
+// dicts resolves the shared dictionaries of the named categorical
+// attributes (models trained on cofactor snapshots translate category
+// strings through them).
+func (q *Query) dicts(attrs []string) map[string]*relation.Dict {
+	if len(attrs) == 0 {
+		return nil
 	}
-	return s.inner.Insert(ivm.Tuple{Rel: rel, Values: row})
+	out := make(map[string]*relation.Dict, len(attrs))
+	for _, a := range attrs {
+		out[a] = q.dict(a)
+	}
+	return out
 }
 
-// Delete enqueues the retraction of one previously inserted tuple,
-// identified by value (multiset semantics: one equal-valued occurrence
-// is removed). Values follow the same conventions as Insert. Like
-// Insert it is safe for concurrent callers; a delete whose target is
-// not live when applied surfaces as a maintenance error via Flush and
-// Close. Callers that need insert-before-delete ordering issue both
-// from the same goroutine — the ingest queue preserves per-producer
+// Features returns the maintained continuous features, in statistics
 // order.
-func (s *Server) Delete(rel string, values ...any) error {
-	row, err := s.coerce(rel, values)
-	if err != nil {
-		return err
-	}
-	return s.inner.Delete(ivm.Tuple{Rel: rel, Values: row})
-}
+func (s *Server) Features() []string { return s.features }
 
-// Update enqueues a correction: the tuple equal to oldValues is
-// retracted and the newValues tuple inserted, applied back to back by
-// the writer so no published snapshot shows the join with neither (or
-// both). The update is strict — when no live tuple matches oldValues,
-// nothing is inserted and the error surfaces via Flush/Close.
-func (s *Server) Update(rel string, oldValues, newValues []any) error {
-	oldRow, err := s.coerce(rel, oldValues)
-	if err != nil {
-		return err
-	}
-	newRow, err := s.coerce(rel, newValues)
-	if err != nil {
-		return err
-	}
-	return s.inner.Update(ivm.Tuple{Rel: rel, Values: oldRow}, ivm.Tuple{Rel: rel, Values: newRow})
-}
+// CatFeatures returns the maintained categorical features (cofactor
+// group-by slots), in slot order; empty unless the server runs
+// PayloadCofactor.
+func (s *Server) CatFeatures() []string { return s.catFeatures }
 
-// coerce resolves the relation schema and converts one facade value row.
-func (s *Server) coerce(rel string, values []any) ([]relation.Value, error) {
-	r := s.inner.Schema(rel)
-	if r == nil {
-		return nil, fmt.Errorf("borg: unknown relation %s", rel)
-	}
-	return coerceRow(r, values)
-}
-
-// Flush is a write barrier: it returns once every op enqueued before
-// the call is applied and visible in the current snapshot.
-func (s *Server) Flush() error { return s.inner.Flush() }
-
-// Err reports the first maintenance error the writer has encountered
-// (nil while healthy) — the way asynchronous failures like a delete
-// whose target was never live become observable without a Flush
-// barrier. Flush and Close return the same error.
-func (s *Server) Err() error { return s.inner.Err() }
-
-// Close drains already-queued inserts, publishes a final snapshot, and
-// stops the writer. Producers that need every insert applied call Flush
-// first. Close is idempotent.
-func (s *Server) Close() error { return s.inner.Close() }
+// Payload reports which ring statistics the server maintains.
+func (s *Server) Payload() Payload { return s.inner.Payload() }
 
 // ServerStats is a point-in-time health view of a server.
 type ServerStats struct {
@@ -221,14 +335,16 @@ func (s *Server) TrainLinReg(response string, lambda float64) (*LinearRegression
 // maintained statistics on which any number of reads and trainings can
 // run while inserts continue.
 func (s *Server) CovarSnapshot() *ServerSnapshot {
-	return &ServerSnapshot{snap: s.inner.Snapshot(), features: s.features}
+	return &ServerSnapshot{snap: s.inner.Snapshot(), features: s.features, catFeatures: s.catFeatures, dicts: s.dicts}
 }
 
 // ServerSnapshot is one published epoch of a Server: every read on it
 // observes the same consistent state.
 type ServerSnapshot struct {
-	snap     *serve.Snapshot
-	features []string
+	snap        *serve.Snapshot
+	features    []string
+	catFeatures []string
+	dicts       map[string]*relation.Dict
 }
 
 // Epoch returns the snapshot's publication sequence number.
@@ -242,6 +358,25 @@ func (s *ServerSnapshot) Deletes() uint64 { return s.snap.Deletes }
 
 // Count returns SUM(1) over the join at this epoch.
 func (s *ServerSnapshot) Count() float64 { return s.snap.Count() }
+
+// Features returns the maintained continuous features, in statistics
+// order.
+func (s *ServerSnapshot) Features() []string { return s.features }
+
+// CatFeatures returns the maintained categorical features, in cofactor
+// slot order; empty unless the payload is PayloadCofactor.
+func (s *ServerSnapshot) CatFeatures() []string { return s.catFeatures }
+
+// Payload reports which ring statistics this epoch carries.
+func (s *ServerSnapshot) Payload() Payload {
+	switch {
+	case s.snap.Cofactor != nil:
+		return PayloadCofactor
+	case s.snap.Lifted != nil:
+		return PayloadPoly2
+	}
+	return PayloadCovar
+}
 
 // Mean returns the mean of a maintained feature at this epoch. A
 // snapshot of an empty join — never populated, or churned to empty by
@@ -279,10 +414,15 @@ func (s *ServerSnapshot) SecondMoment(a, b string) (float64, error) {
 // Covar exposes the epoch's raw covariance triple (read-only).
 func (s *ServerSnapshot) Covar() *ring.Covar { return s.snap.Stats }
 
+// Cofactor exposes the epoch's raw categorical cofactor element
+// (read-only), nil unless the payload is PayloadCofactor.
+func (s *ServerSnapshot) Cofactor() *ring.Cofactor { return s.snap.Cofactor }
+
 // TrainLinReg trains a ridge linear regression of the response on the
 // remaining maintained features from this epoch's statistics, with the
-// default gradient-descent budget (TrainLinRegGD exposes the knobs). An
-// empty snapshot returns ErrEmptySnapshot.
+// default gradient-descent budget (TrainLinRegGD exposes the knobs). On
+// a PayloadCofactor server the design additionally one-hot encodes the
+// categorical features. An empty snapshot returns ErrEmptySnapshot.
 func (s *ServerSnapshot) TrainLinReg(response string, lambda float64) (*LinearRegression, error) {
 	return s.TrainLinRegGD(response, lambda, GDOptions{})
 }
@@ -293,5 +433,9 @@ func (s *ServerSnapshot) featureIndex(attr string) (int, error) {
 			return i, nil
 		}
 	}
-	return 0, fmt.Errorf("borg: %s is not a maintained feature", attr)
+	avail := s.features
+	if len(s.catFeatures) > 0 {
+		avail = append(append([]string(nil), s.features...), s.catFeatures...)
+	}
+	return 0, fmt.Errorf("borg: %s is not a maintained continuous feature; the maintained features are %s", attr, strings.Join(avail, ", "))
 }

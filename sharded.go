@@ -1,9 +1,6 @@
 package borg
 
 import (
-	"fmt"
-
-	"borg/internal/ivm"
 	"borg/internal/relation"
 	"borg/internal/serve"
 	"borg/internal/shard"
@@ -27,16 +24,20 @@ type ShardOptions struct {
 
 // ShardedServer is the horizontally scaled Server: tuples are hash-
 // partitioned on a shared attribute across independent serving shards,
-// and every read folds the per-shard snapshots with covariance-ring
-// addition into one exact global view. The read API (Count, Mean,
-// SecondMoment, TrainLinReg, CovarSnapshot) is unchanged from Server's.
+// and every read folds the per-shard snapshots with ring addition into
+// one exact global view. The read API (Count, Mean, SecondMoment, the
+// model zoo, CovarSnapshot) is unchanged from Server's, and the write
+// API is the same Ingestor surface.
 type ShardedServer struct {
-	inner    *shard.Server
-	features []string
+	ingestAPI
+	inner       *shard.Server
+	features    []string
+	catFeatures []string
+	dicts       map[string]*relation.Dict
 }
 
-// ServeSharded starts a sharded server maintaining the covariance
-// statistics of the given continuous features over initially empty
+// ServeSharded starts a sharded server maintaining the selected
+// payload's statistics of the given features over initially empty
 // copies of the query's relations, hash-partitioned per ShardOptions.
 // Close it when done.
 func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServer, error) {
@@ -47,7 +48,11 @@ func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServe
 	if opt.Workers == 0 {
 		opt.Workers = q.Workers
 	}
-	inner, err := shard.New(q.join, q.rootOrLargest(), features, shard.Config{
+	root, err := q.rootOrLargest()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shard.New(q.join, root, features, shard.Config{
 		Config: serve.Config{
 			Strategy:      strategy,
 			BatchSize:     opt.BatchSize,
@@ -55,6 +60,7 @@ func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServe
 			QueueDepth:    opt.QueueDepth,
 			Workers:       opt.Workers,
 			MorselSize:    q.MorselSize,
+			Payload:       opt.Payload,
 			Lifted:        opt.Lifted,
 		},
 		Shards:      opt.Shards,
@@ -63,71 +69,29 @@ func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServe
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedServer{inner: inner, features: inner.Features()}, nil
+	return &ShardedServer{
+		ingestAPI:   ingestAPI{sink: inner},
+		inner:       inner,
+		features:    inner.Features(),
+		catFeatures: inner.CatFeatures(),
+		dicts:       q.dicts(inner.CatFeatures()),
+	}, nil
 }
 
 // NumShards returns the shard count.
 func (s *ShardedServer) NumShards() int { return s.inner.NumShards() }
 
-// Insert enqueues one tuple insert into the named relation, routed to
-// its shard by the partition hash. Values follow the same conventions
-// as Server.Insert; safe for any number of concurrent callers.
-func (s *ShardedServer) Insert(rel string, values ...any) error {
-	row, err := s.coerce(rel, values)
-	if err != nil {
-		return err
-	}
-	return s.inner.Insert(ivm.Tuple{Rel: rel, Values: row})
-}
+// Features returns the maintained continuous features, in statistics
+// order.
+func (s *ShardedServer) Features() []string { return s.features }
 
-// Delete enqueues the retraction of one previously inserted tuple
-// (matched by value, multiset semantics). Equal values hash to the same
-// shard as the insert, so per-producer ordering survives sharding.
-func (s *ShardedServer) Delete(rel string, values ...any) error {
-	row, err := s.coerce(rel, values)
-	if err != nil {
-		return err
-	}
-	return s.inner.Delete(ivm.Tuple{Rel: rel, Values: row})
-}
+// CatFeatures returns the maintained categorical features (cofactor
+// group-by slots), in slot order; empty unless the shards run
+// PayloadCofactor.
+func (s *ShardedServer) CatFeatures() []string { return s.catFeatures }
 
-// Update enqueues a correction applied back to back by one shard's
-// writer. Updates that change the partition attribute are rejected —
-// issue an explicit Delete and Insert to move a tuple across shards.
-func (s *ShardedServer) Update(rel string, oldValues, newValues []any) error {
-	oldRow, err := s.coerce(rel, oldValues)
-	if err != nil {
-		return err
-	}
-	newRow, err := s.coerce(rel, newValues)
-	if err != nil {
-		return err
-	}
-	return s.inner.Update(ivm.Tuple{Rel: rel, Values: oldRow}, ivm.Tuple{Rel: rel, Values: newRow})
-}
-
-// coerce resolves the relation schema and converts one facade value row.
-// Shards share dictionaries, so one conversion is valid on every shard.
-func (s *ShardedServer) coerce(rel string, values []any) ([]relation.Value, error) {
-	r := s.inner.Schema(rel)
-	if r == nil {
-		return nil, fmt.Errorf("borg: unknown relation %s", rel)
-	}
-	return coerceRow(r, values)
-}
-
-// Flush is a global write barrier: it returns once every op enqueued on
-// any shard before the call is applied and visible in the merged
-// snapshot (all shard barriers run concurrently, two-phase).
-func (s *ShardedServer) Flush() error { return s.inner.Flush() }
-
-// Err reports the first maintenance error any shard's writer has
-// encountered (nil while healthy).
-func (s *ShardedServer) Err() error { return s.inner.Err() }
-
-// Close drains already-queued ops on every shard, publishes final
-// snapshots, and stops the writers. Close is idempotent.
-func (s *ShardedServer) Close() error { return s.inner.Close() }
+// Payload reports which ring statistics the shards maintain.
+func (s *ShardedServer) Payload() Payload { return s.inner.Payload() }
 
 // ShardedServerStats is a point-in-time health view of a sharded
 // server: the aggregate totals plus one row per shard.
@@ -185,8 +149,8 @@ func (s *ShardedServer) SecondMoment(a, b string) (float64, error) {
 
 // TrainLinReg trains a ridge linear regression of the response on the
 // remaining maintained features from the current merged statistics —
-// the per-shard triples fold with ring addition before training, so the
-// model is exactly the one a single unsharded server would produce.
+// the per-shard elements fold with ring addition before training, so
+// the model is exactly the one a single unsharded server would produce.
 func (s *ShardedServer) TrainLinReg(response string, lambda float64) (*LinearRegression, error) {
 	return s.CovarSnapshot().TrainLinReg(response, lambda)
 }
@@ -199,7 +163,16 @@ func (s *ShardedServer) TrainLinReg(response string, lambda float64) (*LinearReg
 func (s *ShardedServer) CovarSnapshot() *ServerSnapshot {
 	m := s.inner.Snapshot()
 	return &ServerSnapshot{
-		snap:     &serve.Snapshot{Epoch: m.Epoch, Inserts: m.Inserts, Deletes: m.Deletes, Stats: m.Stats, Lifted: m.Lifted},
-		features: s.features,
+		snap: &serve.Snapshot{
+			Epoch:    m.Epoch,
+			Inserts:  m.Inserts,
+			Deletes:  m.Deletes,
+			Stats:    m.Stats,
+			Lifted:   m.Lifted,
+			Cofactor: m.Cofactor,
+		},
+		features:    s.features,
+		catFeatures: s.catFeatures,
+		dicts:       s.dicts,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"borg/internal/ml"
+	"borg/internal/relation"
 )
 
 // This file is the snapshot model zoo: every model the serving tier can
@@ -14,10 +15,15 @@ import (
 // factorized aggregate batch is the sufficient statistic for a whole
 // family of models — becomes, in serving terms: one epoch, many models.
 //
-//	TrainLinReg / TrainLinRegGD   ridge linear regression  (covariance triple)
+//	TrainLinReg / TrainLinRegGD   ridge linear regression  (covariance triple,
+//	                              one-hot design on PayloadCofactor)
 //	TrainPCA                      principal components     (covariance triple)
 //	KMeansSeeds                   Rk-means-style seeding   (covariance triple)
-//	TrainPolyReg                  degree-2 polynomial reg. (lifted degree-2 ring)
+//	TrainPolyReg                  degree-2 polynomial reg. (lifted degree-2 ring;
+//	                              varying coefficients on PayloadCofactor)
+//	TrainChowLiu                  Chow–Liu dependency tree (cofactor ring)
+//	TrainCTree                    categorical regression tree (cofactor ring)
+//	TrainSVM                      least-squares linear SVM (cofactor ring)
 //
 // Every trainer passes the same degenerate-snapshot gate first: a
 // snapshot of an empty join (never populated, or churned to empty by
@@ -31,10 +37,18 @@ import (
 // it to HTTP 409.
 var ErrEmptySnapshot = ml.ErrEmptySnapshot
 
-// ErrLiftedNotMaintained is returned by trainers that need the lifted
-// degree-2 statistics (polynomial regression) from a server that was
-// started without ServerOptions.Lifted.
-var ErrLiftedNotMaintained = errors.New("borg: the server does not maintain the lifted degree-2 statistics; start it with ServerOptions{Lifted: true}")
+// ErrPayloadNotMaintained is returned by trainers whose statistics the
+// server was not started with: polynomial regression needs
+// ServerOptions{Payload: PayloadPoly2} (or PayloadCofactor for the
+// varying-coefficients form), and the categorical zoo (TrainChowLiu,
+// TrainCTree, TrainSVM) needs ServerOptions{Payload: PayloadCofactor}.
+var ErrPayloadNotMaintained = errors.New("borg: the server does not maintain the ring statistics this model kind needs; start it with the matching ServerOptions.Payload")
+
+// ErrLiftedNotMaintained is the pre-Payload name of
+// ErrPayloadNotMaintained; errors.Is works against either.
+//
+// Deprecated: use ErrPayloadNotMaintained.
+var ErrLiftedNotMaintained = ErrPayloadNotMaintained
 
 // ErrMissingFeature is wrapped by Predict/Project when the caller's
 // value map omits one of the model's features — a client-input error,
@@ -48,6 +62,16 @@ var ErrMissingFeature = errors.New("borg: missing feature value")
 // class is handled once, centrally, for all model kinds.
 func (s *ServerSnapshot) ready() error {
 	return ml.CheckSnapshot(s.snap.Stats, 1)
+}
+
+// sigma assembles this epoch's moment matrix for the given response:
+// the one-hot design over continuous and categorical features on a
+// cofactor snapshot, the plain continuous design otherwise.
+func (s *ServerSnapshot) sigma(response string) (*ml.Sigma, error) {
+	if s.snap.Cofactor != nil {
+		return ml.SigmaFromCofactor(s.features, s.catFeatures, response, s.snap.Cofactor)
+	}
+	return ml.SigmaFromCovar(s.features, response, s.snap.Stats)
 }
 
 // GDOptions tunes the gradient-descent trainers. The zero value selects
@@ -86,11 +110,11 @@ func (m *LinearRegression) IterationsRun() int { return m.model.Iterations }
 
 // Predict evaluates the model on named continuous feature values (all
 // the model's continuous features must be present). Models with
-// categorical features need the full design path; the serving-tier
-// models are continuous-only.
+// categorical features (trained on a PayloadCofactor snapshot) predict
+// through PredictCat instead.
 func (m *LinearRegression) Predict(values map[string]float64) (float64, error) {
 	if len(m.model.Cat) > 0 {
-		return 0, fmt.Errorf("borg: Predict supports continuous-only models; this model has categorical features")
+		return 0, fmt.Errorf("borg: Predict supports continuous-only models; this model has categorical features — use PredictCat")
 	}
 	p := m.model.Theta[0]
 	for i, a := range m.model.Cont {
@@ -103,11 +127,84 @@ func (m *LinearRegression) Predict(values map[string]float64) (float64, error) {
 	return p, nil
 }
 
+// PredictCat evaluates a mixed continuous/categorical model: values
+// supplies every continuous feature, cats every categorical feature as
+// its category string. Category values never observed at training
+// contribute an all-zero one-hot block (the design-space convention).
+func (m *LinearRegression) PredictCat(values map[string]float64, cats map[string]string) (float64, error) {
+	x, codes, err := resolveDesignInputs(m.model.Cont, m.model.Cat, m.dicts, values, cats)
+	if err != nil {
+		return 0, err
+	}
+	return m.model.PredictDesign(x, codes), nil
+}
+
+// CategoryWeight returns the one-hot parameter of (attr, value) on a
+// model trained from a cofactor snapshot.
+func (m *LinearRegression) CategoryWeight(attr, value string) (float64, error) {
+	for k, g := range m.model.Cat {
+		if g != attr {
+			continue
+		}
+		code, ok := lookupCode(m.dicts, attr, value)
+		if !ok {
+			return 0, fmt.Errorf("borg: value %q never observed for %s", value, attr)
+		}
+		pos, ok := m.model.CatPos(k, code)
+		if !ok {
+			return 0, fmt.Errorf("borg: value %q not in the training data", value)
+		}
+		return m.model.Theta[pos], nil
+	}
+	return 0, fmt.Errorf("borg: %s is not a categorical feature of the model", attr)
+}
+
+// resolveDesignInputs converts the facade's named prediction inputs to
+// design-space vectors: continuous values in Cont order and one
+// dictionary code per categorical feature (-1 when the category string
+// was never interned — an unobserved category, a zero one-hot block).
+func resolveDesignInputs(cont, cat []string, dicts map[string]*relation.Dict, values map[string]float64, cats map[string]string) ([]float64, []int32, error) {
+	x := make([]float64, len(cont))
+	for i, a := range cont {
+		v, ok := values[a]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: prediction needs %s", ErrMissingFeature, a)
+		}
+		x[i] = v
+	}
+	codes := make([]int32, len(cat))
+	for k, g := range cat {
+		sv, ok := cats[g]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: prediction needs categorical %s", ErrMissingFeature, g)
+		}
+		codes[k] = -1
+		if code, ok := lookupCode(dicts, g, sv); ok {
+			codes[k] = code
+		}
+	}
+	return x, codes, nil
+}
+
+// lookupCode resolves a category string through the server's shared
+// dictionaries.
+func lookupCode(dicts map[string]*relation.Dict, attr, value string) (int32, bool) {
+	d := dicts[attr]
+	if d == nil {
+		return 0, false
+	}
+	internMu.RLock()
+	code, ok := d.Lookup(value)
+	internMu.RUnlock()
+	return code, ok
+}
+
 // TrainLinRegGD trains a ridge linear regression of the response on the
 // remaining maintained features from this epoch's statistics, with
-// explicit gradient-descent controls. Non-convergence within
-// GDOptions.MaxIters is reported through Converged(), not silently
-// swallowed.
+// explicit gradient-descent controls. On a PayloadCofactor snapshot the
+// design additionally one-hot encodes the categorical features from the
+// cofactor group maps. Non-convergence within GDOptions.MaxIters is
+// reported through Converged(), not silently swallowed.
 func (s *ServerSnapshot) TrainLinRegGD(response string, lambda float64, opt GDOptions) (*LinearRegression, error) {
 	if _, err := s.featureIndex(response); err != nil {
 		return nil, err
@@ -115,11 +212,11 @@ func (s *ServerSnapshot) TrainLinRegGD(response string, lambda float64, opt GDOp
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
-	sigma, err := ml.SigmaFromCovar(s.features, response, s.snap.Stats)
+	sigma, err := s.sigma(response)
 	if err != nil {
 		return nil, err
 	}
-	return &LinearRegression{model: ml.TrainLinRegGD(sigma, lambda, opt.maxIters(), opt.tol()), sigma: sigma}, nil
+	return &LinearRegression{model: ml.TrainLinRegGD(sigma, lambda, opt.maxIters(), opt.tol()), sigma: sigma, dicts: s.dicts}, nil
 }
 
 // PCAResult is a principal-component analysis trained from one epoch's
@@ -199,10 +296,13 @@ func (p *PCAResult) Project(values map[string]float64) ([]float64, error) {
 }
 
 // PolyRegression is a degree-2 polynomial regression trained from one
-// epoch's lifted statistics: linear in the expanded feature space
-// {1, x_i, x_i·x_j}.
+// epoch's statistics: on a PayloadPoly2 snapshot, linear in the
+// expanded space {1, x_i, x_i·x_j}; on a PayloadCofactor snapshot, the
+// varying-coefficients categorical analogue {1, x_i, 1[g=c], x_i·1[g=c]}.
 type PolyRegression struct {
-	model *ml.PolyReg
+	model *ml.PolyReg // poly2 path; nil on the cofactor path
+	cat   *ml.CatPoly // cofactor path; nil on the poly2 path
+	dicts map[string]*relation.Dict
 	// Count and Epoch identify the statistics the model was trained on.
 	Count float64
 	Epoch uint64
@@ -210,8 +310,10 @@ type PolyRegression struct {
 
 // TrainPolyReg trains a degree-2 polynomial ridge regression of the
 // response on the remaining maintained features, purely from this
-// epoch's lifted degree-2 statistics. The server must maintain them
-// (ServerOptions{Lifted: true}); otherwise ErrLiftedNotMaintained.
+// epoch's ring statistics. The server must maintain the lifted degree-2
+// ring (ServerOptions{Payload: PayloadPoly2}) or the cofactor ring
+// (PayloadCofactor, which trains the varying-coefficients categorical
+// form); otherwise ErrPayloadNotMaintained.
 func (s *ServerSnapshot) TrainPolyReg(response string, lambda float64) (*PolyRegression, error) {
 	if _, err := s.featureIndex(response); err != nil {
 		return nil, err
@@ -219,29 +321,64 @@ func (s *ServerSnapshot) TrainPolyReg(response string, lambda float64) (*PolyReg
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
-	if s.snap.Lifted == nil {
-		return nil, ErrLiftedNotMaintained
+	switch {
+	case s.snap.Cofactor != nil:
+		m, err := ml.TrainCatPolyFromCofactor(s.features, s.catFeatures, response, s.snap.Cofactor, lambda)
+		if err != nil {
+			return nil, err
+		}
+		return &PolyRegression{cat: m, dicts: s.dicts, Count: s.snap.Stats.Count, Epoch: s.snap.Epoch}, nil
+	case s.snap.Lifted != nil:
+		m, err := ml.TrainPolyRegFromLifted(s.features, response, s.snap.Lifted, lambda)
+		if err != nil {
+			return nil, err
+		}
+		return &PolyRegression{model: m, Count: s.snap.Stats.Count, Epoch: s.snap.Epoch}, nil
 	}
-	m, err := ml.TrainPolyRegFromLifted(s.features, response, s.snap.Lifted, lambda)
-	if err != nil {
-		return nil, err
-	}
-	return &PolyRegression{model: m, Count: s.snap.Stats.Count, Epoch: s.snap.Epoch}, nil
+	return nil, ErrPayloadNotMaintained
 }
 
 // Intercept returns the intercept parameter.
-func (m *PolyRegression) Intercept() float64 { return m.model.Theta[0] }
+func (m *PolyRegression) Intercept() float64 {
+	if m.cat != nil {
+		return m.cat.Theta[0]
+	}
+	return m.model.Theta[0]
+}
 
-// Features returns the model's base features, in order.
-func (m *PolyRegression) Features() []string { return m.model.Cont }
+// Features returns the model's base continuous features, in order.
+func (m *PolyRegression) Features() []string {
+	if m.cat != nil {
+		return m.cat.Cont
+	}
+	return m.model.Cont
+}
+
+// CatFeatures returns the model's categorical features (empty on the
+// poly2 path).
+func (m *PolyRegression) CatFeatures() []string {
+	if m.cat != nil {
+		return m.cat.Cat
+	}
+	return nil
+}
 
 // Response returns the response attribute.
-func (m *PolyRegression) Response() string { return m.model.Response }
+func (m *PolyRegression) Response() string {
+	if m.cat != nil {
+		return m.cat.Response
+	}
+	return m.model.Response
+}
 
-// Coefficient returns the linear parameter of a base feature.
+// Coefficient returns the base linear parameter of a continuous feature.
 func (m *PolyRegression) Coefficient(attr string) (float64, error) {
-	for i, a := range m.model.Cont {
+	cont := m.Features()
+	for i, a := range cont {
 		if a == attr {
+			if m.cat != nil {
+				return m.cat.Theta[1+i], nil
+			}
 			return m.model.Theta[1+i], nil
 		}
 	}
@@ -249,8 +386,12 @@ func (m *PolyRegression) Coefficient(attr string) (float64, error) {
 }
 
 // PairCoefficient returns the parameter of the x_a·x_b interaction term
-// (a == b selects the square term).
+// (a == b selects the square term). The varying-coefficients cofactor
+// form has categorical interactions instead — it reports an error here.
 func (m *PolyRegression) PairCoefficient(a, b string) (float64, error) {
+	if m.cat != nil {
+		return 0, fmt.Errorf("borg: the varying-coefficients model has no continuous-pair terms; its interactions are continuous×category")
+	}
 	ia, ib := -1, -1
 	for i, f := range m.model.Cont {
 		if f == a {
@@ -266,8 +407,13 @@ func (m *PolyRegression) PairCoefficient(a, b string) (float64, error) {
 	return m.model.PairTheta(ia, ib), nil
 }
 
-// Predict evaluates the model on named feature values.
+// Predict evaluates the model on named continuous feature values. The
+// varying-coefficients cofactor form needs the categorical values too —
+// use PredictCat.
 func (m *PolyRegression) Predict(values map[string]float64) (float64, error) {
+	if m.cat != nil {
+		return 0, fmt.Errorf("borg: this model has categorical features — use PredictCat")
+	}
 	x := make([]float64, len(m.model.Cont))
 	for i, a := range m.model.Cont {
 		v, ok := values[a]
@@ -277,6 +423,139 @@ func (m *PolyRegression) Predict(values map[string]float64) (float64, error) {
 		x[i] = v
 	}
 	return m.model.PredictVec(x), nil
+}
+
+// PredictCat evaluates the model with explicit categorical values. On
+// the poly2 path the categorical map is ignored.
+func (m *PolyRegression) PredictCat(values map[string]float64, cats map[string]string) (float64, error) {
+	if m.cat == nil {
+		return m.Predict(values)
+	}
+	x, codes, err := resolveDesignInputs(m.cat.Cont, m.cat.Cat, m.dicts, values, cats)
+	if err != nil {
+		return 0, err
+	}
+	return m.cat.PredictVec(x, codes), nil
+}
+
+// DependencyEdge is declared in models.go and shared with the batch
+// Query.ChowLiu path.
+
+// TrainChowLiu estimates the pairwise mutual information of the
+// maintained categorical features from this epoch's cofactor group
+// counts and returns the maximum-spanning dependency tree — the live
+// form of Query.ChowLiu, no data access. Requires PayloadCofactor.
+func (s *ServerSnapshot) TrainChowLiu() ([]DependencyEdge, error) {
+	if s.snap.Cofactor == nil {
+		return nil, ErrPayloadNotMaintained
+	}
+	mi, err := ml.MutualInfoFromCofactor(s.catFeatures, s.snap.Cofactor)
+	if err != nil {
+		return nil, err
+	}
+	var out []DependencyEdge
+	for _, e := range ml.ChowLiu(mi) {
+		out = append(out, DependencyEdge{A: s.catFeatures[e.A], B: s.catFeatures[e.B], MI: e.MI})
+	}
+	return out, nil
+}
+
+// TrainCTree trains a CART-style regression tree of the response whose
+// splits are category-equality predicates, scored entirely from this
+// epoch's cofactor group aggregates (TreeOptions.ThresholdsPer is
+// unused: thresholded continuous splits need per-threshold statistics
+// the cofactor ring does not carry). Requires PayloadCofactor.
+func (s *ServerSnapshot) TrainCTree(response string, opt TreeOptions) (*DecisionTree, error) {
+	if _, err := s.featureIndex(response); err != nil {
+		return nil, err
+	}
+	if s.snap.Cofactor == nil {
+		return nil, ErrPayloadNotMaintained
+	}
+	tree, err := ml.TrainCTreeFromCofactor(s.features, s.catFeatures, response, s.snap.Cofactor, ml.CatTreeConfig{
+		MaxDepth: opt.MaxDepth,
+		MinRows:  opt.MinRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DecisionTree{tree: tree}, nil
+}
+
+// SVMClassifier is a least-squares linear SVM trained from one epoch's
+// cofactor statistics: a ridge regression of a ±1 label on the one-hot
+// design, thresholded at zero for classification.
+type SVMClassifier struct {
+	model *ml.LSSVM
+	dicts map[string]*relation.Dict
+	Count float64
+	Epoch uint64
+}
+
+// TrainSVM trains the classifier at this epoch. The label must be a
+// maintained continuous feature carrying ±1; the remaining continuous
+// features plus the one-hot categorical expansion form the design.
+// Requires PayloadCofactor.
+func (s *ServerSnapshot) TrainSVM(label string, lambda float64) (*SVMClassifier, error) {
+	if _, err := s.featureIndex(label); err != nil {
+		return nil, err
+	}
+	if s.snap.Cofactor == nil {
+		return nil, ErrPayloadNotMaintained
+	}
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	sigma, err := ml.SigmaFromCofactor(s.features, s.catFeatures, label, s.snap.Cofactor)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ml.TrainLSSVM(sigma, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &SVMClassifier{model: m, dicts: s.dicts, Count: s.snap.Stats.Count, Epoch: s.snap.Epoch}, nil
+}
+
+// Features returns the classifier's continuous features, in order.
+func (m *SVMClassifier) Features() []string { return m.model.Cont }
+
+// CatFeatures returns the classifier's categorical features, in order.
+func (m *SVMClassifier) CatFeatures() []string { return m.model.Cat }
+
+// Bias returns the intercept of the decision function.
+func (m *SVMClassifier) Bias() float64 { return m.model.Theta[0] }
+
+// Coefficient returns the weight of a continuous feature.
+func (m *SVMClassifier) Coefficient(attr string) (float64, error) {
+	for i, a := range m.model.Cont {
+		if a == attr {
+			return m.model.Theta[m.model.ContPos(i)], nil
+		}
+	}
+	return 0, fmt.Errorf("borg: %s is not a continuous feature of the model", attr)
+}
+
+// DecisionValue evaluates w·φ(x)+b on named feature values (continuous
+// in values, categorical strings in cats).
+func (m *SVMClassifier) DecisionValue(values map[string]float64, cats map[string]string) (float64, error) {
+	x, codes, err := resolveDesignInputs(m.model.Cont, m.model.Cat, m.dicts, values, cats)
+	if err != nil {
+		return 0, err
+	}
+	return m.model.DecisionValue(x, codes), nil
+}
+
+// Classify returns the predicted ±1 label.
+func (m *SVMClassifier) Classify(values map[string]float64, cats map[string]string) (float64, error) {
+	v, err := m.DecisionValue(values, cats)
+	if err != nil {
+		return 0, err
+	}
+	if v >= 0 {
+		return 1, nil
+	}
+	return -1, nil
 }
 
 // KMeansSeeding is a set of cluster seeds derived from one epoch's
@@ -330,7 +609,7 @@ func (s *ServerSnapshot) KMeansSeeds(k int) (*KMeansSeeding, error) {
 }
 
 // Lifted reports whether this snapshot carries the lifted degree-2
-// statistics polynomial regression trains on.
+// statistics polynomial regression trains on (Payload() == PayloadPoly2).
 func (s *ServerSnapshot) Lifted() bool { return s.snap.Lifted != nil }
 
 // TrainLinRegGD trains at the current snapshot with explicit gradient-
@@ -343,13 +622,29 @@ func (s *Server) TrainLinRegGD(response string, lambda float64, opt GDOptions) (
 func (s *Server) TrainPCA(k int) (*PCAResult, error) { return s.CovarSnapshot().TrainPCA(k) }
 
 // TrainPolyReg trains a degree-2 polynomial regression at the current
-// snapshot (requires ServerOptions{Lifted: true}).
+// snapshot (requires PayloadPoly2 or PayloadCofactor).
 func (s *Server) TrainPolyReg(response string, lambda float64) (*PolyRegression, error) {
 	return s.CovarSnapshot().TrainPolyReg(response, lambda)
 }
 
 // KMeansSeeds derives cluster seeds at the current snapshot.
 func (s *Server) KMeansSeeds(k int) (*KMeansSeeding, error) { return s.CovarSnapshot().KMeansSeeds(k) }
+
+// TrainChowLiu returns the Chow–Liu dependency tree of the categorical
+// features at the current snapshot (requires PayloadCofactor).
+func (s *Server) TrainChowLiu() ([]DependencyEdge, error) { return s.CovarSnapshot().TrainChowLiu() }
+
+// TrainCTree trains a categorical regression tree at the current
+// snapshot (requires PayloadCofactor).
+func (s *Server) TrainCTree(response string, opt TreeOptions) (*DecisionTree, error) {
+	return s.CovarSnapshot().TrainCTree(response, opt)
+}
+
+// TrainSVM trains a least-squares SVM at the current snapshot (requires
+// PayloadCofactor).
+func (s *Server) TrainSVM(label string, lambda float64) (*SVMClassifier, error) {
+	return s.CovarSnapshot().TrainSVM(label, lambda)
+}
 
 // TrainLinRegGD trains on the current ring-merged statistics with
 // explicit gradient-descent controls.
@@ -362,7 +657,7 @@ func (s *ShardedServer) TrainLinRegGD(response string, lambda float64, opt GDOpt
 func (s *ShardedServer) TrainPCA(k int) (*PCAResult, error) { return s.CovarSnapshot().TrainPCA(k) }
 
 // TrainPolyReg trains a degree-2 polynomial regression from the current
-// ring-merged lifted statistics (requires ServerOptions{Lifted: true}).
+// ring-merged statistics (requires PayloadPoly2 or PayloadCofactor).
 func (s *ShardedServer) TrainPolyReg(response string, lambda float64) (*PolyRegression, error) {
 	return s.CovarSnapshot().TrainPolyReg(response, lambda)
 }
@@ -371,4 +666,22 @@ func (s *ShardedServer) TrainPolyReg(response string, lambda float64) (*PolyRegr
 // statistics.
 func (s *ShardedServer) KMeansSeeds(k int) (*KMeansSeeding, error) {
 	return s.CovarSnapshot().KMeansSeeds(k)
+}
+
+// TrainChowLiu returns the Chow–Liu dependency tree from the current
+// ring-merged cofactor statistics (requires PayloadCofactor).
+func (s *ShardedServer) TrainChowLiu() ([]DependencyEdge, error) {
+	return s.CovarSnapshot().TrainChowLiu()
+}
+
+// TrainCTree trains a categorical regression tree from the current
+// ring-merged cofactor statistics (requires PayloadCofactor).
+func (s *ShardedServer) TrainCTree(response string, opt TreeOptions) (*DecisionTree, error) {
+	return s.CovarSnapshot().TrainCTree(response, opt)
+}
+
+// TrainSVM trains a least-squares SVM from the current ring-merged
+// cofactor statistics (requires PayloadCofactor).
+func (s *ShardedServer) TrainSVM(label string, lambda float64) (*SVMClassifier, error) {
+	return s.CovarSnapshot().TrainSVM(label, lambda)
 }
