@@ -24,7 +24,7 @@ import (
 	"borg/internal/ifaq"
 	"borg/internal/ivm"
 	"borg/internal/ml"
-	"borg/internal/query"
+	qplan "borg/internal/plan"
 )
 
 const benchSF = 0.05
@@ -49,10 +49,11 @@ func BenchmarkFig3StructureAgnostic(b *testing.B) {
 // descent of Figure 3 (the LMFAO column).
 func BenchmarkFig3StructureAware(b *testing.B) {
 	d := datagen.Retailer(1, benchSF)
-	jt, err := d.Join.BuildJoinTree(d.Root)
+	p, err := qplan.New(d.Join, qplan.Options{PinnedRoot: d.Root})
 	if err != nil {
 		b.Fatal(err)
 	}
+	jt := p.Tree
 	specs := core.CovarianceBatch(d.Features(), d.Response)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -77,10 +78,11 @@ func BenchmarkFig3StructureAware(b *testing.B) {
 func BenchmarkFig4Left(b *testing.B) {
 	for _, d := range datagen.All(1, benchSF) {
 		d := d
-		jt, err := d.Join.BuildJoinTree(d.Root)
+		p, err := qplan.New(d.Join, qplan.Options{PinnedRoot: d.Root})
 		if err != nil {
 			b.Fatal(err)
 		}
+		jt := p.Tree
 		specs := core.CovarianceBatch(d.Features(), d.Response)
 		b.Run(d.Name+"/classical", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -143,10 +145,11 @@ func BenchmarkFig4Right(b *testing.B) {
 // (Figure 6) on the Retailer covariance batch.
 func BenchmarkFig6Ablation(b *testing.B) {
 	d := datagen.Retailer(1, benchSF)
-	jt, err := d.Join.BuildJoinTree(d.Root)
+	p, err := qplan.New(d.Join, qplan.Options{PinnedRoot: d.Root})
 	if err != nil {
 		b.Fatal(err)
 	}
+	jt := p.Tree
 	specs := core.CovarianceBatch(d.Features(), d.Response)
 	configs := []struct {
 		name string
@@ -177,11 +180,11 @@ func BenchmarkFig6Ablation(b *testing.B) {
 // E6): the interesting output is the value-count ratio, printed once.
 func BenchmarkCompression(b *testing.B) {
 	d := datagen.Retailer(1, benchSF)
-	jt, err := d.Join.BuildJoinTree(d.Root)
+	p, err := qplan.New(d.Join, qplan.Options{PinnedRoot: d.Root})
 	if err != nil {
 		b.Fatal(err)
 	}
-	vo := query.BuildVarOrder(jt)
+	vo := p.VarOrder
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, err := factor.Build(d.Join, vo)

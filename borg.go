@@ -37,6 +37,7 @@ import (
 	"borg/internal/core"
 	"borg/internal/datagen"
 	"borg/internal/exec"
+	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/relation"
 )
@@ -192,8 +193,11 @@ func asFloat(v any) (float64, bool) {
 type Query struct {
 	db   *Database
 	join *query.Join
-	// Root pins the join-tree root (fact relation); empty picks the
-	// largest relation.
+	// Root pins the join-tree root (fact relation) and disables greedy
+	// planning for this query: the planner keeps the static child order
+	// instead of reordering by cardinality. Empty lets the planner pick
+	// greedily — the largest relation, ties broken lexicographically by
+	// name.
 	Root string
 	// Workers bounds the morsel-driven execution runtime's parallelism.
 	// Query constructors set 2; values below 2 select the serial path.
@@ -246,32 +250,43 @@ func (f Features) core() []core.Feature {
 	return out
 }
 
-func (q *Query) tree() (*query.JoinTree, error) {
-	return q.join.BuildJoinTree(q.Root)
-}
-
-// rootOrLargest resolves the pinned join-tree root, defaulting to the
-// largest relation (the fact table, in the evaluated schemas) — the
-// root-selection rule shared by the streaming and serving facades. A
-// pinned root that names no relation of the join is rejected here, with
-// the available relations spelled out, instead of surfacing as an
-// opaque join-tree failure downstream.
-func (q *Query) rootOrLargest() (string, error) {
+// plan resolves the query's execution plan through the planning layer:
+// a pinned Root keeps the legacy static order; otherwise the planner
+// picks root and child order greedily from live cardinalities. A pinned
+// root that names no relation of the join is rejected here, with the
+// available relations spelled out, instead of surfacing as an opaque
+// join-tree failure downstream.
+func (q *Query) plan() (*plan.Plan, error) {
 	if q.Root != "" {
 		for _, r := range q.join.Relations {
 			if r.Name == q.Root {
-				return q.Root, nil
+				return plan.New(q.join, plan.Options{PinnedRoot: q.Root, Static: true})
 			}
 		}
-		return "", fmt.Errorf("borg: root %s is not a relation of the join; the join's relations are %s", q.Root, strings.Join(q.relationNames(), ", "))
+		return nil, fmt.Errorf("borg: root %s is not a relation of the join; the join's relations are %s", q.Root, strings.Join(q.relationNames(), ", "))
 	}
-	best := q.join.Relations[0]
-	for _, r := range q.join.Relations[1:] {
-		if r.NumRows() > best.NumRows() {
-			best = r
-		}
+	return plan.New(q.join, plan.Options{})
+}
+
+func (q *Query) tree() (*query.JoinTree, error) {
+	p, err := q.plan()
+	if err != nil {
+		return nil, err
 	}
-	return best.Name, nil
+	return p.Tree, nil
+}
+
+// rootOrLargest resolves the pinned join-tree root, defaulting to the
+// planner's greedy choice — the largest relation (the fact table, in
+// the evaluated schemas), ties broken lexicographically by name so the
+// root is deterministic across runs. Shared by the streaming and
+// serving facades.
+func (q *Query) rootOrLargest() (string, error) {
+	p, err := q.plan()
+	if err != nil {
+		return "", err
+	}
+	return p.Root, nil
 }
 
 // relationNames lists the join's relations in declaration order.

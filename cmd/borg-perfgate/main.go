@@ -91,6 +91,8 @@ func main() {
 	catZooFreshPath := flag.String("catzoo-fresh", "", "fresh categorical-zoo report to gate")
 	scaleBaselinePath := flag.String("scale-baseline", "benchmarks/scale.json", "committed multi-core ingest baseline report")
 	scaleFreshPath := flag.String("scale-fresh", "", "fresh multi-core ingest report to gate")
+	planBaselinePath := flag.String("plan-baseline", "benchmarks/plan.json", "committed planning baseline report")
+	planFreshPath := flag.String("plan-fresh", "", "fresh planning report to gate")
 	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
 	minScale := flag.Float64("min-scale", 1.5, "min 1→4 worker speedup of the best strategy (enforced on 4+ CPU hosts)")
 	flag.Parse()
@@ -113,8 +115,8 @@ func main() {
 		}
 		*minScale = v
 	}
-	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" && *catZooFreshPath == "" && *scaleFreshPath == "" {
-		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, -models-fresh, -catzoo-fresh, or -scale-fresh is required"))
+	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" && *catZooFreshPath == "" && *scaleFreshPath == "" && *planFreshPath == "" {
+		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, -models-fresh, -catzoo-fresh, -scale-fresh, or -plan-fresh is required"))
 	}
 	failed := false
 	if *freshPath != "" {
@@ -134,6 +136,9 @@ func main() {
 	}
 	if *scaleFreshPath != "" {
 		failed = gateScale(*scaleBaselinePath, *scaleFreshPath, *maxRatio, *minScale) || failed
+	}
+	if *planFreshPath != "" {
+		failed = gatePlan(*planBaselinePath, *planFreshPath, *maxRatio) || failed
 	}
 	if failed {
 		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
@@ -356,6 +361,57 @@ func gateCatZoo(baselinePath, freshPath string, maxRatio float64) bool {
 		return out
 	}
 	return gateThroughput("catzoo", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
+}
+
+// gatePlan compares the planning report per mode cell (static, greedy,
+// replanned) on ingest ops/sec, and additionally asserts the ordering
+// claim the planning layer exists for: on the skew-inverted workload,
+// the fresh greedy and replanned cells must not fall behind the fresh
+// static cell — a planner that stops helping is a regression even if
+// every absolute rate held. Returns true when any cell regressed.
+func gatePlan(baselinePath, freshPath string, maxRatio float64) bool {
+	base, err := loadReport[bench.PlanReport](baselinePath, func(r *bench.PlanReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport[bench.PlanReport](freshPath, func(r *bench.PlanReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	ensureComparable("plan", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("plan", reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env))
+	cells := func(cs []bench.PlanCell) []throughputCell {
+		out := make([]throughputCell, len(cs))
+		for i, c := range cs {
+			out[i] = throughputCell{
+				key:     c.Mode,
+				label:   fmt.Sprintf("%s (root %s)", c.Mode, c.Root),
+				ops:     c.OpsPerSec,
+				clients: 2, // two writer clients per cell
+			}
+		}
+		return out
+	}
+	failed := gateThroughput("plan", baselinePath, base.CPUs, fresh.CPUs, maxRatio, cells(base.Cells), cells(fresh.Cells))
+	byMode := make(map[string]bench.PlanCell, len(fresh.Cells))
+	for _, c := range fresh.Cells {
+		byMode[c.Mode] = c
+	}
+	static, okS := byMode["static"]
+	for _, mode := range []string{"greedy", "replanned"} {
+		c, ok := byMode[mode]
+		if !ok || !okS {
+			continue
+		}
+		if c.OpsPerSec < static.OpsPerSec {
+			fmt.Printf("  ordering: %s %.0f ops/s fell behind static %.0f ops/s on the skew-inverted stream  FAIL\n",
+				mode, c.OpsPerSec, static.OpsPerSec)
+			failed = true
+		} else {
+			fmt.Printf("  ordering: %s %.0f ops/s ≥ static %.0f ops/s  ok\n", mode, c.OpsPerSec, static.OpsPerSec)
+		}
+	}
+	return failed
 }
 
 // opsPerSec reads a cell's applied-op throughput, falling back to the

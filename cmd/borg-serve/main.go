@@ -257,9 +257,16 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 			Deletes uint64  `json:"deletes"`
 			Queued  int     `json:"queued"`
 			Shards  []struct {
-				Shard  int `json:"shard"`
-				Queued int `json:"queued"`
+				Shard  int    `json:"shard"`
+				Queued int    `json:"queued"`
+				Root   string `json:"root"`
 			} `json:"shards"`
+			Plan struct {
+				Root  string  `json:"root"`
+				Depth int     `json:"depth"`
+				Width int     `json:"width"`
+				Drift float64 `json:"drift"`
+			} `json:"plan"`
 		}
 		if err := json.Unmarshal([]byte(body), &stats); err != nil {
 			return 0, fmt.Errorf("stats body: %v", err)
@@ -270,6 +277,17 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 		// After the Flush barrier every shard's queue is drained.
 		if stats.Queued != 0 {
 			return 0, fmt.Errorf("queued = %d after flush: %s", stats.Queued, body)
+		}
+		// The plan block must always describe a real plan: a named root,
+		// a positive variable-order depth, width ≥ 1 (1 = acyclic), and
+		// a drift ratio ≥ 1, with every shard reporting the same root.
+		if stats.Plan.Root == "" || stats.Plan.Depth <= 0 || stats.Plan.Width < 1 || stats.Plan.Drift < 1 {
+			return 0, fmt.Errorf("stats plan block is degenerate: %s", body)
+		}
+		for _, sh := range stats.Shards {
+			if sh.Root != stats.Plan.Root {
+				return 0, fmt.Errorf("shard %d planned at root %q, tier at %q: %s", sh.Shard, sh.Root, stats.Plan.Root, body)
+			}
 		}
 		return stats.Count, nil
 	}
@@ -621,6 +639,9 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 				"deletes": row.Deletes,
 				"queued":  row.Queued,
 				"count":   row.Count,
+				"root":    row.Root,
+				"drift":   row.Drift,
+				"replans": row.Replans,
 			}
 		}
 		var lastErr any
@@ -628,13 +649,24 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 			lastErr = err.Error()
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"epoch":      snap.Epoch(),
-			"inserts":    snap.Inserts(),
-			"deletes":    snap.Deletes(),
-			"queued":     st.Queued,
-			"count":      snap.Count(),
-			"means":      means,
-			"shards":     shardRows,
+			"epoch":   snap.Epoch(),
+			"inserts": snap.Inserts(),
+			"deletes": snap.Deletes(),
+			"queued":  st.Queued,
+			"count":   snap.Count(),
+			"means":   means,
+			"shards":  shardRows,
+			// The plan block is the operator's first stop before
+			// profiling a slow server: which root the maintainers are
+			// built under, how deep/wide the variable order is, and how
+			// far churn has drifted the live sizes from that choice.
+			"plan": map[string]any{
+				"root":    st.Root,
+				"depth":   st.PlanDepth,
+				"width":   st.PlanWidth,
+				"drift":   st.Drift,
+				"replans": st.Replans,
+			},
 			"last_error": lastErr,
 		})
 	})

@@ -65,6 +65,8 @@ func ByName(name string, seed uint64, sf float64) (*Dataset, error) {
 		return TPCDS(seed, sf), nil
 	case "tenant":
 		return Tenant(seed, sf), nil
+	case "skewflip":
+		return SkewFlip(seed, sf), nil
 	}
 	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
 }
@@ -310,6 +312,78 @@ func Tenant(seed uint64, sf float64) *Dataset {
 		Response:    "units",
 		GridAttr:    "store",
 		StreamOrder: []string{"Catalog", "Stores", "Sales"},
+	}
+}
+
+// SkewFlip is the planning benchmark's skew-inverted workload: the
+// relation a static planner would pin as the root (Sales, the paper's
+// canonical fact table) is SMALL, and the truly dominant relation — a
+// price-observation log streamed after the facts — grows to dwarf it.
+// A static Sales-rooted plan pays a delta join against the matching
+// Sales rows for every PriceLog arrival; a cardinality-aware plan
+// re-roots at PriceLog and turns the bulk of the stream into O(1)
+// ancestor-free root inserts. Both Sales and PriceLog draw items from
+// the same Zipf hot set, so the static plan's per-arrival join work is
+// substantial, not dangling.
+func SkewFlip(seed uint64, sf float64) *Dataset {
+	src := xrand.New(seed)
+	db := relation.NewDatabase()
+
+	nStore := scaled(40, sf, 8)
+	nItem := scaled(400, sf, 60)
+	nSales := scaled(4000, sf, 400)
+	nObs := scaled(100000, sf, 2000)
+
+	stores := db.NewRelation("Stores", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "sellarea", Type: relation.Double},
+	})
+	sellarea := make([]float64, nStore)
+	for s := 0; s < nStore; s++ {
+		sellarea[s] = 300 + src.Float64()*2700
+		stores.AppendRow(relation.CatVal(int32(s)), relation.FloatVal(sellarea[s]))
+	}
+
+	sales := db.NewRelation("Sales", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "item", Type: relation.Category},
+		{Name: "units", Type: relation.Double},
+	})
+	itemZipf := xrand.NewZipf(src, 1.2, nItem)
+	start := sales.Grow(nSales)
+	for r := start; r < start+nSales; r++ {
+		s := int32(src.Intn(nStore))
+		sales.Col(0).C[r] = s
+		sales.Col(1).C[r] = int32(itemZipf.Next())
+		sales.Col(2).F[r] = 5 + 0.002*sellarea[s] + src.NormFloat64()
+	}
+
+	priceLog := db.NewRelation("PriceLog", []relation.Attribute{
+		{Name: "store", Type: relation.Category},
+		{Name: "item", Type: relation.Category},
+		{Name: "price", Type: relation.Double},
+	})
+	obsZipf := xrand.NewZipf(src, 1.2, nItem)
+	start = priceLog.Grow(nObs)
+	for r := start; r < start+nObs; r++ {
+		priceLog.Col(0).C[r] = int32(src.Intn(nStore))
+		priceLog.Col(1).C[r] = int32(obsZipf.Next())
+		priceLog.Col(2).F[r] = 1 + src.Float64()*40
+	}
+
+	fillDicts(db, map[string]int{"store": nStore, "item": nItem})
+	return &Dataset{
+		Name:     "SkewFlip",
+		DB:       db,
+		Join:     query.NewJoin(sales, priceLog, stores),
+		Root:     "Sales",
+		Cont:     []string{"price", "sellarea"},
+		Cat:      []string{"item"},
+		Response: "units",
+		GridAttr: "store",
+		// Facts and dimensions land first; the log that outgrows them
+		// streams last — the order that makes an early plan stale.
+		StreamOrder: []string{"Stores", "Sales", "PriceLog"},
 	}
 }
 

@@ -31,7 +31,7 @@ type FirstOrder struct {
 // copy of the join's relations.
 func NewFirstOrder(j *query.Join, root string, features []string, opts ...Option) (*FirstOrder, error) {
 	o := buildOptions(opts)
-	b, err := newBase(j, root, features, o.payload)
+	b, err := newBase(j, root, features, o)
 	if err != nil {
 		return nil, err
 	}

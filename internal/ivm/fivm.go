@@ -195,7 +195,7 @@ type FIVM struct {
 // join's relations, rooted at the named relation.
 func NewFIVM(j *query.Join, root string, features []string, opts ...Option) (*FIVM, error) {
 	o := buildOptions(opts)
-	b, err := newBase(j, root, features, o.payload)
+	b, err := newBase(j, root, features, o)
 	if err != nil {
 		return nil, err
 	}

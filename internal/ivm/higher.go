@@ -34,7 +34,7 @@ type HigherOrder struct {
 // empty copy of the join's relations.
 func NewHigherOrder(j *query.Join, root string, features []string, opts ...Option) (*HigherOrder, error) {
 	o := buildOptions(opts)
-	b, err := newBase(j, root, features, o.payload)
+	b, err := newBase(j, root, features, o)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"borg/internal/exec"
+	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/relation"
 	"borg/internal/ring"
@@ -61,6 +62,7 @@ type Option func(*options)
 
 type options struct {
 	payload Payload
+	cards   map[string]int
 }
 
 func buildOptions(opts []Option) options {
@@ -113,6 +115,16 @@ func (p Payload) String() string {
 // groups.
 func WithPayload(p Payload) Option {
 	return func(o *options) { o.payload = p }
+}
+
+// WithCardinalities hands the planner per-relation cardinalities to
+// order the join tree by (greedy smallest-first child attachment, see
+// internal/plan). Without it the maintainer keeps the legacy static
+// order — the live relations start empty, so construction-time NumRows
+// carries no signal. The serving layer passes the cardinalities its
+// plan was made from, so maintainer and plan agree on the tree.
+func WithCardinalities(cards map[string]int) Option {
+	return func(o *options) { o.cards = cards }
 }
 
 // WithLifted selects the lifted degree-2 ring as the maintained payload.
@@ -178,6 +190,10 @@ type Maintainer interface {
 	// CatFeatures returns the categorical feature names in cofactor
 	// group-slot order; empty unless the cofactor payload is maintained.
 	CatFeatures() []string
+	// Cardinalities returns the live per-relation row counts — the
+	// statistics the planning layer feeds on (drift tracking, greedy
+	// replanning). The map is freshly allocated on every call.
+	Cardinalities() map[string]int
 	// Name identifies the strategy in benchmark tables.
 	Name() string
 }
@@ -237,6 +253,16 @@ func (b *base) ContFeatures() []string { return b.contFeats }
 // CatFeatures implements Maintainer.
 func (b *base) CatFeatures() []string { return b.catFeats }
 
+// Cardinalities implements Maintainer: the live per-relation row counts
+// of the streamed-into join-tree state.
+func (b *base) Cardinalities() map[string]int {
+	out := make(map[string]int, len(b.byName))
+	for name, n := range b.byName {
+		out[name] = n.rel.NumRows()
+	}
+	return out
+}
+
 // SetRuntime points the maintainer's scan kernels at the given exec
 // runtime. First-order maintenance routes its delta scans through it,
 // and every strategy's ApplyBatch fans the per-op delta computation out
@@ -260,20 +286,26 @@ func joinAttrNames(j *query.Join) string {
 	return strings.Join(names, ", ")
 }
 
-// newBase clones empty live relations for the given join, builds the
-// tree rooted at root, and resolves feature ownership. The payload
-// decides whether categorical features are legal: the cofactor ring
-// owns them as group slots, every other payload rejects them.
-func newBase(j *query.Join, root string, features []string, payload Payload) (*base, error) {
+// newBase clones empty live relations for the given join, plans the
+// tree rooted at root through internal/plan, and resolves feature
+// ownership. Without WithCardinalities the plan is static (the legacy
+// GYO child order — the empty clones carry no signal); with them the
+// planner orders children greedily, matching the serving layer's plan.
+// The payload decides whether categorical features are legal: the
+// cofactor ring owns them as group slots, every other payload rejects
+// them.
+func newBase(j *query.Join, root string, features []string, o options) (*base, error) {
+	payload := o.payload
 	live := make([]*relation.Relation, len(j.Relations))
 	for i, r := range j.Relations {
 		live[i] = r.CloneEmpty()
 	}
 	lj := query.NewJoin(live...)
-	jt, err := lj.BuildJoinTree(root)
+	p, err := plan.New(lj, plan.Options{PinnedRoot: root, Cardinalities: o.cards, Static: o.cards == nil})
 	if err != nil {
 		return nil, err
 	}
+	jt := p.Tree
 	b := &base{byName: make(map[string]*node), features: features}
 
 	owner := make(map[string]*node)

@@ -197,8 +197,12 @@ func (j *Join) BuildJoinTree(rootName string) (*JoinTree, error) {
 			return nil, fmt.Errorf("query: root relation %q not in join", rootName)
 		}
 	} else {
+		// Largest relation wins; equal cardinalities break
+		// lexicographically by name so the chosen root is deterministic
+		// across runs rather than declaration-order dependent.
 		for i, r := range j.Relations {
-			if rootIdx < 0 || r.NumRows() > j.Relations[rootIdx].NumRows() {
+			if rootIdx < 0 || r.NumRows() > j.Relations[rootIdx].NumRows() ||
+				(r.NumRows() == j.Relations[rootIdx].NumRows() && r.Name < j.Relations[rootIdx].Name) {
 				rootIdx = i
 			}
 		}

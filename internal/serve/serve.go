@@ -52,6 +52,7 @@ import (
 
 	"borg/internal/exec"
 	"borg/internal/ivm"
+	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/relation"
 	"borg/internal/ring"
@@ -164,6 +165,13 @@ type Config struct {
 	Lifted bool
 	// MorselSize pins the exec scan granularity (0 = automatic).
 	MorselSize int
+	// ReplanThreshold opts into automatic replanning: when the plan
+	// drift ratio — largest live relation cardinality over the current
+	// root's — reaches this value at a publication boundary, the writer
+	// replans greedily and rebuilds the maintainer under the new order
+	// (see Replan). 0 disables auto-replanning. Only greedy-planned
+	// servers auto-replan; a pinned root is never overridden.
+	ReplanThreshold float64
 }
 
 func (c *Config) defaults() {
@@ -210,6 +218,26 @@ type Snapshot struct {
 	// unless the server maintains PayloadCofactor. Readers must not
 	// mutate it.
 	Cofactor *ring.Cofactor
+	// Root is the join-tree root of the plan this epoch was maintained
+	// under.
+	Root string
+	// PlanDepth is the longest root-to-leaf chain of the plan's
+	// variable order.
+	PlanDepth int
+	// PlanWidth is the factorization width of the plan's variable order
+	// (1 for acyclic joins).
+	PlanWidth int
+	// PlanGreedy reports whether the root was chosen greedily by the
+	// planner (false when the caller pinned it).
+	PlanGreedy bool
+	// Drift is the plan-drift ratio at publication time: the largest
+	// live relation cardinality divided by the current root's. 1.0
+	// means the root is still the largest relation; larger values mean
+	// churn has skewed relative sizes away from the plan (see
+	// Config.ReplanThreshold).
+	Drift float64
+	// Replans counts completed plan rebuilds since the server started.
+	Replans uint64
 }
 
 // Count returns SUM(1) over the join at this epoch.
@@ -242,6 +270,18 @@ type op struct {
 	// current state and acknowledges on the channel instead of applying
 	// a tuple.
 	flush chan error
+	// cards, when non-nil, requests the maintainer's live per-relation
+	// cardinalities after applying everything buffered so far.
+	cards chan map[string]int
+	// replan, when non-nil, requests a plan rebuild (see Server.Replan).
+	replan *replanReq
+}
+
+// replanReq carries one replan request to the writer: the root to pin
+// ("" = greedy from live cardinalities) and the acknowledgment channel.
+type replanReq struct {
+	root string
+	ack  chan error
 }
 
 // liveRelations is the view of a maintainer that exposes its streamed-into
@@ -272,6 +312,19 @@ type Server struct {
 	// Config.Lifted), kept so epoch arenas can bind Poly2 elements over
 	// their own backing.
 	liftedRing *ring.Poly2Ring
+	// join is the source join New was built from; Replan re-plans and
+	// re-clones it. featArgs is the caller's original feature list (the
+	// constructor argument, before the continuous/categorical split),
+	// and relNames the join's relations in declaration order — the
+	// deterministic reingest order of a replan.
+	join     *query.Join
+	featArgs []string
+	relNames []string
+	// live exposes the current maintainer's streamed-into relations.
+	// It is swapped together with m on replan, which is why schemas
+	// holds separate metadata-only clones: producers read Schema
+	// concurrently and must never observe the swap.
+	live liveRelations
 
 	in       chan op
 	snap     atomic.Pointer[Snapshot]
@@ -300,32 +353,59 @@ type Server struct {
 	queued atomic.Int64
 
 	// Writer-goroutine state; published to other goroutines only through
-	// snap and the finished channel.
-	inserts  uint64
-	deletes  uint64
-	epoch    uint64
-	pending  int
-	applyErr error
+	// snap and the finished channel. root/planDepth/planWidth/planGreedy
+	// describe the plan the maintainer is currently built under; drift
+	// is recomputed at every publication; replans counts completed
+	// rebuilds.
+	inserts    uint64
+	deletes    uint64
+	epoch      uint64
+	pending    int
+	applyErr   error
+	root       string
+	planDepth  int
+	planWidth  int
+	planGreedy bool
+	drift      float64
+	replans    uint64
+}
+
+// newMaintainer constructs the strategy's maintainer — shared by New
+// and the replan rebuild.
+func newMaintainer(strategy Strategy, j *query.Join, root string, features []string, mopts ...ivm.Option) (ivm.Maintainer, error) {
+	switch strategy {
+	case FIVM:
+		return ivm.NewFIVM(j, root, features, mopts...)
+	case HigherOrder:
+		return ivm.NewHigherOrder(j, root, features, mopts...)
+	case FirstOrder:
+		return ivm.NewFirstOrder(j, root, features, mopts...)
+	}
+	return nil, fmt.Errorf("serve: unknown strategy %v", strategy)
 }
 
 // New starts a server maintaining the covariance statistics of the given
-// features over an initially empty copy of the join's relations, rooted
-// at the named relation.
+// features over an initially empty copy of the join's relations. A
+// non-empty root pins the join-tree root and keeps the legacy static
+// child order; an empty root hands the choice to the planning layer,
+// which picks greedily from the source join's current cardinalities
+// (see internal/plan) and keeps replanning available as churn skews
+// relative sizes.
 func New(j *query.Join, root string, features []string, cfg Config) (*Server, error) {
 	cfg.defaults()
-	var m ivm.Maintainer
-	var err error
-	mopts := []ivm.Option{ivm.WithPayload(cfg.Payload)}
-	switch cfg.Strategy {
-	case FIVM:
-		m, err = ivm.NewFIVM(j, root, features, mopts...)
-	case HigherOrder:
-		m, err = ivm.NewHigherOrder(j, root, features, mopts...)
-	case FirstOrder:
-		m, err = ivm.NewFirstOrder(j, root, features, mopts...)
-	default:
-		err = fmt.Errorf("serve: unknown strategy %v", cfg.Strategy)
+	popt := plan.Options{PinnedRoot: root, Static: true}
+	if root == "" {
+		popt = plan.Options{}
 	}
+	p, err := plan.New(j, popt)
+	if err != nil {
+		return nil, err
+	}
+	mopts := []ivm.Option{ivm.WithPayload(cfg.Payload)}
+	if p.Greedy {
+		mopts = append(mopts, ivm.WithCardinalities(p.Cardinalities))
+	}
+	m, err := newMaintainer(cfg.Strategy, j, p.Root, features, mopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -338,13 +418,26 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 		catFeatures: append([]string(nil), m.CatFeatures()...),
 		m:           m,
 		schemas:     make(map[string]*relation.Relation, len(j.Relations)),
+		join:        j,
+		featArgs:    append([]string(nil), features...),
 		in:          make(chan op, cfg.QueueDepth),
 		stop:        make(chan struct{}),
 		finished:    make(chan struct{}),
+		root:        p.Root,
+		planDepth:   p.Depth,
+		planWidth:   p.Width,
+		planGreedy:  p.Greedy,
+		drift:       1,
 	}
-	live := m.(liveRelations)
+	s.live = m.(liveRelations)
 	for _, r := range j.Relations {
-		s.schemas[r.Name] = live.Relation(r.Name)
+		// Metadata-only clones (schema + shared dictionaries, no rows):
+		// producers resolve types and intern categorical values through
+		// these concurrently, so they must survive a replan's maintainer
+		// swap untouched. The dictionaries are shared with the
+		// maintainer's live relations via the common source relation.
+		s.schemas[r.Name] = r.CloneEmpty()
+		s.relNames = append(s.relNames, r.Name)
 	}
 	if cfg.Workers >= 2 {
 		s.pool = exec.NewPool(cfg.Workers)
@@ -383,10 +476,11 @@ func (s *Server) CatFeatures() []string { return s.catFeatures }
 // Payload reports the maintained ring payload.
 func (s *Server) Payload() Payload { return s.cfg.Payload }
 
-// Schema returns the live relation with the given name, or nil. Callers
-// may use its schema metadata and dictionaries (to resolve attribute
-// types and intern categorical values); its rows belong to the writer
-// goroutine and must not be read.
+// Schema returns a metadata-only view of the named relation, or nil.
+// Callers may use its schema metadata and dictionaries (to resolve
+// attribute types and intern categorical values — the dictionaries are
+// shared with the live relations); it holds no rows, and it is stable
+// across replans.
 func (s *Server) Schema(name string) *relation.Relation { return s.schemas[name] }
 
 // Insert enqueues one tuple insert. It validates the tuple's shape
@@ -504,6 +598,81 @@ func (s *Server) Flush() error {
 	}
 }
 
+// Replan re-plans the server greedily from live cardinalities and, when
+// the greedy root differs from the current one, rebuilds the maintainer
+// under the new plan by batch-reingesting the live rows — behind the
+// writer, so producers keep enqueueing and readers keep loading
+// snapshots throughout. The new epoch is published atomically before
+// Replan returns; no reader ever observes a mixed state, and the
+// rebuilt statistics equal the old ones to float tolerance (any valid
+// variable order maintains the same ring payloads). Cost is one pass
+// over the live rows through ApplyBatch (~an ingest of the live state)
+// plus transiently holding both maintainers. When the greedy root
+// matches the current one, Replan only refreshes the published drift.
+// Replan also re-enables greedy planning on a server whose root was
+// pinned at construction.
+func (s *Server) Replan() error { return s.replanRequest("") }
+
+// ReplanTo is Replan with the new root pinned instead of chosen
+// greedily. An empty root means greedy (same as Replan).
+func (s *Server) ReplanTo(root string) error {
+	if root != "" {
+		if _, ok := s.schemas[root]; !ok {
+			return fmt.Errorf("serve: unknown relation %s", root)
+		}
+	}
+	return s.replanRequest(root)
+}
+
+// replanRequest enqueues a replan barrier and waits for the writer's
+// acknowledgment (same shutdown discipline as Flush).
+func (s *Server) replanRequest(root string) error {
+	ack := make(chan error, 1)
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.in <- op{replan: &replanReq{root: root, ack: ack}}
+	s.closeMu.RUnlock()
+	select {
+	case err := <-ack:
+		return err
+	case <-s.finished:
+		select {
+		case err := <-ack:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// Cardinalities returns the live per-relation row counts as of every op
+// enqueued before the call — the planning input the sharded layer sums
+// across shards to pick one global root.
+func (s *Server) Cardinalities() (map[string]int, error) {
+	ch := make(chan map[string]int, 1)
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.in <- op{cards: ch}
+	s.closeMu.RUnlock()
+	select {
+	case m := <-ch:
+		return m, nil
+	case <-s.finished:
+		select {
+		case m := <-ch:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
 // Close stops the writer after draining already-queued ops, publishes a
 // final snapshot, and releases the worker pool. It returns the first
 // maintenance error, if any. Close is idempotent. An op racing with
@@ -553,13 +722,22 @@ func (s *Server) run() {
 	armed := false
 	buf := make([]ivm.Op, 0, s.cfg.BatchSize)
 	handle := func(o op) {
-		if o.flush != nil {
+		switch {
+		case o.flush != nil:
 			s.applyBatch(&buf)
 			s.publish()
 			o.flush <- s.applyErr
-			return
+		case o.cards != nil:
+			s.applyBatch(&buf)
+			o.cards <- s.m.Cardinalities()
+		case o.replan != nil:
+			s.applyBatch(&buf)
+			err := s.replan(o.replan.root)
+			s.forcePublish()
+			o.replan.ack <- err
+		default:
+			buf = append(buf, o.batchOp())
 		}
-		buf = append(buf, o.batchOp())
 	}
 	for {
 		select {
@@ -666,7 +844,11 @@ func (s *Server) buildSnapshot(epoch, inserts, deletes uint64) *Snapshot {
 	a.stats.Sum = back[:n:n]
 	a.stats.Q = back[n : n+n*n : n+n*n]
 	s.m.SnapshotInto(&a.stats)
-	a.snap = Snapshot{Epoch: epoch, Inserts: inserts, Deletes: deletes, Stats: &a.stats}
+	a.snap = Snapshot{
+		Epoch: epoch, Inserts: inserts, Deletes: deletes, Stats: &a.stats,
+		Root: s.root, PlanDepth: s.planDepth, PlanWidth: s.planWidth,
+		PlanGreedy: s.planGreedy, Drift: s.drift, Replans: s.replans,
+	}
 	if s.liftedRing != nil {
 		s.liftedRing.Bind(&a.lifted, back[n+n*n:])
 		s.m.SnapshotLiftedInto(&a.lifted)
@@ -681,15 +863,129 @@ func (s *Server) buildSnapshot(epoch, inserts, deletes uint64) *Snapshot {
 	return &a.snap
 }
 
-// publish swaps in a fresh snapshot covering every applied op. It is a
-// no-op when nothing changed since the last publication — in
-// particular, a quiescent server's flush barriers allocate nothing.
-func (s *Server) publish() {
-	if s.pending == 0 {
-		return
+// computeDrift recomputes the plan-drift ratio from the live relations,
+// allocation-free (publication allocs are pinned to the epoch arena):
+// largest live cardinality over the current root's, 1 when empty.
+func (s *Server) computeDrift() float64 {
+	max, rc := 0, 0
+	for _, name := range s.relNames {
+		n := s.live.Relation(name).NumRows()
+		if n > max {
+			max = n
+		}
+		if name == s.root {
+			rc = n
+		}
 	}
+	if max == 0 {
+		return 1
+	}
+	if rc < 1 {
+		rc = 1
+	}
+	return float64(max) / float64(rc)
+}
+
+// replan rebuilds the maintainer under a fresh plan: target pins the
+// new root, "" picks it greedily from the maintainer's live
+// cardinalities. When the planned root matches the current one, only
+// the planning mode is updated (a greedy request re-enables greedy
+// auto-replanning) — the tree rebuild is skipped. Otherwise the writer
+// constructs a second maintainer under the new plan, reingests every
+// live row through ApplyBatch in deterministic relation-declaration
+// order, and swaps it in; a reingest failure keeps the old maintainer
+// fully intact. Runs on the writer goroutine only.
+func (s *Server) replan(target string) error {
+	cards := s.m.Cardinalities()
+	p, err := plan.New(s.join, plan.Options{PinnedRoot: target, Cardinalities: cards})
+	if err != nil {
+		return err
+	}
+	if p.Root == s.root {
+		if target == "" {
+			s.planGreedy = true
+		}
+		return nil
+	}
+	mopts := []ivm.Option{ivm.WithPayload(s.cfg.Payload), ivm.WithCardinalities(cards)}
+	nm, err := newMaintainer(s.cfg.Strategy, s.join, p.Root, s.featArgs, mopts...)
+	if err != nil {
+		return err
+	}
+	if rs, ok := nm.(runtimeSettable); ok {
+		rs.SetRuntime(exec.Runtime{Workers: s.cfg.Workers, MorselSize: s.cfg.MorselSize, Pool: s.pool})
+	}
+	// Reingest the survivors. Inserts do not touch s.inserts/s.deletes —
+	// they are the same logical rows, re-expressed under the new order.
+	const replanChunk = 4096
+	ops := make([]ivm.Op, 0, replanChunk)
+	flushChunk := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		res := nm.ApplyBatch(ops)
+		ops = ops[:0]
+		if res.Err != nil {
+			return fmt.Errorf("serve: replan reingest: %w", res.Err)
+		}
+		return nil
+	}
+	for _, name := range s.relNames {
+		rel := s.live.Relation(name)
+		for i := 0; i < rel.NumRows(); i++ {
+			ops = append(ops, ivm.Op{Kind: ivm.OpInsert, Tuple: ivm.Tuple{Rel: name, Values: rel.Row(i)}})
+			if len(ops) >= replanChunk {
+				if err := flushChunk(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flushChunk(); err != nil {
+		return err
+	}
+	s.m = nm
+	s.live = nm.(liveRelations)
+	if proto := nm.SnapshotLifted(); proto != nil {
+		s.liftedRing = proto.Ring()
+	} else {
+		s.liftedRing = nil
+	}
+	s.root, s.planDepth, s.planWidth = p.Root, p.Depth, p.Width
+	s.planGreedy = target == ""
+	s.replans++
+	return nil
+}
+
+// forcePublish publishes a fresh epoch unconditionally — the epoch swap
+// of a replan must become visible even when no tuple op is pending.
+func (s *Server) forcePublish() {
+	s.drift = s.computeDrift()
 	s.epoch++
 	s.snap.Store(s.buildSnapshot(s.epoch, s.inserts, s.deletes))
 	s.queued.Add(-int64(s.pending))
 	s.pending = 0
+}
+
+// publish swaps in a fresh snapshot covering every applied op. It is a
+// no-op when nothing changed since the last publication — in
+// particular, a quiescent server's flush barriers allocate nothing.
+// Publication boundaries are also where auto-replanning fires: with a
+// positive ReplanThreshold on a greedy-planned server, a drift ratio at
+// or past the threshold triggers a greedy replan before the epoch is
+// built, so the published snapshot already reflects the new plan.
+func (s *Server) publish() {
+	if s.pending == 0 {
+		return
+	}
+	if s.cfg.ReplanThreshold > 0 && s.planGreedy {
+		if drift := s.computeDrift(); drift >= s.cfg.ReplanThreshold {
+			if err := s.replan(""); err != nil && s.applyErr == nil {
+				s.applyErr = err
+				e := err
+				s.lastErr.Store(&e)
+			}
+		}
+	}
+	s.forcePublish()
 }

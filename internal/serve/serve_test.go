@@ -2,7 +2,6 @@ package serve
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -178,20 +177,6 @@ func TestServerMatchesSerialReplay(t *testing.T) {
 			}
 		})
 	}
-}
-
-// newMaintainer mirrors the Server's strategy dispatch for reference
-// replays in tests.
-func newMaintainer(st Strategy, j *query.Join, root string, features []string) (ivm.Maintainer, error) {
-	switch st {
-	case FIVM:
-		return ivm.NewFIVM(j, root, features)
-	case HigherOrder:
-		return ivm.NewHigherOrder(j, root, features)
-	case FirstOrder:
-		return ivm.NewFirstOrder(j, root, features)
-	}
-	return nil, fmt.Errorf("unknown strategy %v", st)
 }
 
 // TestFlushBarrier: Flush publishes everything enqueued before it.

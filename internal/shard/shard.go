@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"borg/internal/ivm"
+	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/relation"
 	"borg/internal/ring"
@@ -65,6 +66,9 @@ type Server struct {
 	features    []string
 	catFeatures []string
 	partBy      string
+	// join is the source join, kept so Replan can compute one global
+	// plan over the summed per-shard cardinalities.
+	join *query.Join
 	// partCol[rel] is the column of the partition attribute in rel;
 	// partCat[rel] whether that column is categorical there. Empty maps
 	// on the single-shard fast path with no PartitionBy.
@@ -116,6 +120,7 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 	}
 	s := &Server{
 		partBy:  cfg.PartitionBy,
+		join:    j,
 		partCol: make(map[string]int, len(j.Relations)),
 		partCat: make(map[string]bool, len(j.Relations)),
 	}
@@ -441,6 +446,37 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
+// Replan re-plans the tier globally: every shard reports its live
+// cardinalities (concurrently, each behind its own writer), the sums
+// are planned once — one greedy root for the whole tier, so merged
+// reads keep folding identically-shaped statistics — and every shard
+// rebuilds to the chosen root concurrently (see serve.Server.ReplanTo).
+// Per-shard skew cannot diverge the plans: the root choice is made
+// from the global counts, not each shard's local view.
+func (s *Server) Replan() error {
+	totals := make(map[string]int, len(s.join.Relations))
+	var mu sync.Mutex
+	if err := s.fanOut(func(sh *serve.Server) error {
+		cards, err := sh.Cardinalities()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for name, n := range cards {
+			totals[name] += n
+		}
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return err
+	}
+	p, err := plan.New(s.join, plan.Options{Cardinalities: totals})
+	if err != nil {
+		return err
+	}
+	return s.fanOut(func(sh *serve.Server) error { return sh.ReplanTo(p.Root) })
+}
+
 // fanOut runs one serve.Server operation on every shard concurrently
 // and returns the first error in shard order.
 func (s *Server) fanOut(op func(*serve.Server) error) error {
@@ -476,6 +512,16 @@ type ShardStats struct {
 	Queued int
 	// Count is SUM(1) over the shard's partition of the join.
 	Count float64
+	// Root is the join-tree root the shard's maintainer is currently
+	// planned under; PlanDepth/PlanWidth the variable-order depth and
+	// factorization width of its plan.
+	Root      string
+	PlanDepth int
+	PlanWidth int
+	// Drift is the shard's plan-drift ratio at its published epoch.
+	Drift float64
+	// Replans counts the shard's completed plan rebuilds.
+	Replans uint64
 }
 
 // Stats reports a per-shard health view: queue depths, epochs, applied
@@ -487,12 +533,17 @@ func (s *Server) Stats() []ShardStats {
 	for i, sh := range s.shards {
 		sn := sh.Snapshot()
 		out[i] = ShardStats{
-			Shard:   i,
-			Epoch:   sn.Epoch,
-			Inserts: sn.Inserts,
-			Deletes: sn.Deletes,
-			Queued:  sh.QueueLen(),
-			Count:   sn.Count(),
+			Shard:     i,
+			Epoch:     sn.Epoch,
+			Inserts:   sn.Inserts,
+			Deletes:   sn.Deletes,
+			Queued:    sh.QueueLen(),
+			Count:     sn.Count(),
+			Root:      sn.Root,
+			PlanDepth: sn.PlanDepth,
+			PlanWidth: sn.PlanWidth,
+			Drift:     sn.Drift,
+			Replans:   sn.Replans,
 		}
 	}
 	return out

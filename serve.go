@@ -70,6 +70,16 @@ type ServerOptions struct {
 	// Deprecated: set Payload: PayloadPoly2 instead. Lifted: true is
 	// honored as an alias when Payload is unset.
 	Lifted bool
+	// ReplanThreshold opts into automatic replanning on greedy-planned
+	// servers (Query.Root unset): when the plan drift ratio — the
+	// largest live relation cardinality over the current join-tree
+	// root's — reaches this value at a flush boundary, the writer
+	// replans greedily and rebuilds under the new variable order (see
+	// Server.Replan). 0 disables auto-replanning; a pinned Query.Root
+	// is never overridden. Values below 1 make no sense (drift is ≥ 1
+	// whenever the root is still the largest relation); 2–10 are
+	// sensible production thresholds.
+	ReplanThreshold float64
 }
 
 // Ingestor is the write-side API every serving tier satisfies: Server
@@ -220,19 +230,25 @@ func (q *Query) Serve(features []string, opt ServerOptions) (*Server, error) {
 		// pass ServerOptions{Workers: 1} for explicitly serial kernels.
 		opt.Workers = q.Workers
 	}
-	root, err := q.rootOrLargest()
-	if err != nil {
-		return nil, err
+	// A pinned Query.Root passes through and disables greedy planning;
+	// an empty root hands the choice to the planning layer (greedy from
+	// live cardinalities, replannable). Validate the pin here so the
+	// error names the facade, not the planner.
+	if q.Root != "" {
+		if _, err := q.rootOrLargest(); err != nil {
+			return nil, err
+		}
 	}
-	inner, err := serve.New(q.join, root, features, serve.Config{
-		Strategy:      strategy,
-		BatchSize:     opt.BatchSize,
-		FlushInterval: opt.FlushInterval,
-		QueueDepth:    opt.QueueDepth,
-		Workers:       opt.Workers,
-		MorselSize:    q.MorselSize,
-		Payload:       opt.Payload,
-		Lifted:        opt.Lifted,
+	inner, err := serve.New(q.join, q.Root, features, serve.Config{
+		Strategy:        strategy,
+		BatchSize:       opt.BatchSize,
+		FlushInterval:   opt.FlushInterval,
+		QueueDepth:      opt.QueueDepth,
+		Workers:         opt.Workers,
+		MorselSize:      q.MorselSize,
+		Payload:         opt.Payload,
+		Lifted:          opt.Lifted,
+		ReplanThreshold: opt.ReplanThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -294,6 +310,23 @@ type ServerStats struct {
 	// reports the per-shard value; total ingest parallelism is
 	// Workers × the shard count.
 	Workers int
+	// Root is the join-tree root the maintainer is currently planned
+	// under (on a sharded server: shard 0's root; all shards agree
+	// unless per-shard auto-replans diverged them).
+	Root string
+	// PlanDepth is the longest root-to-leaf chain of the current plan's
+	// variable order; PlanWidth its factorization width (1 = acyclic).
+	PlanDepth int
+	PlanWidth int
+	// Drift is the plan-drift ratio at the current snapshot: largest
+	// live relation cardinality over the root's. 1.0 means the root is
+	// still the largest relation; larger values mean churn has skewed
+	// relative sizes away from the plan. On a sharded server the
+	// aggregate row reports the maximum across shards.
+	Drift float64
+	// Replans counts completed plan rebuilds (summed across shards on a
+	// sharded server).
+	Replans uint64
 }
 
 // Stats reports the server's current epoch, applied op counts, queue
@@ -301,14 +334,31 @@ type ServerStats struct {
 func (s *Server) Stats() ServerStats {
 	snap := s.inner.Snapshot()
 	return ServerStats{
-		Epoch:   snap.Epoch,
-		Inserts: snap.Inserts,
-		Deletes: snap.Deletes,
-		Queued:  s.inner.QueueLen(),
-		Count:   snap.Count(),
-		Workers: s.inner.Workers(),
+		Epoch:     snap.Epoch,
+		Inserts:   snap.Inserts,
+		Deletes:   snap.Deletes,
+		Queued:    s.inner.QueueLen(),
+		Count:     snap.Count(),
+		Workers:   s.inner.Workers(),
+		Root:      snap.Root,
+		PlanDepth: snap.PlanDepth,
+		PlanWidth: snap.PlanWidth,
+		Drift:     snap.Drift,
+		Replans:   snap.Replans,
 	}
 }
+
+// Replan re-plans the server greedily from live cardinalities and, when
+// the greedy root differs from the current one, rebuilds the maintainer
+// under the new variable order — behind the writer, so concurrent
+// Insert/Delete/Update callers keep enqueueing and readers keep loading
+// snapshots throughout; the rebuilt epoch is swapped in atomically
+// before Replan returns, so no reader ever observes a mixed state. Any
+// valid variable order maintains the same ring statistics, so models
+// before and after agree to float tolerance. Cost is one batch
+// reingest of the live rows. Replan also re-enables greedy planning on
+// a server whose Query.Root was pinned at construction.
+func (s *Server) Replan() error { return s.inner.Replan() }
 
 // Count returns SUM(1) over the join at the current snapshot.
 func (s *Server) Count() float64 { return s.inner.Snapshot().Count() }

@@ -48,20 +48,25 @@ func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServe
 	if opt.Workers == 0 {
 		opt.Workers = q.Workers
 	}
-	root, err := q.rootOrLargest()
-	if err != nil {
-		return nil, err
+	// As in Serve: a pinned Query.Root passes through and disables
+	// greedy planning; an empty root lets each shard's planner choose
+	// (they agree — all plan from the same source cardinalities).
+	if q.Root != "" {
+		if _, err := q.rootOrLargest(); err != nil {
+			return nil, err
+		}
 	}
-	inner, err := shard.New(q.join, root, features, shard.Config{
+	inner, err := shard.New(q.join, q.Root, features, shard.Config{
 		Config: serve.Config{
-			Strategy:      strategy,
-			BatchSize:     opt.BatchSize,
-			FlushInterval: opt.FlushInterval,
-			QueueDepth:    opt.QueueDepth,
-			Workers:       opt.Workers,
-			MorselSize:    q.MorselSize,
-			Payload:       opt.Payload,
-			Lifted:        opt.Lifted,
+			Strategy:        strategy,
+			BatchSize:       opt.BatchSize,
+			FlushInterval:   opt.FlushInterval,
+			QueueDepth:      opt.QueueDepth,
+			Workers:         opt.Workers,
+			MorselSize:      q.MorselSize,
+			Payload:         opt.Payload,
+			Lifted:          opt.Lifted,
+			ReplanThreshold: opt.ReplanThreshold,
 		},
 		Shards:      opt.Shards,
 		PartitionBy: opt.PartitionBy,
@@ -112,21 +117,45 @@ func (s *ShardedServer) Stats() ShardedServerStats {
 	out.Workers = workers
 	for i, r := range rows {
 		out.Shards[i] = ServerStats{
-			Epoch:   r.Epoch,
-			Inserts: r.Inserts,
-			Deletes: r.Deletes,
-			Queued:  r.Queued,
-			Count:   r.Count,
-			Workers: workers,
+			Epoch:     r.Epoch,
+			Inserts:   r.Inserts,
+			Deletes:   r.Deletes,
+			Queued:    r.Queued,
+			Count:     r.Count,
+			Workers:   workers,
+			Root:      r.Root,
+			PlanDepth: r.PlanDepth,
+			PlanWidth: r.PlanWidth,
+			Drift:     r.Drift,
+			Replans:   r.Replans,
 		}
 		out.Epoch += r.Epoch
 		out.Inserts += r.Inserts
 		out.Deletes += r.Deletes
 		out.Queued += r.Queued
 		out.Count += r.Count
+		// The aggregate plan row: shards plan from the same inputs, so
+		// shard 0's root stands for the tier; drift reports the worst
+		// shard and replans the tier-wide total.
+		if i == 0 {
+			out.Root = r.Root
+			out.PlanDepth = r.PlanDepth
+			out.PlanWidth = r.PlanWidth
+		}
+		if r.Drift > out.Drift {
+			out.Drift = r.Drift
+		}
+		out.Replans += r.Replans
 	}
 	return out
 }
+
+// Replan re-plans the tier globally: the per-shard live cardinalities
+// are summed, one greedy root is chosen from the totals, and every
+// shard rebuilds to it concurrently — each behind its own writer, so
+// ingest and merged reads continue throughout and no reader observes a
+// mixed state (see Server.Replan for the single-server semantics).
+func (s *ShardedServer) Replan() error { return s.inner.Replan() }
 
 // QueueLen totals the per-shard queue depths. QueueLen()==0 with
 // quiescent producers means the merged snapshot is current — the same
