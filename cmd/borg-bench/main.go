@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 3, 4l, 4r, 5, 6, compress, ifaq, ineq, reuse, exec, serve, shard, models, catzoo, scale, plan, or all (the paper figures; exec, serve, shard, models, catzoo, scale, and plan run individually)")
+	fig := flag.String("fig", "all", "experiment: 3, 4l, 4r, 5, 6, compress, ifaq, ineq, reuse, exec, serve, shard, models, catzoo, scale, plan, obs, or all (the paper figures; exec, serve, shard, models, catzoo, scale, plan, and obs run individually)")
 	sf := flag.Float64("sf", 0.2, "dataset scale factor (1.0 = full laptop-scale run)")
 	seed := flag.Uint64("seed", 2020, "random seed for data generation")
 	workers := flag.Int("workers", 2, "LMFAO worker goroutines")
@@ -44,6 +44,7 @@ func main() {
 		"catzoo":   bench.CatZooBenchTable,
 		"scale":    bench.ScaleBenchTable,
 		"plan":     bench.PlanBenchTable,
+		"obs":      bench.ObsBenchTable,
 		"all":      bench.All,
 	}
 	run, ok := runners[*fig]

@@ -25,7 +25,12 @@
 //     scaling-efficiency floor: on hosts with 4+ CPUs the best
 //     strategy's 1→4 worker speedup must clear a minimum, so a change
 //     that re-serializes the morsel-parallel batch path fails even if
-//     absolute single-core throughput holds).
+//     absolute single-core throughput holds), and
+//   - the observability-overhead benchmark (`-fig obs`, instrumented vs
+//     uninstrumented ingest on the same stream: the instrumented rate is
+//     throughput-gated like every other cell, and the fresh overhead
+//     ratio must stay under -max-obs-overhead — default 1.05× — so
+//     instrumentation can never quietly tax the hot path).
 //
 // Usage:
 //
@@ -35,12 +40,14 @@
 //	borg-bench -fig models -json > models-fresh.json
 //	borg-bench -fig catzoo -json > catzoo-fresh.json
 //	borg-bench -fig scale -json > scale-fresh.json
+//	borg-bench -fig obs -json > obs-fresh.json
 //	borg-perfgate -baseline benchmarks/baseline.json -fresh exec-fresh.json \
 //	              -serve-baseline benchmarks/serve.json -serve-fresh serve-fresh.json \
 //	              -shard-baseline benchmarks/shard.json -shard-fresh shard-fresh.json \
 //	              -models-baseline benchmarks/models.json -models-fresh models-fresh.json \
 //	              -catzoo-baseline benchmarks/catzoo.json -catzoo-fresh catzoo-fresh.json \
-//	              -scale-baseline benchmarks/scale.json -scale-fresh scale-fresh.json
+//	              -scale-baseline benchmarks/scale.json -scale-fresh scale-fresh.json \
+//	              -obs-baseline benchmarks/obs.json -obs-fresh obs-fresh.json
 //
 // The tolerance is deliberately generous — CI runners are noisy and the
 // gate exists to catch order-of-magnitude regressions (a serialized hot
@@ -65,6 +72,7 @@
 //	PERF_GATE_MAX_RATIO=4            environment override, wins over the flag
 //	PERF_GATE_ALLOW_CPU_MISMATCH=1   compare across CPU counts (normalized)
 //	PERF_GATE_MIN_SCALE=1.5          scaling-efficiency floor override
+//	PERF_GATE_MAX_OBS_OVERHEAD=1.1   instrumentation-overhead bound override
 //	PERF_GATE_SKIP=1                 skip the gate entirely (emergency valve)
 package main
 
@@ -93,8 +101,11 @@ func main() {
 	scaleFreshPath := flag.String("scale-fresh", "", "fresh multi-core ingest report to gate")
 	planBaselinePath := flag.String("plan-baseline", "benchmarks/plan.json", "committed planning baseline report")
 	planFreshPath := flag.String("plan-fresh", "", "fresh planning report to gate")
+	obsBaselinePath := flag.String("obs-baseline", "benchmarks/obs.json", "committed observability-overhead baseline report")
+	obsFreshPath := flag.String("obs-fresh", "", "fresh observability-overhead report to gate")
 	maxRatio := flag.Float64("max-ratio", 2.5, "max allowed fresh/baseline slowdown per cell")
 	minScale := flag.Float64("min-scale", 1.5, "min 1→4 worker speedup of the best strategy (enforced on 4+ CPU hosts)")
+	maxObsOverhead := flag.Float64("max-obs-overhead", 1.05, "max allowed instrumented/uninstrumented ingest slowdown in the fresh obs report")
 	flag.Parse()
 
 	if os.Getenv("PERF_GATE_SKIP") == "1" {
@@ -115,8 +126,15 @@ func main() {
 		}
 		*minScale = v
 	}
-	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" && *catZooFreshPath == "" && *scaleFreshPath == "" && *planFreshPath == "" {
-		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, -models-fresh, -catzoo-fresh, -scale-fresh, or -plan-fresh is required"))
+	if env := os.Getenv("PERF_GATE_MAX_OBS_OVERHEAD"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad PERF_GATE_MAX_OBS_OVERHEAD %q: %v", env, err))
+		}
+		*maxObsOverhead = v
+	}
+	if *freshPath == "" && *serveFreshPath == "" && *shardFreshPath == "" && *modelsFreshPath == "" && *catZooFreshPath == "" && *scaleFreshPath == "" && *planFreshPath == "" && *obsFreshPath == "" {
+		fatal(fmt.Errorf("at least one of -fresh, -serve-fresh, -shard-fresh, -models-fresh, -catzoo-fresh, -scale-fresh, -plan-fresh, or -obs-fresh is required"))
 	}
 	failed := false
 	if *freshPath != "" {
@@ -139,6 +157,9 @@ func main() {
 	}
 	if *planFreshPath != "" {
 		failed = gatePlan(*planBaselinePath, *planFreshPath, *maxRatio) || failed
+	}
+	if *obsFreshPath != "" {
+		failed = gateObs(*obsBaselinePath, *obsFreshPath, *maxRatio, *maxObsOverhead) || failed
 	}
 	if failed {
 		fatal(fmt.Errorf("performance regression beyond %.2fx tolerance (override with PERF_GATE_MAX_RATIO or PERF_GATE_SKIP=1 on known-noisy runners)", *maxRatio))
@@ -410,6 +431,45 @@ func gatePlan(baselinePath, freshPath string, maxRatio float64) bool {
 		} else {
 			fmt.Printf("  ordering: %s %.0f ops/s ≥ static %.0f ops/s  ok\n", mode, c.OpsPerSec, static.OpsPerSec)
 		}
+	}
+	return failed
+}
+
+// gateObs gates the observability benchmark twice over: the
+// instrumented ingest rate must not regress against the committed
+// baseline (the usual throughput tolerance), and the fresh report's
+// measured overhead ratio — uninstrumented best over instrumented best —
+// must stay under maxObsOverhead, so instrumentation that creeps onto
+// the hot path (an allocation per op, a lock on the update) fails the
+// build even when absolute throughput still clears the noisy-runner
+// tolerance. Returns true when either check fails.
+func gateObs(baselinePath, freshPath string, maxRatio, maxObsOverhead float64) bool {
+	base, err := loadReport[bench.ObsReport](baselinePath, func(r *bench.ObsReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport[bench.ObsReport](freshPath, func(r *bench.ObsReport) int { return len(r.Cells) })
+	if err != nil {
+		fatal(err)
+	}
+	ensureComparable("obs", base.Dataset, base.SF, base.Seed, fresh.Dataset, fresh.SF, fresh.Seed)
+	cpuGuard("obs", reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env))
+	// Two cells per report: each variant's best rep. The two writer
+	// clients are the cell's parallel load.
+	cells := func(r *bench.ObsReport) []throughputCell {
+		return []throughputCell{
+			{key: "instrumented", label: "instrumented", ops: r.BestInstrumented, clients: 2},
+			{key: "uninstrumented", label: "uninstrumented", ops: r.BestUninstrumented, clients: 2},
+		}
+	}
+	failed := gateThroughput("obs", baselinePath, reportCPUs(base.CPUs, base.Env), reportCPUs(fresh.CPUs, fresh.Env), maxRatio, cells(base), cells(fresh))
+	if fresh.OverheadRatio > maxObsOverhead {
+		fmt.Printf("  overhead: instrumented ingest %.3fx slower than uninstrumented, bound %.2fx  FAIL\n",
+			fresh.OverheadRatio, maxObsOverhead)
+		failed = true
+	} else {
+		fmt.Printf("  overhead: instrumented ingest %.3fx of uninstrumented ≤ %.2fx  ok\n",
+			fresh.OverheadRatio, maxObsOverhead)
 	}
 	return failed
 }

@@ -26,9 +26,23 @@
 //
 //	borg-serve -addr :8080 -strategy fivm -payload cofactor -shards 4 -partition-by store
 //
+// Observability: the service logs structured events (epoch
+// publications, replans, rejected ops, slow batches) through log/slog —
+// -log-level picks the floor (debug, info, warn, error) and -log-format
+// the encoding (text or json); -slow-batch sets the batch-duration
+// threshold above which a warning is logged. GET /metrics exposes every
+// pipeline metric (queue wait, batch phase splits, publication and
+// merge latencies, per-shard routing, plan drift, model-training
+// telemetry) in the Prometheus text format with no external
+// dependencies, and GET /readyz reports readiness for load balancers:
+// 503 while draining for shutdown or while the ingest queue exceeds
+// -ready-high-water (default: the total queue capacity), 200 otherwise.
+// /healthz stays pure liveness and never degrades under load.
+//
 // -pprof additionally mounts the Go runtime profiling endpoints under
 // /debug/pprof/ (opt-in; exposes internals — keep it off on untrusted
-// networks).
+// networks, and treat /metrics the same way: series names reveal
+// workload shape).
 //
 // API:
 //
@@ -42,7 +56,11 @@
 //	                fail: 207 with per-row errors; if all fail: 400.
 //	DELETE /insert  same body; every row is treated as a delete.
 //	GET  /stats     {"epoch", "inserts", "deletes", "queued", "count",
-//	                 "means": {...}, "shards": [...], "last_error": ...}
+//	                 "means": {...}, "shards": [...], "plan": {...},
+//	                 "metrics": [...], "last_error": ...}; "metrics" is
+//	                 the full registry snapshot (every series with its
+//	                 value, and p50/p95/p99 for histograms) as JSON, for
+//	                 humans and scripts that don't speak Prometheus.
 //	POST /v1/model  The snapshot model zoo behind one JSON request:
 //	                  {"kind": "linreg|polyreg|pca|kmeans|chowliu|ctree|svm",
 //	                   "params": {"response": "units", "lambda": 0.001,
@@ -67,7 +85,19 @@
 //	POST /predict   Deprecated adapter for POST /v1/model with "predict";
 //	                {"kind", "response", "lambda", "k", "features": {...},
 //	                 "cats": {...}} → {"prediction"|"projection": ...}.
-//	GET  /healthz   200 {"status": "ok"}
+//	GET  /metrics   Prometheus text exposition (text/plain; version=0.0.4)
+//	                of every maintained series: borg_serve_* (queue wait,
+//	                batch sizes, apply phase splits, publication and
+//	                flush latency, epoch and epoch age, queue depth,
+//	                rejected ops), borg_plan_* (replans, replan latency,
+//	                drift), borg_shard_* (per-shard routing, merge
+//	                latency, memo hits, skew), borg_model_* (per-kind
+//	                training latency, counts, typed errors).
+//	GET  /healthz   200 {"status": "ok"} — pure liveness; always 200
+//	                while the process serves HTTP.
+//	GET  /readyz    200 {"status": "ready"} when accepting load; 503
+//	                {"status": "draining"|"overloaded"} during shutdown
+//	                or when the ingest queue exceeds -ready-high-water.
 package main
 
 import (
@@ -79,13 +109,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"net/http/pprof"
 	"net/url"
+	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -147,14 +180,24 @@ func main() {
 	partitionBy := flag.String("partition-by", "store", "partition attribute (must appear in every relation of the join)")
 	oneShot := flag.Bool("oneshot", false, "start, self-check the endpoints, and exit (CI smoke)")
 	pprofOn := flag.Bool("pprof", false, "expose Go runtime profiling under /debug/pprof/ (opt-in; do not enable on untrusted networks)")
+	logLevel := flag.String("log-level", "info", "structured log floor: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", `structured log encoding: "text" or "json"`)
+	slowBatch := flag.Duration("slow-batch", 100*time.Millisecond, "warn when one maintenance batch takes longer than this")
+	readyHighWater := flag.Int("ready-high-water", 0, "queued ops beyond which /readyz reports 503 (0: total queue capacity)")
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		log.Fatalf("borg-serve: %v", err)
+	}
 	opt := borg.ServerOptions{
-		Strategy:      *strategy,
-		BatchSize:     *batch,
-		FlushInterval: *flush,
-		QueueDepth:    *queue,
-		Workers:       *workers,
+		Strategy:           *strategy,
+		BatchSize:          *batch,
+		FlushInterval:      *flush,
+		QueueDepth:         *queue,
+		Workers:            *workers,
+		Logger:             logger,
+		SlowBatchThreshold: *slowBatch,
 	}
 	switch *payload {
 	case "covar":
@@ -194,13 +237,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	handler := newHandler(srv)
+	highWater := *readyHighWater
+	if highWater <= 0 {
+		// Default: the tier's total queue capacity — beyond it, enqueues
+		// block anyway, so new load should go elsewhere.
+		highWater = *queue * srv.NumShards()
+	}
+	svc := &service{srv: srv, queueLen: srv.QueueLen, highWater: highWater}
+	handler := newHandler(svc)
 	if *pprofOn {
 		handler = withPprof(handler)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	if *oneShot {
-		if err := selfCheck(srv, httpSrv.Handler); err != nil {
+		if err := selfCheck(srv, svc, httpSrv.Handler); err != nil {
 			log.Fatal(err)
 		}
 		if err := srv.Close(); err != nil {
@@ -214,6 +264,9 @@ func main() {
 	defer cancel()
 	go func() {
 		<-ctx.Done()
+		// Flip readiness before closing listeners so load balancers stop
+		// routing while in-flight requests drain.
+		svc.draining.Store(true)
 		shutCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
 		defer done()
 		_ = httpSrv.Shutdown(shutCtx)
@@ -238,7 +291,7 @@ var allKinds = []string{"linreg", "polyreg", "pca", "kmeans", "chowliu", "ctree"
 // so CI can smoke-test the whole service path in one process — at any
 // shard count and payload, since the endpoints are shard-transparent and
 // payload gating is part of the contract under test.
-func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
+func selfCheck(srv *borg.ShardedServer, svc *service, h http.Handler) error {
 	do := func(method, path, body string) (int, string) {
 		code, b, _ := doHeader(h, method, path, body)
 		return code, b
@@ -459,6 +512,22 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 	if code, body := do("GET", "/healthz", ""); code != http.StatusOK {
 		return fmt.Errorf("healthz: %d %s", code, body)
 	}
+	// Readiness transitions, driven through the injectable queue reading:
+	// ready under normal load, 503 "overloaded" while the queue reads
+	// over the high-water mark, ready again once it drains.
+	if code, body := do("GET", "/readyz", ""); code != http.StatusOK || !strings.Contains(body, "ready") {
+		return fmt.Errorf("readyz: %d %s", code, body)
+	}
+	liveQueue := svc.queueLen
+	svc.queueLen = func() int { return svc.highWater + 1 }
+	code, body = do("GET", "/readyz", "")
+	svc.queueLen = liveQueue
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "overloaded") {
+		return fmt.Errorf("readyz over high water: %d %s, want 503 overloaded", code, body)
+	}
+	if code, body := do("GET", "/readyz", ""); code != http.StatusOK {
+		return fmt.Errorf("readyz did not recover after drain: %d %s", code, body)
+	}
 	if code, body := do("POST", "/insert", `{"rel": "Nope", "values": []}`); code != http.StatusUnprocessableEntity {
 		return fmt.Errorf("bad insert accepted: %d %s", code, body)
 	}
@@ -527,6 +596,97 @@ func selfCheck(srv *borg.ShardedServer, h http.Handler) error {
 			return fmt.Errorf("v1 model kind=%s on churned-to-empty join: %d %s, want 409", kind, code, body)
 		}
 	}
+
+	// Last, with every endpoint's traffic behind us: the exposition must
+	// carry the whole pipeline's series with values that traffic implies,
+	// and /stats must mirror the registry in its "metrics" block.
+	if err := checkMetrics(h); err != nil {
+		return err
+	}
+	code, body = do("GET", "/stats", "")
+	if code != http.StatusOK {
+		return fmt.Errorf("stats: %d %s", code, body)
+	}
+	var withMetrics struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &withMetrics); err != nil {
+		return fmt.Errorf("stats metrics block: %v", err)
+	}
+	if len(withMetrics.Metrics) < 15 {
+		return fmt.Errorf("stats metrics block has %d series, want >= 15", len(withMetrics.Metrics))
+	}
+	return nil
+}
+
+// checkMetrics scrapes GET /metrics and asserts the exposition is
+// healthy after the self-check's known traffic: the Prometheus text
+// content type, at least 15 metric families spanning the serve, plan,
+// shard, and model layers, and values the traffic implies on the core
+// series.
+func checkMetrics(h http.Handler) error {
+	code, body, hdr := doHeader(h, "GET", "/metrics", "")
+	if code != http.StatusOK {
+		return fmt.Errorf("metrics: %d %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("metrics content type %q, want text/plain", ct)
+	}
+	if families := strings.Count(body, "# TYPE "); families < 15 {
+		return fmt.Errorf("metrics exposition has %d families, want >= 15", families)
+	}
+	// sum folds every sample of one series name across its label sets —
+	// under -shards N the serve series split into shard="i" children.
+	sum := func(name string) (float64, int) {
+		var total float64
+		n := 0
+		for _, line := range strings.Split(body, "\n") {
+			rest, ok := strings.CutPrefix(line, name)
+			if !ok {
+				continue
+			}
+			i := strings.IndexByte(rest, ' ')
+			if i < 0 {
+				continue
+			}
+			if labels := rest[:i]; labels != "" && (!strings.HasPrefix(labels, "{") || !strings.HasSuffix(labels, "}")) {
+				continue // a longer name that shares the prefix
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest[i:]), 64)
+			if err != nil {
+				continue
+			}
+			total += v
+			n++
+		}
+		return total, n
+	}
+	for _, c := range []struct {
+		series string
+		min    float64
+	}{
+		{"borg_serve_inserts_total", 7},       // the seed rows streamed in
+		{"borg_serve_queue_wait_ns_count", 7}, // each op waited in a queue
+		{"borg_serve_publish_ns_count", 1},    // at least one epoch published
+		{"borg_serve_batch_size_count", 1},    // at least one batch applied
+		{"borg_plan_drift", 1},                // drift ratio is >= 1 by definition
+		{"borg_shard_routed_total", 7},        // every op routed through the tier
+		{"borg_shard_skew", 1},                // skew ratio is >= 1 by definition
+		{"borg_model_train_total", 4},         // the zoo round trained >= 4 kinds
+		{"borg_model_train_errors_total", 7},  // two empty-join refusals per kind
+		{"borg_serve_rejected_ops_total", 0},  // present even when nothing rejected
+		{"borg_serve_epoch_age_seconds", 0},   // scrape-time gauge exists
+	} {
+		got, n := sum(c.series)
+		if n == 0 {
+			return fmt.Errorf("metrics exposition is missing %s", c.series)
+		}
+		if got < c.min {
+			return fmt.Errorf("%s = %v, want >= %v", c.series, got, c.min)
+		}
+	}
 	return nil
 }
 
@@ -562,9 +722,48 @@ func markDeprecated(w http.ResponseWriter) {
 	w.Header().Set("Link", `</v1/model>; rel="successor-version"`)
 }
 
+// newLogger builds the service's structured logger from the -log-level
+// and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// service is the HTTP-facing state: the serving tier plus the readiness
+// inputs. queueLen is injectable so tests can exercise the overload
+// path without actually saturating a queue.
+type service struct {
+	srv       *borg.ShardedServer
+	queueLen  func() int
+	highWater int
+	// draining flips once at shutdown, before listeners close, so
+	// /readyz turns 503 while in-flight requests finish.
+	draining atomic.Bool
+}
+
 // newHandler wires the endpoints over a running (possibly sharded)
 // server.
-func newHandler(srv *borg.ShardedServer) http.Handler {
+func newHandler(svc *service) http.Handler {
+	srv := svc.srv
 	mux := http.NewServeMux()
 	ingest := func(forceDelete bool) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -648,6 +847,13 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 		if err := srv.Err(); err != nil {
 			lastErr = err.Error()
 		}
+		// The registry snapshot rides along for humans and scripts that
+		// don't speak the Prometheus text format: every series with its
+		// value, plus count/sum/p50/p95/p99 for the histograms.
+		var metrics any
+		if reg := srv.Metrics(); reg != nil {
+			metrics = reg.Snapshot()
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"epoch":   snap.Epoch(),
 			"inserts": snap.Inserts(),
@@ -667,6 +873,7 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 				"drift":   st.Drift,
 				"replans": st.Replans,
 			},
+			"metrics":    metrics,
 			"last_error": lastErr,
 		})
 	})
@@ -714,8 +921,33 @@ func newHandler(srv *borg.ShardedServer) http.Handler {
 		}
 		serveModel(w, srv, req)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := srv.Metrics()
+		if reg == nil {
+			httpError(w, http.StatusNotFound, errors.New("metrics are disabled on this server"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteExposition(w)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up and serving HTTP. Load-based
+		// degradation belongs to /readyz — a wedged-but-alive server must
+		// not get restarted by its liveness probe for being busy.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if svc.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		if q := svc.queueLen(); q > svc.highWater {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "overloaded", "queued": q, "high_water": svc.highWater,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "queued": svc.queueLen(), "high_water": svc.highWater})
 	})
 	return mux
 }

@@ -220,3 +220,36 @@ func TestModelsBenchRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestObsBenchRuns(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Budget = 100 * time.Millisecond
+	rep, err := ObsBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2*obsReps {
+		t.Fatalf("obs cells = %d, want %d", len(rep.Cells), 2*obsReps)
+	}
+	if rep.BestInstrumented <= 0 || rep.BestUninstrumented <= 0 || rep.OverheadRatio <= 0 {
+		t.Fatalf("degenerate bests: instr %v uninstr %v ratio %v",
+			rep.BestInstrumented, rep.BestUninstrumented, rep.OverheadRatio)
+	}
+	for _, c := range rep.Cells {
+		if c.Variant == "instrumented" && c.Series < 15 {
+			t.Fatalf("instrumented rep %d registered %d series, want >= 15", c.Rep, c.Series)
+		}
+		if c.Variant == "uninstrumented" && c.Series != 0 {
+			t.Fatalf("uninstrumented rep %d reports %d series", c.Rep, c.Series)
+		}
+	}
+	if err := ObsBenchTable(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Observability overhead", "instrumented", "ratio"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ObsBench output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"slices"
+	"time"
 
 	"borg/internal/exec"
 	"borg/internal/relation"
@@ -72,6 +73,14 @@ type BatchResult struct {
 	FullyFailed int
 	// Err is the first error encountered, nil when every op applied.
 	Err error
+	// DeltaNanos and MutateNanos split the batch's wall time into its
+	// two phases: the morsel-parallel delta computation (read-only
+	// fan-out across the worker pool) and the serial mutate replay
+	// (row/index/view writes plus serial-singleton fallbacks). Measured
+	// per op group — a handful of clock reads per batch — so the
+	// serving layer can publish the phase split without re-timing.
+	DeltaNanos  int64
+	MutateNanos int64
 }
 
 // batchMorselSize is the morsel the parallel delta phase carves op
@@ -139,12 +148,15 @@ func applyOps[EF any](b *base, ops []Op,
 	rt := exec.Runtime{Workers: b.rt.Workers, MorselSize: batchMorselSize, Pool: b.rt.Pool}
 	for _, g := range groupOps(ops) {
 		if g.serial {
+			start := time.Now()
 			for _, i := range g.idx {
 				record(serialOp(&ops[i]))
 			}
+			res.MutateNanos += int64(time.Since(start))
 			continue
 		}
 		effs := make([]EF, len(g.idx))
+		start := time.Now()
 		exec.Scan(rt, len(g.idx),
 			func() struct{} { return struct{}{} },
 			func(s struct{}, lo, hi int) struct{} {
@@ -153,9 +165,12 @@ func applyOps[EF any](b *base, ops []Op,
 				}
 				return s
 			})
+		mid := time.Now()
 		for i, oi := range g.idx {
 			record(apply(&ops[oi], &effs[i]))
 		}
+		res.DeltaNanos += int64(mid.Sub(start))
+		res.MutateNanos += int64(time.Since(mid))
 	}
 	return res
 }

@@ -43,8 +43,10 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -52,6 +54,7 @@ import (
 
 	"borg/internal/exec"
 	"borg/internal/ivm"
+	"borg/internal/obs"
 	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/relation"
@@ -172,6 +175,26 @@ type Config struct {
 	// (see Replan). 0 disables auto-replanning. Only greedy-planned
 	// servers auto-replan; a pinned root is never overridden.
 	ReplanThreshold float64
+	// Obs receives the server's metric series (see internal/obs). Nil
+	// creates a private registry, reachable through Metrics(); the
+	// sharded tier passes one shared registry into every shard with
+	// per-shard ObsLabels.
+	Obs *obs.Registry
+	// ObsLabels labels every metric series this server registers (the
+	// sharded tier sets shard="i").
+	ObsLabels obs.Labels
+	// MetricsOff disables instrumentation entirely — no registry, no
+	// timestamps, no atomic updates. The control arm of the obs
+	// overhead benchmark; production servers leave it false.
+	MetricsOff bool
+	// Logger receives structured operational logs (epoch publications
+	// at Debug, replans at Info, rejected ops and slow batches at
+	// Warn). Nil disables logging; hot-path sites also honor the
+	// handler's Enabled gate, so a disabled level costs one branch.
+	Logger *slog.Logger
+	// SlowBatchThreshold, when positive, logs a Warn for any batch
+	// whose application exceeds it. 0 disables the warning.
+	SlowBatchThreshold time.Duration
 }
 
 func (c *Config) defaults() {
@@ -275,6 +298,9 @@ type op struct {
 	cards chan map[string]int
 	// replan, when non-nil, requests a plan rebuild (see Server.Replan).
 	replan *replanReq
+	// enq is the enqueue timestamp the writer observes queue wait
+	// against (zero when metrics are off).
+	enq time.Time
 }
 
 // replanReq carries one replan request to the writer: the root to pin
@@ -351,6 +377,12 @@ type Server struct {
 	// writer is currently applying, so QueueLen()==0 really does mean
 	// the snapshot is current.
 	queued atomic.Int64
+
+	// metrics holds the pre-resolved metric handles, nil when
+	// Config.MetricsOff — every instrumentation site is one pointer
+	// test away from free. log is Config.Logger (nil = silent).
+	metrics *serveMetrics
+	log     *slog.Logger
 
 	// Writer-goroutine state; published to other goroutines only through
 	// snap and the finished channel. root/planDepth/planWidth/planGreedy
@@ -448,6 +480,15 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 	if proto := m.SnapshotLifted(); proto != nil {
 		s.liftedRing = proto.Ring()
 	}
+	s.log = cfg.Logger
+	if !cfg.MetricsOff {
+		// Handles resolve once here; everything after this line updates
+		// them with bare atomic ops.
+		if s.cfg.Obs == nil {
+			s.cfg.Obs = obs.NewRegistry()
+		}
+		s.metrics = newServeMetrics(s.cfg.Obs, s.cfg.ObsLabels, s.QueueLen)
+	}
 	// The initial snapshot is the empty epoch; a lifted server's empty
 	// epoch carries the lifted zero so readers can rely on Lifted being
 	// non-nil exactly when the server maintains it.
@@ -476,6 +517,16 @@ func (s *Server) CatFeatures() []string { return s.catFeatures }
 // Payload reports the maintained ring payload.
 func (s *Server) Payload() Payload { return s.cfg.Payload }
 
+// Metrics returns the registry holding this server's metric series —
+// the one passed in Config.Obs, or the private registry a nil Obs
+// created. Nil when Config.MetricsOff disabled instrumentation.
+func (s *Server) Metrics() *obs.Registry {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.cfg.Obs
+}
+
 // Schema returns a metadata-only view of the named relation, or nil.
 // Callers may use its schema metadata and dictionaries (to resolve
 // attribute types and intern categorical values — the dictionaries are
@@ -489,7 +540,7 @@ func (s *Server) Schema(name string) *relation.Relation { return s.schemas[name]
 // covering it is published.
 func (s *Server) Insert(t ivm.Tuple) error {
 	if err := s.check(t); err != nil {
-		return err
+		return s.reject(err)
 	}
 	return s.enqueue(op{kind: opInsert, tuple: t})
 }
@@ -501,7 +552,7 @@ func (s *Server) Insert(t ivm.Tuple) error {
 // Close.
 func (s *Server) Delete(t ivm.Tuple) error {
 	if err := s.check(t); err != nil {
-		return err
+		return s.reject(err)
 	}
 	return s.enqueue(op{kind: opDelete, tuple: t})
 }
@@ -511,12 +562,25 @@ func (s *Server) Delete(t ivm.Tuple) error {
 // shows the join without one or the other.
 func (s *Server) Update(old, new ivm.Tuple) error {
 	if err := s.check(old); err != nil {
-		return err
+		return s.reject(err)
 	}
 	if err := s.check(new); err != nil {
-		return err
+		return s.reject(err)
 	}
 	return s.enqueue(op{kind: opUpdate, tuple: new, old: old})
+}
+
+// reject accounts and logs one validation failure on its way back to
+// the producer. Runs on producer goroutines: one atomic add plus a
+// level-gated log call.
+func (s *Server) reject(err error) error {
+	if m := s.metrics; m != nil {
+		m.rejected.Inc()
+	}
+	if l := s.log; l != nil && l.Enabled(context.Background(), slog.LevelWarn) {
+		l.Warn("op rejected", "err", err)
+	}
+	return err
 }
 
 // check validates a tuple's relation and arity against the schemas.
@@ -539,6 +603,9 @@ func (s *Server) check(t ivm.Tuple) error {
 // leaks. Backpressure is preserved — a full channel blocks here, and
 // the still-running writer drains it.
 func (s *Server) enqueue(o op) error {
+	if s.metrics != nil {
+		o.enq = time.Now()
+	}
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
@@ -724,18 +791,28 @@ func (s *Server) run() {
 	handle := func(o op) {
 		switch {
 		case o.flush != nil:
+			var start time.Time
+			if s.metrics != nil {
+				start = time.Now()
+			}
 			s.applyBatch(&buf)
 			s.publish()
+			if m := s.metrics; m != nil {
+				m.flushNs.Observe(int64(time.Since(start)))
+			}
 			o.flush <- s.applyErr
 		case o.cards != nil:
 			s.applyBatch(&buf)
 			o.cards <- s.m.Cardinalities()
 		case o.replan != nil:
 			s.applyBatch(&buf)
-			err := s.replan(o.replan.root)
+			err := s.timedReplan(o.replan.root)
 			s.forcePublish()
 			o.replan.ack <- err
 		default:
+			if m := s.metrics; m != nil {
+				m.queueWait.Observe(int64(time.Since(o.enq)))
+			}
 			buf = append(buf, o.batchOp())
 		}
 	}
@@ -800,9 +877,34 @@ func (s *Server) applyBatch(buf *[]ivm.Op) {
 	if len(*buf) == 0 {
 		return
 	}
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
 	res := s.m.ApplyBatch(*buf)
 	s.inserts += res.Inserts
 	s.deletes += res.Deletes
+	if m := s.metrics; m != nil {
+		elapsed := time.Since(start)
+		m.batchSize.Observe(int64(len(*buf)))
+		m.deltaNs.Observe(res.DeltaNanos)
+		m.mutateNs.Observe(res.MutateNanos)
+		m.inserts.Add(res.Inserts)
+		m.deletes.Add(res.Deletes)
+		if res.Err != nil {
+			m.applyErrs.Inc()
+		}
+		if t := s.cfg.SlowBatchThreshold; t > 0 && elapsed > t {
+			if l := s.log; l != nil && l.Enabled(context.Background(), slog.LevelWarn) {
+				l.Warn("slow batch", "ops", len(*buf), "dur", elapsed, "threshold", t)
+			}
+		}
+	}
+	if res.Err != nil {
+		if l := s.log; l != nil && l.Enabled(context.Background(), slog.LevelWarn) {
+			l.Warn("batch maintenance error", "ops", len(*buf), "fully_failed", res.FullyFailed, "err", res.Err)
+		}
+	}
 	if res.Err != nil && s.applyErr == nil {
 		s.applyErr = res.Err
 		e := res.Err
@@ -886,6 +988,27 @@ func (s *Server) computeDrift() float64 {
 	return float64(max) / float64(rc)
 }
 
+// timedReplan wraps replan with plan-layer instrumentation: completed
+// rebuilds (root actually changed) count and time; no-op requests and
+// failures don't. Runs on the writer goroutine only.
+func (s *Server) timedReplan(target string) error {
+	before := s.replans
+	oldRoot := s.root
+	start := time.Now()
+	err := s.replan(target)
+	if s.replans > before {
+		elapsed := time.Since(start)
+		if m := s.metrics; m != nil {
+			m.replans.Inc()
+			m.replanNs.Observe(int64(elapsed))
+		}
+		if l := s.log; l != nil && l.Enabled(context.Background(), slog.LevelInfo) {
+			l.Info("replanned", "from", oldRoot, "to", s.root, "dur", elapsed, "replans", s.replans)
+		}
+	}
+	return err
+}
+
 // replan rebuilds the maintainer under a fresh plan: target pins the
 // new root, "" picks it greedily from the maintainer's live
 // cardinalities. When the planned root matches the current one, only
@@ -962,7 +1085,20 @@ func (s *Server) replan(target string) error {
 func (s *Server) forcePublish() {
 	s.drift = s.computeDrift()
 	s.epoch++
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
 	s.snap.Store(s.buildSnapshot(s.epoch, s.inserts, s.deletes))
+	if m := s.metrics; m != nil {
+		m.publishNs.Observe(int64(time.Since(start)))
+		m.epoch.Set(float64(s.epoch))
+		m.drift.Set(s.drift)
+		m.markPublish()
+	}
+	if l := s.log; l != nil && l.Enabled(context.Background(), slog.LevelDebug) {
+		l.Debug("epoch published", "epoch", s.epoch, "inserts", s.inserts, "deletes", s.deletes, "covered", s.pending, "drift", s.drift)
+	}
 	s.queued.Add(-int64(s.pending))
 	s.pending = 0
 }
@@ -980,7 +1116,7 @@ func (s *Server) publish() {
 	}
 	if s.cfg.ReplanThreshold > 0 && s.planGreedy {
 		if drift := s.computeDrift(); drift >= s.cfg.ReplanThreshold {
-			if err := s.replan(""); err != nil && s.applyErr == nil {
+			if err := s.timedReplan(""); err != nil && s.applyErr == nil {
 				s.applyErr = err
 				e := err
 				s.lastErr.Store(&e)

@@ -30,10 +30,13 @@ package shard
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"borg/internal/ivm"
+	"borg/internal/obs"
 	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/relation"
@@ -97,6 +100,59 @@ type Server struct {
 	// allocation-free); any shard publishing invalidates it by pointer
 	// inequality.
 	merged atomic.Pointer[mergedMemo]
+
+	// metrics holds the tier's pre-resolved handles (nil when
+	// Config.MetricsOff); the per-shard serve metrics live in the same
+	// shared registry under shard="i" labels.
+	metrics *shardMetrics
+	obsReg  *obs.Registry
+}
+
+// shardMetrics are the tier-level series: routing counters per shard
+// (the skew gauge's input), and merged-read accounting that separates
+// real ring folds from memo hits — merge latency is observed only when
+// a fold actually runs.
+type shardMetrics struct {
+	routed   []*obs.Counter // ops routed to shard i, resolved per shard
+	mergeNs  *obs.Histogram // ring-fold latency of a merged read
+	merges   *obs.Counter   // merged reads that folded
+	memoHits *obs.Counter   // merged reads served from the epoch memo
+}
+
+// newShardMetrics registers the tier series for n shards.
+func newShardMetrics(r *obs.Registry, n int) *shardMetrics {
+	m := &shardMetrics{
+		mergeNs: r.Histogram("borg_shard_merge_ns",
+			"Nanoseconds per merged-read ring fold (memo hits excluded).", nil),
+		merges: r.Counter("borg_shard_merges_total",
+			"Merged reads that ran a ring fold over per-shard snapshots.", nil),
+		memoHits: r.Counter("borg_shard_merge_memo_hits_total",
+			"Merged reads served from the per-epoch memo without folding.", nil),
+	}
+	for i := 0; i < n; i++ {
+		m.routed = append(m.routed, r.Counter("borg_shard_routed_total",
+			"Tuple ops routed to this shard by the partition hash.",
+			obs.Labels{"shard": strconv.Itoa(i)}))
+	}
+	return m
+}
+
+// skew reports the routing imbalance: the hottest shard's routed-op
+// share relative to a perfectly uniform split (1.0 = balanced, N =
+// everything on one of N shards). 1 when nothing has been routed.
+func (m *shardMetrics) skew(n int) float64 {
+	var total, max uint64
+	for _, c := range m.routed {
+		v := c.Value()
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(n) / float64(total)
 }
 
 // mergedMemo pairs a folded view with the exact per-shard snapshots it
@@ -138,8 +194,32 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 			s.partCat[r.Name] = r.Attrs()[col].Type == relation.Category
 		}
 	}
+	if !cfg.MetricsOff {
+		// One registry for the whole tier: per-shard serve series land
+		// in it labelled shard="i", tier-level series unlabelled.
+		if cfg.Obs == nil {
+			cfg.Obs = obs.NewRegistry()
+		}
+		s.obsReg = cfg.Obs
+		s.metrics = newShardMetrics(cfg.Obs, cfg.Shards)
+		nShards := cfg.Shards
+		cfg.Obs.GaugeFunc("borg_shard_skew",
+			"Routing imbalance: hottest shard's op share over a uniform split (1 = balanced).", nil,
+			func() float64 { return s.metrics.skew(nShards) })
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := serve.New(j, root, features, cfg.Config)
+		scfg := cfg.Config
+		if !cfg.MetricsOff && cfg.Shards > 1 {
+			labels := obs.Labels{"shard": strconv.Itoa(i)}
+			for k, v := range cfg.ObsLabels {
+				labels[k] = v
+			}
+			scfg.ObsLabels = labels
+			if scfg.Logger != nil {
+				scfg.Logger = scfg.Logger.With("shard", i)
+			}
+		}
+		sh, err := serve.New(j, root, features, scfg)
 		if err != nil {
 			for _, prev := range s.shards {
 				prev.Close()
@@ -195,6 +275,11 @@ func (s *Server) PartitionBy() string { return s.partBy }
 // belong to a shard's writer and must not be read.
 func (s *Server) Schema(name string) *relation.Relation { return s.shards[0].Schema(name) }
 
+// Metrics returns the tier's shared metric registry — tier-level
+// series plus every shard's serve series under shard="i" labels. Nil
+// when Config.MetricsOff disabled instrumentation.
+func (s *Server) Metrics() *obs.Registry { return s.obsReg }
+
 // partValueBits returns the bit pattern of t's partition-attribute
 // value — the identity tuples are routed (and the update rule judged)
 // by. Values that compare equal always map to equal bits (normBits
@@ -236,6 +321,9 @@ func (s *Server) Insert(t ivm.Tuple) error {
 	if err != nil {
 		return err
 	}
+	if m := s.metrics; m != nil {
+		m.routed[i].Inc()
+	}
 	return s.shards[i].Insert(t)
 }
 
@@ -246,6 +334,9 @@ func (s *Server) Delete(t ivm.Tuple) error {
 	i, err := s.shardOf(t)
 	if err != nil {
 		return err
+	}
+	if m := s.metrics; m != nil {
+		m.routed[i].Inc()
 	}
 	return s.shards[i].Delete(t)
 }
@@ -277,6 +368,9 @@ func (s *Server) Update(old, new ivm.Tuple) error {
 	i, err := s.shardOf(old)
 	if err != nil {
 		return err
+	}
+	if m := s.metrics; m != nil {
+		m.routed[i].Inc()
 	}
 	return s.shards[i].Update(old, new)
 }
@@ -338,6 +432,9 @@ func (s *Server) Snapshot() *MergedSnapshot {
 		// served from the memo (a racing publication at worst rebuilds
 		// an identical wrapper).
 		if m := s.single.Load(); m != nil && m.inner == sn {
+			if sm := s.metrics; sm != nil {
+				sm.memoHits.Inc()
+			}
 			return m
 		}
 		m := &MergedSnapshot{
@@ -365,8 +462,15 @@ func (s *Server) Snapshot() *MergedSnapshot {
 			}
 		}
 		if same {
+			if sm := s.metrics; sm != nil {
+				sm.memoHits.Inc()
+			}
 			return memo.view
 		}
+	}
+	var foldStart time.Time
+	if s.metrics != nil {
+		foldStart = time.Now()
 	}
 	inners := make([]*serve.Snapshot, len(s.shards))
 	for i, sh := range s.shards {
@@ -396,6 +500,10 @@ func (s *Server) Snapshot() *MergedSnapshot {
 	// stored; the view still folds exactly the snapshots in inners, and
 	// the next read rebuilds.
 	s.merged.Store(&mergedMemo{inners: inners, view: m})
+	if sm := s.metrics; sm != nil {
+		sm.merges.Inc()
+		sm.mergeNs.Observe(int64(time.Since(foldStart)))
+	}
 	return m
 }
 

@@ -1,0 +1,64 @@
+package borg
+
+import (
+	"errors"
+	"time"
+
+	"borg/internal/obs"
+)
+
+// modelKinds are the zoo's model kinds in the spelling the serving API
+// uses; the per-kind training series pre-register under these labels so
+// a scrape shows the whole zoo even before the first training.
+var modelKinds = []string{"linreg", "polyreg", "pca", "kmeans", "chowliu", "ctree", "svm"}
+
+// modelObs instruments the model zoo: per-kind training latency and
+// counts, plus typed-error counters classed by what went wrong (empty
+// snapshot, payload not maintained, other). Trainings run at read
+// frequency, far off the ingest hot path, so the handles resolve lazily
+// through the registry. A nil *modelObs disables instrumentation — the
+// snapshots of an uninstrumented server carry nil.
+type modelObs struct {
+	reg *obs.Registry
+}
+
+const (
+	trainNsHelp    = "Nanoseconds per snapshot model training, by model kind."
+	trainTotalHelp = "Completed snapshot model trainings, by model kind."
+	trainErrsHelp  = "Failed snapshot model trainings, by kind and error class (empty, payload, other)."
+)
+
+// newModelObs binds the zoo series into reg, pre-registering the
+// success series of every kind.
+func newModelObs(reg *obs.Registry) *modelObs {
+	for _, kind := range modelKinds {
+		reg.Counter("borg_model_train_total", trainTotalHelp, obs.Labels{"kind": kind})
+		reg.Histogram("borg_model_train_ns", trainNsHelp, obs.Labels{"kind": kind})
+	}
+	return &modelObs{reg: reg}
+}
+
+// obsTrain records one training outcome; defer it with the trainer's
+// named error so success timing and error classing share one site:
+//
+//	func (s *ServerSnapshot) TrainX(...) (m *X, err error) {
+//		defer s.obsTrain("x", time.Now(), &err)
+func (s *ServerSnapshot) obsTrain(kind string, start time.Time, errp *error) {
+	o := s.obs
+	if o == nil {
+		return
+	}
+	if err := *errp; err != nil {
+		class := "other"
+		switch {
+		case errors.Is(err, ErrEmptySnapshot):
+			class = "empty"
+		case errors.Is(err, ErrPayloadNotMaintained):
+			class = "payload"
+		}
+		o.reg.Counter("borg_model_train_errors_total", trainErrsHelp, obs.Labels{"kind": kind, "class": class}).Inc()
+		return
+	}
+	o.reg.Counter("borg_model_train_total", trainTotalHelp, obs.Labels{"kind": kind}).Inc()
+	o.reg.Histogram("borg_model_train_ns", trainNsHelp, obs.Labels{"kind": kind}).Observe(int64(time.Since(start)))
+}

@@ -2,11 +2,13 @@ package borg
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
 
 	"borg/internal/ivm"
+	"borg/internal/obs"
 	"borg/internal/relation"
 	"borg/internal/ring"
 	"borg/internal/serve"
@@ -80,6 +82,13 @@ type ServerOptions struct {
 	// whenever the root is still the largest relation); 2–10 are
 	// sensible production thresholds.
 	ReplanThreshold float64
+	// Logger receives structured operational logs (slog): epoch
+	// publications at Debug, replans at Info, rejected ops and slow
+	// batches at Warn. Nil disables logging.
+	Logger *slog.Logger
+	// SlowBatchThreshold, when positive, logs a Warn for any batch
+	// whose application exceeds it. 0 disables the warning.
+	SlowBatchThreshold time.Duration
 }
 
 // Ingestor is the write-side API every serving tier satisfies: Server
@@ -213,6 +222,7 @@ type Server struct {
 	features    []string
 	catFeatures []string
 	dicts       map[string]*relation.Dict
+	mobs        *modelObs
 }
 
 // Serve starts a server maintaining the selected payload's statistics
@@ -240,26 +250,32 @@ func (q *Query) Serve(features []string, opt ServerOptions) (*Server, error) {
 		}
 	}
 	inner, err := serve.New(q.join, q.Root, features, serve.Config{
-		Strategy:        strategy,
-		BatchSize:       opt.BatchSize,
-		FlushInterval:   opt.FlushInterval,
-		QueueDepth:      opt.QueueDepth,
-		Workers:         opt.Workers,
-		MorselSize:      q.MorselSize,
-		Payload:         opt.Payload,
-		Lifted:          opt.Lifted,
-		ReplanThreshold: opt.ReplanThreshold,
+		Strategy:           strategy,
+		BatchSize:          opt.BatchSize,
+		FlushInterval:      opt.FlushInterval,
+		QueueDepth:         opt.QueueDepth,
+		Workers:            opt.Workers,
+		MorselSize:         q.MorselSize,
+		Payload:            opt.Payload,
+		Lifted:             opt.Lifted,
+		ReplanThreshold:    opt.ReplanThreshold,
+		Logger:             opt.Logger,
+		SlowBatchThreshold: opt.SlowBatchThreshold,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		ingestAPI:   ingestAPI{sink: inner},
 		inner:       inner,
 		features:    inner.Features(),
 		catFeatures: inner.CatFeatures(),
 		dicts:       q.dicts(inner.CatFeatures()),
-	}, nil
+	}
+	if reg := inner.Metrics(); reg != nil {
+		s.mobs = newModelObs(reg)
+	}
+	return s, nil
 }
 
 // dicts resolves the shared dictionaries of the named categorical
@@ -287,6 +303,12 @@ func (s *Server) CatFeatures() []string { return s.catFeatures }
 
 // Payload reports which ring statistics the server maintains.
 func (s *Server) Payload() Payload { return s.inner.Payload() }
+
+// Metrics returns the registry holding the server's metric series —
+// ingest, batching, publication, plan, and model-training telemetry
+// (see internal/obs). Serve it with Registry.WriteExposition or embed
+// Registry.Snapshot in a stats payload.
+func (s *Server) Metrics() *obs.Registry { return s.inner.Metrics() }
 
 // ServerStats is a point-in-time health view of a server.
 type ServerStats struct {
@@ -385,7 +407,7 @@ func (s *Server) TrainLinReg(response string, lambda float64) (*LinearRegression
 // maintained statistics on which any number of reads and trainings can
 // run while inserts continue.
 func (s *Server) CovarSnapshot() *ServerSnapshot {
-	return &ServerSnapshot{snap: s.inner.Snapshot(), features: s.features, catFeatures: s.catFeatures, dicts: s.dicts}
+	return &ServerSnapshot{snap: s.inner.Snapshot(), features: s.features, catFeatures: s.catFeatures, dicts: s.dicts, obs: s.mobs}
 }
 
 // ServerSnapshot is one published epoch of a Server: every read on it
@@ -395,6 +417,8 @@ type ServerSnapshot struct {
 	features    []string
 	catFeatures []string
 	dicts       map[string]*relation.Dict
+	// obs instruments trainings run on this snapshot (nil = off).
+	obs *modelObs
 }
 
 // Epoch returns the snapshot's publication sequence number.

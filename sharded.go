@@ -1,6 +1,7 @@
 package borg
 
 import (
+	"borg/internal/obs"
 	"borg/internal/relation"
 	"borg/internal/serve"
 	"borg/internal/shard"
@@ -34,6 +35,7 @@ type ShardedServer struct {
 	features    []string
 	catFeatures []string
 	dicts       map[string]*relation.Dict
+	mobs        *modelObs
 }
 
 // ServeSharded starts a sharded server maintaining the selected
@@ -58,15 +60,17 @@ func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServe
 	}
 	inner, err := shard.New(q.join, q.Root, features, shard.Config{
 		Config: serve.Config{
-			Strategy:        strategy,
-			BatchSize:       opt.BatchSize,
-			FlushInterval:   opt.FlushInterval,
-			QueueDepth:      opt.QueueDepth,
-			Workers:         opt.Workers,
-			MorselSize:      q.MorselSize,
-			Payload:         opt.Payload,
-			Lifted:          opt.Lifted,
-			ReplanThreshold: opt.ReplanThreshold,
+			Strategy:           strategy,
+			BatchSize:          opt.BatchSize,
+			FlushInterval:      opt.FlushInterval,
+			QueueDepth:         opt.QueueDepth,
+			Workers:            opt.Workers,
+			MorselSize:         q.MorselSize,
+			Payload:            opt.Payload,
+			Lifted:             opt.Lifted,
+			ReplanThreshold:    opt.ReplanThreshold,
+			Logger:             opt.Logger,
+			SlowBatchThreshold: opt.SlowBatchThreshold,
 		},
 		Shards:      opt.Shards,
 		PartitionBy: opt.PartitionBy,
@@ -74,13 +78,17 @@ func (q *Query) ServeSharded(features []string, opt ShardOptions) (*ShardedServe
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedServer{
+	s := &ShardedServer{
 		ingestAPI:   ingestAPI{sink: inner},
 		inner:       inner,
 		features:    inner.Features(),
 		catFeatures: inner.CatFeatures(),
 		dicts:       q.dicts(inner.CatFeatures()),
-	}, nil
+	}
+	if reg := inner.Metrics(); reg != nil {
+		s.mobs = newModelObs(reg)
+	}
+	return s, nil
 }
 
 // NumShards returns the shard count.
@@ -97,6 +105,11 @@ func (s *ShardedServer) CatFeatures() []string { return s.catFeatures }
 
 // Payload reports which ring statistics the shards maintain.
 func (s *ShardedServer) Payload() Payload { return s.inner.Payload() }
+
+// Metrics returns the tier's shared metric registry: tier-level merge
+// and skew series plus every shard's serve/plan series under shard="i"
+// labels, and the zoo's model-training telemetry.
+func (s *ShardedServer) Metrics() *obs.Registry { return s.inner.Metrics() }
 
 // ShardedServerStats is a point-in-time health view of a sharded
 // server: the aggregate totals plus one row per shard.
@@ -203,5 +216,6 @@ func (s *ShardedServer) CovarSnapshot() *ServerSnapshot {
 		features:    s.features,
 		catFeatures: s.catFeatures,
 		dicts:       s.dicts,
+		obs:         s.mobs,
 	}
 }

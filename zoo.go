@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"borg/internal/ml"
 	"borg/internal/relation"
@@ -205,7 +206,8 @@ func lookupCode(dicts map[string]*relation.Dict, attr, value string) (int32, boo
 // design additionally one-hot encodes the categorical features from the
 // cofactor group maps. Non-convergence within GDOptions.MaxIters is
 // reported through Converged(), not silently swallowed.
-func (s *ServerSnapshot) TrainLinRegGD(response string, lambda float64, opt GDOptions) (*LinearRegression, error) {
+func (s *ServerSnapshot) TrainLinRegGD(response string, lambda float64, opt GDOptions) (_ *LinearRegression, err error) {
+	defer s.obsTrain("linreg", time.Now(), &err)
 	if _, err := s.featureIndex(response); err != nil {
 		return nil, err
 	}
@@ -243,7 +245,8 @@ type PCAResult struct {
 // covariance triple alone is the sufficient statistic, so training costs
 // O(k·n²) independent of the data size. k ≤ 0 or k > features selects
 // all components.
-func (s *ServerSnapshot) TrainPCA(k int) (*PCAResult, error) {
+func (s *ServerSnapshot) TrainPCA(k int) (_ *PCAResult, err error) {
+	defer s.obsTrain("pca", time.Now(), &err)
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
@@ -314,7 +317,8 @@ type PolyRegression struct {
 // ring (ServerOptions{Payload: PayloadPoly2}) or the cofactor ring
 // (PayloadCofactor, which trains the varying-coefficients categorical
 // form); otherwise ErrPayloadNotMaintained.
-func (s *ServerSnapshot) TrainPolyReg(response string, lambda float64) (*PolyRegression, error) {
+func (s *ServerSnapshot) TrainPolyReg(response string, lambda float64) (_ *PolyRegression, err error) {
+	defer s.obsTrain("polyreg", time.Now(), &err)
 	if _, err := s.featureIndex(response); err != nil {
 		return nil, err
 	}
@@ -445,7 +449,8 @@ func (m *PolyRegression) PredictCat(values map[string]float64, cats map[string]s
 // maintained categorical features from this epoch's cofactor group
 // counts and returns the maximum-spanning dependency tree — the live
 // form of Query.ChowLiu, no data access. Requires PayloadCofactor.
-func (s *ServerSnapshot) TrainChowLiu() ([]DependencyEdge, error) {
+func (s *ServerSnapshot) TrainChowLiu() (_ []DependencyEdge, err error) {
+	defer s.obsTrain("chowliu", time.Now(), &err)
 	if s.snap.Cofactor == nil {
 		return nil, ErrPayloadNotMaintained
 	}
@@ -465,7 +470,8 @@ func (s *ServerSnapshot) TrainChowLiu() ([]DependencyEdge, error) {
 // epoch's cofactor group aggregates (TreeOptions.ThresholdsPer is
 // unused: thresholded continuous splits need per-threshold statistics
 // the cofactor ring does not carry). Requires PayloadCofactor.
-func (s *ServerSnapshot) TrainCTree(response string, opt TreeOptions) (*DecisionTree, error) {
+func (s *ServerSnapshot) TrainCTree(response string, opt TreeOptions) (_ *DecisionTree, err error) {
+	defer s.obsTrain("ctree", time.Now(), &err)
 	if _, err := s.featureIndex(response); err != nil {
 		return nil, err
 	}
@@ -496,7 +502,8 @@ type SVMClassifier struct {
 // maintained continuous feature carrying ±1; the remaining continuous
 // features plus the one-hot categorical expansion form the design.
 // Requires PayloadCofactor.
-func (s *ServerSnapshot) TrainSVM(label string, lambda float64) (*SVMClassifier, error) {
+func (s *ServerSnapshot) TrainSVM(label string, lambda float64) (_ *SVMClassifier, err error) {
+	defer s.obsTrain("svm", time.Now(), &err)
 	if _, err := s.featureIndex(label); err != nil {
 		return nil, err
 	}
@@ -578,7 +585,8 @@ type KMeansSeeding struct {
 // statistics alone — no data access. Seeds initialize a downstream
 // Lloyd's run (e.g. Query.KMeans over a coreset, or an external
 // clusterer over fresh data).
-func (s *ServerSnapshot) KMeansSeeds(k int) (*KMeansSeeding, error) {
+func (s *ServerSnapshot) KMeansSeeds(k int) (_ *KMeansSeeding, err error) {
+	defer s.obsTrain("kmeans", time.Now(), &err)
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
