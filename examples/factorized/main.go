@@ -8,6 +8,7 @@ import (
 	"log"
 
 	"borg/internal/factor"
+	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/ring"
 	"borg/internal/testdb"
@@ -15,11 +16,11 @@ import (
 
 func main() {
 	_, j := testdb.Figure7()
-	jt, err := j.BuildJoinTree("Orders")
+	p, err := plan.New(j, plan.Options{PinnedRoot: "Orders", Static: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	vo := query.BuildVarOrder(jt)
+	vo := p.VarOrder
 	fmt.Println("variable order (Figure 8 left; {..} = ancestors the subtree depends on):")
 	fmt.Print(vo)
 

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic
+// in one place and by plain load/store in another — the classic torn
+// epoch-pointer/queued-counter bug: one racy plain read silently
+// forfeits the ordering the atomic sites paid for, and -race only
+// catches it when a test happens to interleave the two. Fields of the
+// typed atomics (atomic.Int64, atomic.Pointer[T], ...) cannot mix and
+// are the preferred fix; the other is routing every access through the
+// atomic API. Intentional mixes (a constructor writing before
+// publication) carry //borg:vet-ok atomicmix.
+//
+// Accounting is per package: the repo's hot-state fields are all
+// unexported, so cross-package mixing cannot compile anyway.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields accessed both via sync/atomic and by plain " +
+		"load/store — use the typed atomics or go fully atomic",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: fields whose address reaches a sync/atomic call, with one
+	// representative position each, and the selector nodes consumed by
+	// those calls (excluded from the plain-access pass).
+	atomicFields := make(map[*types.Var]token.Pos)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(info, sel); v != nil {
+					inAtomicCall[sel] = true
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = sel.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses of those same fields.
+	type finding struct {
+		pos   token.Pos
+		field *types.Var
+	}
+	var findings []finding
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			v := fieldVar(info, sel)
+			if v == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[v]; isAtomic {
+				findings = append(findings, finding{sel.Pos(), v})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	fset := pass.Pkg.Fset
+	for _, f := range findings {
+		pass.Reportf(f.pos,
+			"plain access of field %s, which is accessed atomically at %s: "+
+				"use the sync/atomic API here too, or migrate the field to a typed atomic",
+			fieldDisplayName(f.field), relPosition(fset.Position(atomicFields[f.field])))
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call targets a sync/atomic
+// package-level function (the address-taking API; typed-atomic methods
+// never take a field address and are inherently safe).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	_, isFunc := obj.(*types.Func)
+	if !isFunc {
+		return false
+	}
+	// Package-level functions only: method selections resolve through
+	// Selections, package functions do not.
+	_, isMethod := info.Selections[sel]
+	return !isMethod
+}
+
+// fieldVar resolves sel to a struct field variable, or nil.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// fieldDisplayName renders a field as Type.field when the owner is
+// recoverable, else just the field name.
+func fieldDisplayName(v *types.Var) string {
+	return v.Name()
+}
+
+// relPosition shortens an absolute diagnostic position to something
+// readable inside a message.
+func relPosition(pos token.Position) string {
+	name := pos.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(pos.Line)
+}

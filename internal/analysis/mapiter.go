@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// MapIter guards the bitwise-determinism contract: ApplyBatch and
+// snapshot publication promise the same bits at any worker count, so
+// code on those paths must never let Go's randomized map iteration
+// order reach a float accumulation or an output ordering.
+//
+// In the deterministic packages (internal/ivm, internal/ring,
+// internal/plan, internal/exec) every `range` over a map is flagged
+// unless it is the key-collect half of the sort-then-iterate idiom
+// (body is exactly `keys = append(keys, k)`, see ivm.sortedKeys) or the
+// site carries a //borg:nondeterministic-ok annotation stating why the
+// loop is order-insensitive. In internal/serve and internal/shard only
+// the snapshot/merge/publish/fold paths (matched by function name) are
+// held to the rule — the queueing machinery may iterate maps freely.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags range-over-map in deterministic code unless keys are collected " +
+		"for sorting or the site is annotated //borg:nondeterministic-ok",
+	Run: runMapIter,
+}
+
+// mapIterScope maps a deterministic package to the function-name filter
+// that bounds the rule inside it; a nil regexp means the whole package
+// is deterministic.
+var mapIterScope = map[string]*regexp.Regexp{
+	"borg/internal/ivm":   nil,
+	"borg/internal/ring":  nil,
+	"borg/internal/plan":  nil,
+	"borg/internal/exec":  nil,
+	"borg/internal/serve": regexp.MustCompile(`(?i)snapshot|merge|publish|fold`),
+	"borg/internal/shard": regexp.MustCompile(`(?i)snapshot|merge|publish|fold`),
+}
+
+func runMapIter(pass *Pass) error {
+	filter, ok := mapIterScope[pass.Pkg.PkgPath]
+	if !ok {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if filter != nil && !filter.MatchString(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Pkg.Info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isKeyCollectLoop(rng) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"range over map in deterministic code (%s): iterate sorted keys "+
+						"(collect + sort, see ivm.sortedKeys) or annotate the site "+
+						"//borg:nondeterministic-ok with why it is order-insensitive",
+					funcDisplayName(fn))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isKeyCollectLoop recognizes the safe half of the sort-then-iterate
+// idiom: a loop whose entire body appends the range key to a slice,
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The iteration order leaks only into the pre-sort slice order, which
+// the mandatory sort then erases.
+func isKeyCollectLoop(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || src.Name != dst.Name {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// funcDisplayName renders a FuncDecl name with its receiver type for
+// diagnostics, e.g. "(*Cofactor).Mul" or "Drift".
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fn.Name.Name
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

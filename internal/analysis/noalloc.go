@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NoallocGate is the build-mode half of the suite: it turns the repo's
+// AllocsPerRun pins (alloc-free epoch publication, 2-atomic-add
+// Histogram.Observe, 0-alloc memoized merged reads) into a static gate.
+// A function whose doc comment carries the directive
+//
+//	//borg:noalloc
+//
+// promises that the compiler's escape analysis finds no heap escape
+// inside it. The gate runs `go build -gcflags=<module>/...=-m` over the
+// packages that carry annotations, parses the escape diagnostics
+// ("escapes to heap" / "moved to heap"), and fails if any falls inside
+// an annotated function's line span — so a refactor that silently turns
+// a stack value into a heap allocation breaks the build, not just a
+// benchmark three layers away.
+//
+// Limits, by construction: escapes are attributed at their source
+// position, so an alloc introduced in a helper that the annotated
+// function calls is charged to the helper — annotate leaf helpers on
+// the pinned path too. The go build cache replays compiler diagnostics,
+// so repeated runs are cheap.
+const NoallocDirective = "borg:noalloc"
+
+// NoallocFunc is one annotated function: where it lives and the line
+// span escape diagnostics are matched against.
+type NoallocFunc struct {
+	PkgPath   string
+	Name      string
+	File      string // absolute path
+	StartLine int
+	EndLine   int
+	Pos       token.Pos
+}
+
+// NoallocTargets scans the loaded packages for //borg:noalloc
+// annotated functions.
+func NoallocTargets(pkgs []*Package) []NoallocFunc {
+	var out []NoallocFunc
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil || fn.Body == nil {
+					continue
+				}
+				if !hasNoallocDirective(fn.Doc) {
+					continue
+				}
+				start := pkg.Fset.Position(fn.Pos())
+				end := pkg.Fset.Position(fn.End())
+				out = append(out, NoallocFunc{
+					PkgPath:   pkg.PkgPath,
+					Name:      funcDisplayName(fn),
+					File:      start.Filename,
+					StartLine: start.Line,
+					EndLine:   end.Line,
+					Pos:       fn.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func hasNoallocDirective(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//"+NoallocDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// escapeDiag matches one escape-analysis diagnostic line of
+// `go build -gcflags=-m` output.
+var escapeDiagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// isEscapeMessage keeps only the diagnostics that mean a heap
+// allocation: "x escapes to heap" and "moved to heap: x". Inlining
+// notes and "does not escape" lines pass through silently.
+func isEscapeMessage(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+// escapeDiag is one parsed heap-escape site.
+type escapeDiag struct {
+	File    string // as printed (relative to the build dir)
+	Line    int
+	Message string
+}
+
+// parseEscapeDiags extracts heap-escape sites from compiler -m output.
+func parseEscapeDiags(out []byte) []escapeDiag {
+	var diags []escapeDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := escapeDiagRE.FindStringSubmatch(line)
+		if m == nil || !isEscapeMessage(m[4]) {
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		diags = append(diags, escapeDiag{File: m[1], Line: n, Message: m[4]})
+	}
+	return diags
+}
+
+// matchEscapes intersects escape diagnostics with annotated function
+// spans. buildDir anchors the compiler's relative file paths.
+func matchEscapes(buildDir string, targets []NoallocFunc, diags []escapeDiag) []Diagnostic {
+	type span struct {
+		fn NoallocFunc
+	}
+	byFile := make(map[string][]span)
+	for _, t := range targets {
+		byFile[t.File] = append(byFile[t.File], span{t})
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		file := d.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(buildDir, file)
+		}
+		for _, s := range byFile[file] {
+			if d.Line < s.fn.StartLine || d.Line > s.fn.EndLine {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      token.Position{Filename: file, Line: d.Line},
+				Analyzer: "noalloc",
+				Message: fmt.Sprintf("//borg:noalloc function %s gained a heap escape: %s",
+					s.fn.Name, d.Message),
+			})
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// RunNoalloc runs the gate over the loaded packages: it finds the
+// annotated functions, rebuilds their packages with escape diagnostics
+// on, and reports every annotated span the compiler says allocates.
+// A tree with no annotations passes trivially.
+func RunNoalloc(l *Loader, pkgs []*Package) ([]Diagnostic, error) {
+	targets := NoallocTargets(pkgs)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	seen := make(map[string]bool)
+	var buildPkgs []string
+	for _, t := range targets {
+		if !seen[t.PkgPath] {
+			seen[t.PkgPath] = true
+			buildPkgs = append(buildPkgs, t.PkgPath)
+		}
+	}
+	sort.Strings(buildPkgs)
+	out, err := buildWithEscapeDiags(l.ModDir, l.ModPath, buildPkgs)
+	if err != nil {
+		return nil, err
+	}
+	return matchEscapes(l.ModDir, targets, parseEscapeDiags(out)), nil
+}
+
+// buildWithEscapeDiags compiles the packages with -gcflags=-m scoped to
+// the module (dependencies outside it build normally, so the standard
+// library stays cached and silent) and returns the combined
+// diagnostics. The build cache replays diagnostics on unchanged
+// packages, so this is fast on a warm cache.
+//
+// -o handling is asymmetric by necessity: with several packages go
+// build discards the results (and -o <dir> would demand a main
+// package), while a single package needs -o <file> so a main package's
+// binary never lands in the working tree.
+func buildWithEscapeDiags(modDir, modPath string, buildPkgs []string) ([]byte, error) {
+	tmp, err := os.MkdirTemp("", "borg-vet-noalloc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	pattern := "-gcflags=" + modPath + "/...=-m"
+	if modPath == "" {
+		pattern = "-gcflags=-m"
+	}
+	args := []string{"build"}
+	if len(buildPkgs) == 1 {
+		args = append(args, "-o", filepath.Join(tmp, "out"))
+	}
+	args = append(append(args, pattern), buildPkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modDir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf // -m diagnostics arrive on stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, buf.String())
+	}
+	return buf.Bytes(), nil
+}

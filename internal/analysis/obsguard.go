@@ -1,0 +1,376 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsGuard keeps Config.MetricsOff a true control arm: when metrics are
+// off, the stored handle bundles (serve.serveMetrics, shard.shardMetrics,
+// the zoo's modelObs) are nil, so every hot-path dereference of a
+// handle reached through a struct field must sit behind the repo's
+// guard idiom
+//
+//	if m := s.metrics; m != nil { m.inserts.Add(n) }
+//
+// (or an equivalent `if s.metrics != nil { ... }` branch, or an
+// `if m == nil { return }` early exit). The analyzer flags any
+// dereference whose guard target — the stored bundle/handle field, or a
+// local copied from one — is not established non-nil by an enclosing
+// branch. Locals bound from constructors, parameters, and receivers are
+// trusted: the contract is about *stored* handles, which are the ones
+// MetricsOff leaves nil.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc: "requires stored obs handle dereferences to sit behind the " +
+		"`if m := s.metrics; m != nil` guard so MetricsOff stays a real control arm",
+	Run: runObsGuard,
+}
+
+// obsPkgPath is the package whose types count as metric handles.
+const obsPkgPath = "borg/internal/obs"
+
+// obsGuardScope lists the packages whose hot paths carry stored
+// handles.
+var obsGuardScope = map[string]bool{
+	"borg":                true, // the zoo / facade
+	"borg/internal/serve": true,
+	"borg/internal/shard": true,
+	"borg/internal/ivm":   true,
+}
+
+func runObsGuard(pass *Pass) error {
+	if !obsGuardScope[pass.Pkg.PkgPath] {
+		return nil
+	}
+	og := &obsGuard{pass: pass, bundles: make(map[*types.Named]bool)}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if og.isBundleMethod(fn) {
+				// Methods of a bundle type dereference their own
+				// receiver freely; the caller holds the guard.
+				continue
+			}
+			og.checkFunc(fn)
+		}
+	}
+	return nil
+}
+
+type obsGuard struct {
+	pass    *Pass
+	bundles map[*types.Named]bool
+}
+
+// isObsNamed reports whether t (after unwrapping one pointer) is a
+// named type defined in the obs package.
+func (og *obsGuard) isObsNamed(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == obsPkgPath
+}
+
+// isHandlePtr reports whether t is a pointer to an obs-defined type —
+// the raw metric handle shape (*obs.Counter, *obs.Registry, ...).
+func (og *obsGuard) isHandlePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && og.isObsNamed(p.Elem())
+}
+
+// isBundlePtr reports whether t is a pointer to a handle bundle: a
+// struct predominantly made of obs handles (directly, or in
+// slices/arrays/maps of them) — the pre-resolved bundles MetricsOff
+// leaves nil, like serve.serveMetrics or the zoo's modelObs. The
+// majority rule keeps server structs that merely store a registry
+// alongside their real state (shard.Sharded, serve.Config) out of the
+// bundle set: dereferencing those is not a metrics-path dereference.
+func (og *obsGuard) isBundlePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || og.isObsNamed(n) {
+		return false
+	}
+	if cached, ok := og.bundles[n]; ok {
+		return cached
+	}
+	og.bundles[n] = false // cycle guard
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	handleFields := 0
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		switch u := ft.Underlying().(type) {
+		case *types.Slice:
+			ft = u.Elem()
+		case *types.Array:
+			ft = u.Elem()
+		case *types.Map:
+			ft = u.Elem()
+		}
+		if og.isHandlePtr(ft) || og.isObsNamed(ft) {
+			handleFields++
+		}
+	}
+	bundle := handleFields*2 > st.NumFields()
+	og.bundles[n] = bundle
+	return bundle
+}
+
+// guardable reports whether t is a type whose nil-ness the contract
+// tracks: a handle pointer or a bundle pointer.
+func (og *obsGuard) guardable(t types.Type) bool {
+	return t != nil && (og.isHandlePtr(t) || og.isBundlePtr(t))
+}
+
+func (og *obsGuard) isBundleMethod(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := og.pass.Pkg.Info.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return og.isBundlePtr(p)
+	}
+	return og.isBundlePtr(types.NewPointer(t))
+}
+
+// rootOf peels a handle expression down to its guard target: the
+// outermost stored-field selector (s.metrics) or local identifier (m)
+// through which the handle was reached. A nil root means the handle
+// came from a call or literal and is trusted non-nil.
+func (og *obsGuard) rootOf(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if t := og.pass.Pkg.Info.TypeOf(e.X); t != nil && (og.guardable(t) || og.containerOfHandles(t)) {
+			return og.rootOf(e.X)
+		}
+		return e
+	case *ast.Ident:
+		return e
+	case *ast.ParenExpr:
+		return og.rootOf(e.X)
+	case *ast.IndexExpr:
+		return og.rootOf(e.X)
+	default:
+		return nil
+	}
+}
+
+// containerOfHandles lets rootOf peel through slice/array/map fields of
+// handles (sm.routed[i] roots at sm).
+func (og *obsGuard) containerOfHandles(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return og.isHandlePtr(u.Elem())
+	case *types.Array:
+		return og.isHandlePtr(u.Elem())
+	case *types.Map:
+		return og.isHandlePtr(u.Elem())
+	}
+	return false
+}
+
+// checkFunc analyzes one function: a taint pass marks locals bound from
+// stored handles, then a guarded walk flags every dereference whose
+// root is a stored field or tainted local with no dominating nil check.
+func (og *obsGuard) checkFunc(fn *ast.FuncDecl) {
+	info := og.pass.Pkg.Info
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			t := info.TypeOf(assign.Rhs[i])
+			if t == nil || !og.guardable(t) {
+				continue
+			}
+			if og.storedRoot(assign.Rhs[i], tainted) != nil {
+				if obj := info.ObjectOf(id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	reported := make(map[ast.Node]bool)
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(sel.X)
+		if t == nil || !og.guardable(t) {
+			return true
+		}
+		root := og.storedRoot(sel.X, tainted)
+		if root == nil || reported[root] {
+			return true
+		}
+		if og.guarded(root, stack, tainted) {
+			return true
+		}
+		reported[root] = true
+		og.pass.Reportf(sel.Pos(),
+			"unguarded dereference of stored obs handle %s in %s: wrap in "+
+				"`if m := %s; m != nil { ... }` (or guard with an early return) "+
+				"so MetricsOff stays a real control arm",
+			types.ExprString(root), funcDisplayName(fn), types.ExprString(root))
+		return true
+	})
+}
+
+// storedRoot returns the guard target of e when e is reached through a
+// stored handle: a field selector, or a local the taint pass marked.
+// Untainted locals (constructor results, parameters, receivers) and
+// call results return nil — trusted.
+func (og *obsGuard) storedRoot(e ast.Expr, tainted map[types.Object]bool) ast.Expr {
+	root := og.rootOf(e)
+	switch r := root.(type) {
+	case *ast.SelectorExpr:
+		return r // a stored field: always a guard target
+	case *ast.Ident:
+		if obj := og.pass.Pkg.Info.ObjectOf(r); obj != nil && tainted[obj] {
+			return r
+		}
+	}
+	return nil
+}
+
+// guarded reports whether the use at the top of stack is dominated by a
+// nil check of root: an enclosing `if root != nil` then-branch
+// (possibly binding root in its init), or an earlier
+// `if root == nil { return }` statement in an enclosing block.
+func (og *obsGuard) guarded(root ast.Expr, stack []ast.Node, tainted map[types.Object]bool) bool {
+	for i := len(stack) - 1; i >= 1; i-- {
+		switch anc := stack[i-1].(type) {
+		case *ast.IfStmt:
+			if stack[i] == ast.Node(anc.Body) && og.condProvesNonNil(anc.Cond, root) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Find which statement of the block contains the site.
+			idx := -1
+			for si, s := range anc.List {
+				if s == stack[i] {
+					idx = si
+					break
+				}
+			}
+			for si := 0; si < idx; si++ {
+				if og.isNilEarlyExit(anc.List[si], root) || og.isNilEnsure(anc.List[si], root) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condProvesNonNil reports whether cond (possibly an && chain) contains
+// the conjunct `root != nil`.
+func (og *obsGuard) condProvesNonNil(cond ast.Expr, root ast.Expr) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return og.condProvesNonNil(c.X, root)
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "&&":
+			return og.condProvesNonNil(c.X, root) || og.condProvesNonNil(c.Y, root)
+		case "!=":
+			return (og.exprMatches(c.X, root) && isNilIdent(c.Y)) ||
+				(og.exprMatches(c.Y, root) && isNilIdent(c.X))
+		}
+	}
+	return false
+}
+
+// isNilEarlyExit matches `if root == nil { return/panic/continue/break }`.
+func (og *obsGuard) isNilEarlyExit(stmt ast.Stmt, root ast.Expr) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" {
+		return false
+	}
+	if !(og.exprMatches(cond.X, root) && isNilIdent(cond.Y)) &&
+		!(og.exprMatches(cond.Y, root) && isNilIdent(cond.X)) {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNilEnsure matches the ensure idiom `if root == nil { root = <expr> }`:
+// after it, root is non-nil on every path.
+func (og *obsGuard) isNilEnsure(stmt ast.Stmt, root ast.Expr) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || len(ifs.Body.List) != 1 {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" {
+		return false
+	}
+	if !(og.exprMatches(cond.X, root) && isNilIdent(cond.Y)) &&
+		!(og.exprMatches(cond.Y, root) && isNilIdent(cond.X)) {
+		return false
+	}
+	assign, ok := ifs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 {
+		return false
+	}
+	return og.exprMatches(assign.Lhs[0], root) && !isNilIdent(assign.Rhs[0])
+}
+
+// exprMatches compares a condition operand against the guard target:
+// identifiers match by resolved object, selectors by syntactic shape.
+func (og *obsGuard) exprMatches(e, root ast.Expr) bool {
+	info := og.pass.Pkg.Info
+	if rid, ok := root.(*ast.Ident); ok {
+		eid, ok := e.(*ast.Ident)
+		return ok && info.ObjectOf(eid) != nil && info.ObjectOf(eid) == info.ObjectOf(rid)
+	}
+	return types.ExprString(e) == types.ExprString(root)
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PlanRoute locks in the PR-8 routing invariant: every join tree and
+// variable order in the tree comes out of internal/plan, so greedy
+// ordering, replanning, and the drift metric see every plan. Direct
+// calls to query.(*Join).BuildJoinTree or query.BuildVarOrder are
+// forbidden everywhere except internal/plan itself (which wraps them)
+// and internal/query (which defines them); tests are exempt because the
+// suite analyzes non-test files only — equivalence tests deliberately
+// build legacy trees to compare against.
+//
+// The fix at a flagged site is plan.New: Options{PinnedRoot: root,
+// Static: true} reproduces the legacy BuildJoinTree output bit for bit.
+var PlanRoute = &Analyzer{
+	Name: "planroute",
+	Doc: "forbids direct query.BuildJoinTree/BuildVarOrder calls outside " +
+		"internal/plan — route join-tree construction through plan.New",
+	Run: runPlanRoute,
+}
+
+// queryPkgPath defines the guarded functions; planExemptPkgs may call
+// them directly.
+const queryPkgPath = "borg/internal/query"
+
+var planExemptPkgs = map[string]bool{
+	"borg/internal/plan": true,
+	queryPkgPath:         true,
+}
+
+// planGuardedFuncs are the query-package entry points that must only be
+// reached through internal/plan.
+var planGuardedFuncs = map[string]bool{
+	"BuildJoinTree": true,
+	"BuildVarOrder": true,
+}
+
+func runPlanRoute(pass *Pass) error {
+	if planExemptPkgs[pass.Pkg.PkgPath] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(info, sel)
+			if obj == nil || !planGuardedFuncs[obj.Name()] {
+				return true
+			}
+			if obj.Pkg() == nil || obj.Pkg().Path() != queryPkgPath {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct query.%s call outside internal/plan: route through plan.New "+
+					"(plan.Options{PinnedRoot: root, Static: true} reproduces the legacy tree bit for bit)",
+				obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeObject resolves the function or method object a selector call
+// targets.
+func calleeObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s, ok := info.Selections[sel]; ok {
+		return s.Obj()
+	}
+	return info.ObjectOf(sel.Sel)
+}

@@ -1,0 +1,31 @@
+// Package fix is the noalloc gate's end-to-end fixture: its own tiny
+// module, built for real with -gcflags=-m by the test. One annotated
+// function allocates (the gate must fail it), one does not, and one
+// allocating function carries no annotation (the gate must ignore it).
+package fix
+
+// Sink keeps escapes observable by the compiler.
+var Sink *int
+
+// Leaky promises zero allocations and breaks the promise.
+//
+//borg:noalloc
+func Leaky(v int) *int {
+	x := new(int)
+	*x = v
+	return x
+}
+
+// Clean keeps the promise.
+//
+//borg:noalloc
+func Clean(a, b int) int {
+	return a + b
+}
+
+// Unpinned allocates but made no promise.
+func Unpinned(v int) *int {
+	x := new(int)
+	*x = v
+	return x
+}

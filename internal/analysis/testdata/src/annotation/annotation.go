@@ -1,0 +1,14 @@
+// Package annotation holds a typo'd suppression: //borg:vet-ok with no
+// analyzer name suppresses nothing (the loop below is still flagged)
+// and is itself reported as malformed. Loaded as borg/internal/ivm so
+// mapiter applies.
+package annotation
+
+func count(m map[string]int) int {
+	n := 0
+	//borg:vet-ok
+	for range m { // want "range over map in deterministic code \\(count\\)"
+		n++
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the atomic/plain mixing check (analyzer is
+// unscoped; any package path will do).
+package fixture
+
+import "sync/atomic"
+
+// state mixes one field, keeps one fully atomic, one typed, one plain.
+type state struct {
+	mixed int64
+	clean int64
+	typed atomic.Int64
+	plain int
+}
+
+func (s *state) bump() {
+	atomic.AddInt64(&s.mixed, 1)
+	atomic.AddInt64(&s.clean, 1)
+}
+
+// read races bump: a plain load of an atomically-written field.
+func (s *state) read() int64 {
+	return s.mixed // want "plain access of field mixed"
+}
+
+// readClean stays on the atomic API: fine.
+func (s *state) readClean() int64 {
+	return atomic.LoadInt64(&s.clean)
+}
+
+// typedOK: typed atomics cannot mix — method calls, no address taking.
+func (s *state) typedOK() int64 {
+	s.typed.Add(1)
+	return s.typed.Load()
+}
+
+// plainOK: a field never touched atomically is free.
+func (s *state) plainOK() int {
+	s.plain++
+	return s.plain
+}
+
+// reset is an intentional pre-publication plain write, annotated.
+func (s *state) reset() {
+	//borg:vet-ok atomicmix — runs before the struct is shared
+	s.mixed = 0
+}

@@ -1,0 +1,82 @@
+// Package det exercises mapiter under a whole-package deterministic
+// scope (loaded as borg/internal/ivm).
+package det
+
+import "sort"
+
+// sumValues accumulates floats in map order — the bug class the
+// analyzer exists for.
+func sumValues(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "range over map in deterministic code \\(sumValues\\)"
+		s += v
+	}
+	return s
+}
+
+// sortedSum collects keys (the safe half of the idiom), sorts, folds.
+func sortedSum(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := 0.0
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// keyValueCollect takes the value too, so iteration order leaks past
+// the sort: not the idiom.
+func keyValueCollect(m map[string]float64) []string {
+	var keys []string
+	for k, v := range m { // want "range over map in deterministic code \\(keyValueCollect\\)"
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// standalone suppression: the comment covers the loop on the next line.
+func standaloneSuppressed(m map[string]bool) int {
+	n := 0
+	//borg:nondeterministic-ok — pure count, order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+// inline suppression via the generic spelling.
+func inlineSuppressed(m map[string]bool) int {
+	n := 0
+	for range m { //borg:vet-ok mapiter — pure count, order-insensitive
+		n++
+	}
+	return n
+}
+
+// closures inside deterministic functions are held to the rule too.
+func viaClosure(m map[string]float64) float64 {
+	f := func() float64 {
+		s := 0.0
+		for _, v := range m { // want "range over map in deterministic code \\(viaClosure\\)"
+			s += v
+		}
+		return s
+	}
+	return f()
+}
+
+// slices are ordered; ranging them is always fine.
+func sliceSum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

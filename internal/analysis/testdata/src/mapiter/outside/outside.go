@@ -1,0 +1,12 @@
+// Package outside is loaded as borg/internal/datagen — not a
+// deterministic package, so the same loops the det fixture flags are
+// silent here.
+package outside
+
+func sumValues(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

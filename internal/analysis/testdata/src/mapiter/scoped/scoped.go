@@ -1,0 +1,29 @@
+// Package scoped exercises mapiter's function-name scope in serve and
+// shard (loaded as borg/internal/serve): only snapshot / merge /
+// publish / fold paths are deterministic there.
+package scoped
+
+// mergeCounts is on the fold path by name: in scope.
+func mergeCounts(dst, src map[string]int) {
+	for k, v := range src { // want "range over map in deterministic code \\(mergeCounts\\)"
+		dst[k] += v
+	}
+}
+
+// publishTotals is in scope too.
+func publishTotals(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want "range over map in deterministic code \\(publishTotals\\)"
+		t += v
+	}
+	return t
+}
+
+// enqueue is queueing machinery: out of scope by name, free to iterate.
+func enqueue(pending map[string]int) int {
+	n := 0
+	for _, v := range pending {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+// Package obsguard exercises the stored-handle guard contract (loaded
+// as borg/internal/serve).
+package obsguard
+
+import "borg/internal/obs"
+
+// metrics is a handle bundle: every field is an obs handle, so
+// MetricsOff leaves the whole struct nil.
+type metrics struct {
+	ops *obs.Counter
+	lat *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		ops: r.Counter("ops_total", "", nil),
+		lat: r.Histogram("lat_ns", "", nil),
+	}
+}
+
+// server stores the bundle next to real state: the server itself is
+// not a bundle, so s.state-style dereferences stay unflagged.
+type server struct {
+	metrics *metrics
+	reg     *obs.Registry
+	state   int
+	name    string
+}
+
+// bad dereferences the stored bundle with no guard.
+func (s *server) bad() {
+	s.metrics.ops.Inc() // want "unguarded dereference of stored obs handle s\\.metrics in \\(\\*server\\)\\.bad"
+}
+
+// badHandle dereferences a stored raw handle with no guard.
+func (s *server) badHandle() {
+	s.reg.Counter("x", "", nil).Inc() // want "unguarded dereference of stored obs handle s\\.reg"
+}
+
+// guardedBind is the canonical idiom: bind and test in the if header.
+func (s *server) guardedBind(n uint64) {
+	if m := s.metrics; m != nil {
+		m.ops.Add(n)
+	}
+}
+
+// guardedDirect guards the selector itself.
+func (s *server) guardedDirect() {
+	if s.metrics != nil {
+		s.metrics.lat.Observe(1)
+	}
+}
+
+// earlyExit guards a tainted local with an early return.
+func (s *server) earlyExit() {
+	m := s.metrics
+	if m == nil {
+		return
+	}
+	m.ops.Inc()
+}
+
+// conjunct recognizes the guard inside an && chain.
+func (s *server) conjunct(on bool) {
+	if on && s.reg != nil {
+		s.reg.Gauge("g", "", nil).Set(1)
+	}
+}
+
+// ensureStored recognizes the `if x == nil { x = ... }` idiom.
+func (s *server) ensureStored() {
+	m := s.metrics
+	if m == nil {
+		m = newMetrics(obs.NewRegistry())
+	}
+	m.ops.Inc()
+}
+
+// fresh: constructor results are trusted — only stored handles can be
+// nil under MetricsOff.
+func fresh(r *obs.Registry) {
+	m := newMetrics(r)
+	m.ops.Inc()
+}
+
+// suppressed: a deliberate unguarded touch, annotated in place.
+func (s *server) suppressed() {
+	//borg:vet-ok obsguard — reached only from the metrics-on path
+	s.metrics.lat.Observe(2)
+}
+
+// observe: methods of the bundle itself dereference their receiver
+// freely; the caller holds the guard.
+func (m *metrics) observe(v int64) {
+	m.lat.Observe(v)
+	m.ops.Inc()
+}

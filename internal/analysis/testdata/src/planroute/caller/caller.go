@@ -1,0 +1,33 @@
+// Package caller exercises the plan-routing invariant from a
+// non-exempt package (loaded as borg/internal/bench).
+package caller
+
+import "borg/internal/query"
+
+// legacyTree calls the legacy constructor directly.
+func legacyTree(j *query.Join, root string) (*query.JoinTree, error) {
+	return j.BuildJoinTree(root) // want "direct query\\.BuildJoinTree call outside internal/plan"
+}
+
+// legacyOrder derives a variable order outside the planner.
+func legacyOrder(jt *query.JoinTree) *query.VarOrder {
+	return query.BuildVarOrder(jt) // want "direct query\\.BuildVarOrder call outside internal/plan"
+}
+
+// equivalenceBaseline deliberately builds the legacy tree to compare
+// against and says so in place.
+func equivalenceBaseline(j *query.Join, root string) (*query.JoinTree, error) {
+	//borg:vet-ok planroute — legacy baseline for an equivalence comparison
+	return j.BuildJoinTree(root)
+}
+
+// decoy carries the guarded name on an unrelated type: not a
+// query-package call, not flagged.
+type decoy struct{}
+
+func (decoy) BuildJoinTree(root string) int { return len(root) }
+
+func callsDecoy() int {
+	var d decoy
+	return d.BuildJoinTree("r")
+}

@@ -1,0 +1,13 @@
+// Package exempt is loaded as borg/internal/plan — the wrapper that is
+// allowed to call the legacy constructors directly.
+package exempt
+
+import "borg/internal/query"
+
+func wrap(j *query.Join, root string) (*query.VarOrder, error) {
+	jt, err := j.BuildJoinTree(root)
+	if err != nil {
+		return nil, err
+	}
+	return query.BuildVarOrder(jt), nil
+}

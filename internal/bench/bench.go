@@ -18,6 +18,7 @@ import (
 	"borg/internal/engine"
 	"borg/internal/ivm"
 	"borg/internal/ml"
+	"borg/internal/plan"
 	"borg/internal/query"
 	"borg/internal/relation"
 	"borg/internal/xrand"
@@ -111,11 +112,11 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 // covarPlan compiles the covariance batch of a dataset.
 func covarPlan(d *datagen.Dataset, opts core.Options) (*core.Plan, error) {
-	jt, err := d.Join.BuildJoinTree(d.Root)
+	p, err := plan.New(d.Join, plan.Options{PinnedRoot: d.Root, Static: true})
 	if err != nil {
 		return nil, err
 	}
-	return core.Compile(jt, core.CovarianceBatch(d.Features(), d.Response), opts)
+	return core.Compile(p.Tree, core.CovarianceBatch(d.Features(), d.Response), opts)
 }
 
 // thresholdsFor derives candidate split points (equi-spaced between the
@@ -265,10 +266,11 @@ func Fig4Left(o Options) error {
 	o.defaults()
 	var rows [][]string
 	for _, d := range datagen.All(o.Seed, o.SF) {
-		jt, err := d.Join.BuildJoinTree(d.Root)
+		p, err := plan.New(d.Join, plan.Options{PinnedRoot: d.Root, Static: true})
 		if err != nil {
 			return err
 		}
+		jt := p.Tree
 		batches := []struct {
 			name  string
 			specs []query.AggSpec

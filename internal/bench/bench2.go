@@ -12,7 +12,7 @@ import (
 	"borg/internal/ifaq"
 	"borg/internal/ineq"
 	"borg/internal/ml"
-	"borg/internal/query"
+	"borg/internal/plan"
 	"borg/internal/relation"
 	"borg/internal/xrand"
 )
@@ -54,10 +54,11 @@ func Fig6(o Options) error {
 	}
 	var rows [][]string
 	for _, d := range datagen.All(o.Seed, o.SF) {
-		jt, err := d.Join.BuildJoinTree(d.Root)
+		p, err := plan.New(d.Join, plan.Options{PinnedRoot: d.Root, Static: true})
 		if err != nil {
 			return err
 		}
+		jt := p.Tree
 		specs := core.CovarianceBatch(d.Features(), d.Response)
 		var base time.Duration
 		cells := []string{d.Name}
@@ -97,11 +98,11 @@ func Compression(o Options) error {
 	o.defaults()
 	var rows [][]string
 	for _, d := range datagen.All(o.Seed, o.SF) {
-		jt, err := d.Join.BuildJoinTree(d.Root)
+		p, err := plan.New(d.Join, plan.Options{PinnedRoot: d.Root, Static: true})
 		if err != nil {
 			return err
 		}
-		f, err := factor.Build(d.Join, query.BuildVarOrder(jt))
+		f, err := factor.Build(d.Join, p.VarOrder)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"borg/internal/core"
 	"borg/internal/datagen"
 	"borg/internal/exec"
+	"borg/internal/plan"
 )
 
 // ExecBaselineRun is one measured configuration of the exec-runtime
@@ -53,10 +54,11 @@ func ExecBaseline(o Options) (*ExecBaselineReport, error) {
 	const reps = 5
 	d := datagen.Retailer(o.Seed, o.SF)
 	specs := core.CovarianceBatch(d.Features(), d.Response)
-	jt, err := d.Join.BuildJoinTree(d.Root)
+	p, err := plan.New(d.Join, plan.Options{PinnedRoot: d.Root, Static: true})
 	if err != nil {
 		return nil, err
 	}
+	jt := p.Tree
 	rep := &ExecBaselineReport{
 		Dataset:    d.Name,
 		SF:         o.SF,

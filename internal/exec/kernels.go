@@ -124,6 +124,7 @@ func MergeSum[K comparable](dst, src map[K]float64) map[K]float64 {
 	if dst == nil {
 		return src
 	}
+	//borg:nondeterministic-ok — each key is touched once per merge; part order is fixed by Fold, not this loop
 	for k, v := range src {
 		dst[k] += v
 	}
@@ -162,6 +163,7 @@ func MergeMultiSum(dst, src map[uint64][]float64) map[uint64][]float64 {
 	if dst == nil {
 		return src
 	}
+	//borg:nondeterministic-ok — each key is touched once per merge; part order is fixed by Fold, not this loop
 	for k, sv := range src {
 		dv, ok := dst[k]
 		if !ok {

@@ -375,7 +375,10 @@ func (m *FirstOrder) SnapshotInto(dst *ring.Covar) {
 	m.batch.covarInto(m.result, dst)
 }
 
-// SnapshotLiftedInto implements Maintainer.
+// SnapshotLiftedInto implements Maintainer. Copies into dst's
+// pre-sized backing without allocating.
+//
+//borg:noalloc
 func (m *FirstOrder) SnapshotLiftedInto(dst *ring.Poly2) bool {
 	return m.batch.liftedInto(m.result, dst)
 }

@@ -353,10 +353,12 @@ func (m *FIVM) Count() float64 {
 		return m.p2.result.Count()
 	}
 	if m.cf != nil {
+		// Fold groups in sorted-key order (Each) so the float sum is
+		// bitwise-deterministic, matching Sum/Moment's Marginal() fold.
 		c := 0.0
-		for _, g := range m.cf.result.Groups {
+		m.cf.result.Each(func(_ []int32, g *ring.Covar) {
 			c += g.Count
-		}
+		})
 		return c
 	}
 	return m.cv.result.Count

@@ -350,7 +350,10 @@ func (m *HigherOrder) SnapshotInto(dst *ring.Covar) {
 	m.batch.covarInto(m.result, dst)
 }
 
-// SnapshotLiftedInto implements Maintainer.
+// SnapshotLiftedInto implements Maintainer. Copies into dst's
+// pre-sized backing without allocating.
+//
+//borg:noalloc
 func (m *HigherOrder) SnapshotLiftedInto(dst *ring.Poly2) bool {
 	return m.batch.liftedInto(m.result, dst)
 }

@@ -257,6 +257,7 @@ func (b *base) CatFeatures() []string { return b.catFeats }
 // of the streamed-into join-tree state.
 func (b *base) Cardinalities() map[string]int {
 	out := make(map[string]int, len(b.byName))
+	//borg:nondeterministic-ok — fills a map with per-key values; no accumulation, order-insensitive
 	for name, n := range b.byName {
 		out[name] = n.rel.NumRows()
 	}

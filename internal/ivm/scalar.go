@@ -1,6 +1,10 @@
 package ivm
 
-import "borg/internal/ring"
+import (
+	"sort"
+
+	"borg/internal/ring"
+)
 
 // aggDef identifies one scalar aggregate of a maintained batch as a
 // monomial over the global feature indexes: SUM(Π feats[k]^pows[k]),
@@ -191,13 +195,19 @@ func catTotals(results []*ring.CatScalar) []float64 {
 func (b scalarBatch) cofactorSnapshot(results []*ring.CatScalar, k int) *ring.Cofactor {
 	cr := ring.CovarRing{N: b.n}
 	out := &ring.Cofactor{N: b.n, K: k, Groups: make(map[string]*ring.Covar)}
-	keys := make(map[string]bool)
+	seen := make(map[string]bool)
+	var keys []string
 	for _, r := range results {
+		//borg:nondeterministic-ok — set union: each live key is recorded exactly once, then sorted below
 		for key := range r.G {
-			keys[key] = true
+			if !seen[key] {
+				seen[key] = true
+				keys = append(keys, key)
+			}
 		}
 	}
-	for key := range keys {
+	sort.Strings(keys)
+	for _, key := range keys {
 		g := cr.Zero()
 		g.Count = results[b.count()].G[key]
 		for i := 0; i < b.n; i++ {

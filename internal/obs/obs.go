@@ -89,9 +89,13 @@ type Counter struct {
 }
 
 // Inc adds one. Allocation-free.
+//
+//borg:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n. Allocation-free.
+//
+//borg:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -103,6 +107,8 @@ type Gauge struct {
 }
 
 // Set stores v. Allocation-free.
+//
+//borg:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds d to the gauge (load-CAS loop; callers on hot paths prefer
@@ -131,6 +137,8 @@ type Histogram struct {
 
 // Observe records one value. Negative values clamp to zero.
 // Allocation-free.
+//
+//borg:noalloc
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0

@@ -206,6 +206,7 @@ func varDepth(vo *query.VarOrder) int {
 // reports 1 (no data, no drift).
 func Drift(root string, cards map[string]int) float64 {
 	max := 0
+	//borg:nondeterministic-ok — integer max is commutative and exact; order-insensitive
 	for _, c := range cards {
 		if c > max {
 			max = c

@@ -152,6 +152,7 @@ func (e *Cofactor) ApproxEqual(o *Cofactor, tol float64) bool {
 	if e.N != o.N || e.K != o.K || len(e.Groups) != len(o.Groups) {
 		return false
 	}
+	//borg:nondeterministic-ok — conjunction over independent per-key checks; order-insensitive
 	for k, g := range e.Groups {
 		og, ok := o.Groups[k]
 		if !ok || !g.ApproxEqual(og, tol) {
@@ -213,6 +214,7 @@ func (r CofactorRing) Add(a, b *Cofactor) *Cofactor {
 // to exact zero so retraction shrinks the map for real.
 func (r CofactorRing) AddInPlace(dst, src *Cofactor) {
 	cr := r.covar()
+	//borg:nondeterministic-ok — each src key folds into its own dst slot exactly once; order-insensitive
 	for k, g := range src.Groups {
 		if d, ok := dst.Groups[k]; ok {
 			d.AddInPlace(g)
@@ -227,12 +229,18 @@ func (r CofactorRing) AddInPlace(dst, src *Cofactor) {
 
 // Mul returns the group-wise product: every pair of groups whose bound
 // slots agree contributes the covariance-ring product under the merged
-// key; disagreeing pairs contribute zero.
+// key; disagreeing pairs contribute zero. Distinct pairs can merge onto
+// ONE output key, so the pair order decides a float-addition order:
+// both operands iterate in sorted-key order to keep products
+// bitwise-deterministic across runs and worker counts.
 func (r CofactorRing) Mul(a, b *Cofactor) *Cofactor {
 	out := r.Zero()
 	cr := r.covar()
-	for ka, ga := range a.Groups {
-		for kb, gb := range b.Groups {
+	bKeys := sortedGroupKeys(b.Groups)
+	for _, ka := range sortedGroupKeys(a.Groups) {
+		ga := a.Groups[ka]
+		for _, kb := range bKeys {
+			gb := b.Groups[kb]
 			k, ok := mergeCatKeys(ka, kb)
 			if !ok {
 				continue
@@ -251,10 +259,23 @@ func (r CofactorRing) Mul(a, b *Cofactor) *Cofactor {
 	return out
 }
 
+// sortedGroupKeys returns m's keys in ascending order — the fixed
+// iteration order that keeps ring folds bitwise-deterministic whenever
+// group contributions can collide on one key.
+func sortedGroupKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Neg returns the additive inverse: every group negated.
 func (r CofactorRing) Neg(a *Cofactor) *Cofactor {
 	out := r.Zero()
 	cr := r.covar()
+	//borg:nondeterministic-ok — per-key map fill, no accumulation; order-insensitive
 	for k, g := range a.Groups {
 		out.Groups[k] = cr.Neg(g)
 	}
@@ -267,6 +288,7 @@ func (r CofactorRing) Neg(a *Cofactor) *Cofactor {
 // nonzero.
 func (r CofactorRing) IsZero(e *Cofactor) bool {
 	cr := r.covar()
+	//borg:nondeterministic-ok — existence check over independent groups; order-insensitive
 	for _, g := range e.Groups {
 		if !cr.IsZero(g) {
 			return false
@@ -279,6 +301,7 @@ func (r CofactorRing) IsZero(e *Cofactor) bool {
 func (r CofactorRing) Clone(e *Cofactor) *Cofactor {
 	out := &Cofactor{N: e.N, K: e.K, Groups: make(map[string]*Covar, len(e.Groups))}
 	cr := r.covar()
+	//borg:nondeterministic-ok — per-key deep copy, no accumulation; order-insensitive
 	for k, g := range e.Groups {
 		out.Groups[k] = cr.Clone(g)
 	}
@@ -336,13 +359,17 @@ func (r CatScalarRing) Lift(idx []int, vals []float64) *CatScalar {
 	return r.LiftVal(nil, nil, v)
 }
 
-// Mul returns the group-wise product under merged keys.
+// Mul returns the group-wise product under merged keys. As with
+// CofactorRing.Mul, colliding pairs accumulate in sorted-key order so
+// the sums are bitwise-deterministic.
 func (r CatScalarRing) Mul(a, b *CatScalar) *CatScalar {
 	out := r.Zero()
-	for ka, va := range a.G {
-		for kb, vb := range b.G {
+	bKeys := sortedGroupKeys(b.G)
+	for _, ka := range sortedGroupKeys(a.G) {
+		va := a.G[ka]
+		for _, kb := range bKeys {
 			if k, ok := mergeCatKeys(ka, kb); ok {
-				out.G[k] += va * vb
+				out.G[k] += va * b.G[kb]
 			}
 		}
 	}
@@ -352,6 +379,7 @@ func (r CatScalarRing) Mul(a, b *CatScalar) *CatScalar {
 // Neg returns the additive inverse.
 func (r CatScalarRing) Neg(a *CatScalar) *CatScalar {
 	out := &CatScalar{K: r.K, G: make(map[string]float64, len(a.G))}
+	//borg:nondeterministic-ok — per-key map fill, no accumulation; order-insensitive
 	for k, v := range a.G {
 		out.G[k] = -v
 	}
@@ -360,6 +388,7 @@ func (r CatScalarRing) Neg(a *CatScalar) *CatScalar {
 
 // AddInPlace folds src into dst, pruning exact-zero groups.
 func (r CatScalarRing) AddInPlace(dst, src *CatScalar) {
+	//borg:nondeterministic-ok — each src key folds into its own dst slot exactly once; order-insensitive
 	for k, v := range src.G {
 		s := dst.G[k] + v
 		if s == 0 {
@@ -372,6 +401,7 @@ func (r CatScalarRing) AddInPlace(dst, src *CatScalar) {
 
 // IsZero reports whether every group scalar is zero.
 func (r CatScalarRing) IsZero(e *CatScalar) bool {
+	//borg:nondeterministic-ok — existence check over independent groups; order-insensitive
 	for _, v := range e.G {
 		if v != 0 {
 			return false
@@ -383,6 +413,7 @@ func (r CatScalarRing) IsZero(e *CatScalar) bool {
 // Clone deep-copies the element.
 func (r CatScalarRing) Clone(e *CatScalar) *CatScalar {
 	out := &CatScalar{K: e.K, G: make(map[string]float64, len(e.G))}
+	//borg:nondeterministic-ok — per-key copy, no accumulation; order-insensitive
 	for k, v := range e.G {
 		out.G[k] = v
 	}

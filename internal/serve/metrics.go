@@ -89,4 +89,6 @@ func newServeMetrics(r *obs.Registry, labels obs.Labels, queueLen func() int) *s
 func (m *serveMetrics) sinceBase() int64 { return int64(time.Since(m.base)) }
 
 // markPublish stamps a publication for the epoch-age gauge.
+//
+//borg:noalloc
 func (m *serveMetrics) markPublish() { m.lastPub.Store(m.sinceBase()) }

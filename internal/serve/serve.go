@@ -630,6 +630,8 @@ func (s *Server) Err() error {
 
 // Snapshot returns the current published epoch: one atomic load, never
 // blocking the writer. The result is immutable.
+//
+//borg:noalloc
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // QueueLen reports how many tuple ops are enqueued or applied but not

@@ -201,11 +201,15 @@ func New(j *query.Join, root string, features []string, cfg Config) (*Server, er
 			cfg.Obs = obs.NewRegistry()
 		}
 		s.obsReg = cfg.Obs
-		s.metrics = newShardMetrics(cfg.Obs, cfg.Shards)
+		sm := newShardMetrics(cfg.Obs, cfg.Shards)
+		s.metrics = sm
 		nShards := cfg.Shards
+		// The gauge closure captures the local bundle, not s.metrics: a
+		// stored-field read here would outlive this MetricsOff guard and
+		// dereference nil under the control arm.
 		cfg.Obs.GaugeFunc("borg_shard_skew",
 			"Routing imbalance: hottest shard's op share over a uniform split (1 = balanced).", nil,
-			func() float64 { return s.metrics.skew(nShards) })
+			func() float64 { return sm.skew(nShards) })
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		scfg := cfg.Config
@@ -410,12 +414,18 @@ type MergedSnapshot struct {
 }
 
 // Count returns SUM(1) over the join at this merged view.
+//
+//borg:noalloc
 func (m *MergedSnapshot) Count() float64 { return m.Stats.Count }
 
 // Sum returns SUM(x_i) at this merged view.
+//
+//borg:noalloc
 func (m *MergedSnapshot) Sum(i int) float64 { return m.Stats.Sum[i] }
 
 // Moment returns SUM(x_i·x_j) at this merged view.
+//
+//borg:noalloc
 func (m *MergedSnapshot) Moment(i, j int) float64 { return m.Stats.Q[i*m.Stats.N+j] }
 
 // Snapshot composes the current global view: one atomic load per shard,
